@@ -1,0 +1,207 @@
+// Command starburst is an interactive shell over the Starburst
+// reproduction: it reads Hydrogen statements (terminated by ';'),
+// compiles them through all Figure-1 phases, and prints results.
+//
+// Usage:
+//
+//	starburst                 # interactive REPL
+//	starburst -e 'stmt; ...'  # execute statements and exit
+//	starburst -f script.sql   # execute a file and exit
+//
+// Inside the REPL, "EXPLAIN <stmt>" shows the QGM before and after
+// rewrite plus the chosen plan; "\d" lists tables and views; "\io"
+// shows simulated I/O counters; "\q" quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	starburst "repro"
+)
+
+func main() {
+	eval := flag.String("e", "", "execute the given statements and exit")
+	file := flag.String("f", "", "execute statements from a file and exit")
+	flag.Parse()
+
+	db := starburst.Open()
+	switch {
+	case *eval != "":
+		runScript(db, *eval)
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runScript(db, string(data))
+	default:
+		repl(db)
+	}
+}
+
+func runScript(db *starburst.DB, script string) {
+	for _, stmt := range splitStatements(script) {
+		if strings.TrimSpace(stmt) == "" {
+			continue
+		}
+		if err := execute(db, stmt); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func repl(db *starburst.DB) {
+	fmt.Println("Starburst reproduction shell — Hydrogen statements end with ';'")
+	fmt.Println(`commands: \d (schema)  \io (I/O counters)  \q (quit)`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "starburst> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			switch trimmed {
+			case `\q`:
+				return
+			case `\d`:
+				describe(db)
+			case `\io`:
+				r, w, ix := db.IOStats()
+				fmt.Printf("page reads=%d writes=%d index reads=%d\n", r, w, ix)
+			default:
+				fmt.Println("unknown command", trimmed)
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			prompt = "starburst> "
+			if err := execute(db, stmt); err != nil {
+				fmt.Println("error:", err)
+			}
+		} else if buf.Len() > 0 {
+			prompt = "      ...> "
+		}
+	}
+}
+
+func describe(db *starburst.DB) {
+	cat := db.Catalog()
+	for _, name := range cat.TableNames() {
+		t, _ := cat.Table(name)
+		var cols []string
+		for _, c := range t.Cols {
+			cols = append(cols, c.Name)
+		}
+		fmt.Printf("table %s (%s) using %s, %d rows", name, strings.Join(cols, ", "), t.SM, t.Rel.RowCount())
+		for _, ix := range t.Indexes {
+			fmt.Printf(" [index %s/%s]", ix.Name, ix.Method)
+		}
+		fmt.Println()
+	}
+	for _, name := range cat.ViewNames() {
+		v, _ := cat.View(name)
+		fmt.Printf("view %s AS %s\n", name, v.Text)
+	}
+}
+
+func execute(db *starburst.DB, stmt string) error {
+	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	if stmt == "" {
+		return nil
+	}
+	start := time.Now()
+	res, err := db.Exec(stmt, nil)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if len(res.Columns) > 0 {
+		printTable(res)
+	}
+	switch {
+	case res.Affected > 0:
+		fmt.Printf("%d row(s) affected (%v)\n", res.Affected, elapsed.Round(time.Microsecond))
+	case len(res.Columns) > 0:
+		fmt.Printf("%d row(s) (%v)\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	default:
+		fmt.Printf("ok (%v)\n", elapsed.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func printTable(res *starburst.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sep strings.Builder
+	for i, c := range res.Columns {
+		fmt.Printf("%-*s  ", widths[i], c)
+		sep.WriteString(strings.Repeat("-", widths[i]))
+		sep.WriteString("  ")
+	}
+	fmt.Println()
+	fmt.Println(strings.TrimRight(sep.String(), " "))
+	for _, row := range cells {
+		for i, s := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Printf("%-*s  ", w, s)
+		}
+		fmt.Println()
+	}
+}
+
+// splitStatements splits on semicolons outside string literals.
+func splitStatements(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			cur.WriteByte(c)
+		case c == ';' && !inStr:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		out = append(out, cur.String())
+	}
+	return out
+}

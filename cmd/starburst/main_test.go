@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestSplitStatements(t *testing.T) {
+	got := splitStatements("SELECT 1; INSERT INTO t VALUES ('a;b'); SELECT 2")
+	if len(got) != 3 {
+		t.Fatalf("split = %d parts: %q", len(got), got)
+	}
+	if got[1] != " INSERT INTO t VALUES ('a;b')" {
+		t.Errorf("semicolon inside string literal must not split: %q", got[1])
+	}
+	if len(splitStatements("  ")) != 0 {
+		t.Error("blank input")
+	}
+	if len(splitStatements("SELECT 1")) != 1 {
+		t.Error("no trailing semicolon")
+	}
+}

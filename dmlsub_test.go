@@ -1,0 +1,28 @@
+package starburst
+
+import "testing"
+
+func TestDMLWithSubqueries(t *testing.T) {
+	db := paperDB(t)
+	res := mustExec(t, db, `DELETE FROM quotations WHERE partno IN
+		(SELECT partno FROM inventory WHERE type = 'DISK')`)
+	if res.Affected != 2 {
+		t.Fatalf("delete-in affected = %d", res.Affected)
+	}
+	res = mustExec(t, db, `UPDATE inventory SET onhand_qty =
+		(SELECT MAX(order_qty) FROM quotations) WHERE type = 'CPU'`)
+	if res.Affected != 3 {
+		t.Fatalf("update-scalar affected = %d", res.Affected)
+	}
+	r := mustExec(t, db, "SELECT onhand_qty FROM inventory WHERE partno = 1")
+	if r.Rows[0][0].Int() != 40 { // max remaining order_qty = 8*5
+		t.Fatalf("updated value = %v", r.Rows[0][0])
+	}
+	res = mustExec(t, db, `DELETE FROM inventory WHERE EXISTS
+		(SELECT 1 FROM quotations q WHERE q.partno = inventory.partno AND q.order_qty > 20)`)
+	// Remaining quotations: parts 1,3,5,6,7,8 with order_qty 5p; only
+	// inventory part 5 has a quotation with order_qty > 20.
+	if res.Affected != 1 {
+		t.Fatalf("correlated delete affected = %d, want 1", res.Affected)
+	}
+}

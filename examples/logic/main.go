@@ -1,0 +1,82 @@
+// Command logic demonstrates Hydrogen as "an integrated language for
+// logic programming and database access" (section 2): recursion is
+// expressed by cyclic references to named table expressions, and
+// recursive queries may freely mix relational calculus operations and
+// aggregation — here a bill-of-materials and an ancestor (path algebra)
+// computation.
+package main
+
+import (
+	"fmt"
+
+	starburst "repro"
+)
+
+func main() {
+	db := starburst.Open()
+
+	// --- Bill of materials -------------------------------------------
+	db.MustExec(`CREATE TABLE assembly (parent STRING, child STRING, qty INT)`, nil)
+	for _, r := range [][3]any{
+		{"bike", "frame", 1}, {"bike", "wheel", 2}, {"bike", "brake", 2},
+		{"wheel", "rim", 1}, {"wheel", "spoke", 36}, {"wheel", "tire", 1},
+		{"brake", "pad", 2}, {"brake", "lever", 1},
+		{"frame", "tube", 4},
+	} {
+		db.MustExec(fmt.Sprintf(
+			"INSERT INTO assembly VALUES ('%s', '%s', %d)", r[0], r[1], r[2]), nil)
+	}
+
+	// Transitive sub-parts of "bike", with aggregation on top of the
+	// recursion.
+	fmt.Println("=== All parts of a bike (recursive table expression) ===")
+	res := db.MustExec(`WITH RECURSIVE parts (part) AS (
+		SELECT child FROM assembly WHERE parent = 'bike'
+		UNION SELECT a.child FROM parts p, assembly a WHERE a.parent = p.part)
+		SELECT part FROM parts ORDER BY part`, nil)
+	for _, row := range res.Rows {
+		fmt.Printf("  %v\n", row[0])
+	}
+
+	fmt.Println("\n=== Direct-component counts per assembly (rules + aggregates) ===")
+	res = db.MustExec(`WITH RECURSIVE parts (part) AS (
+		SELECT child FROM assembly WHERE parent = 'bike'
+		UNION SELECT a.child FROM parts p, assembly a WHERE a.parent = p.part)
+		SELECT a.parent, COUNT(*) kinds, SUM(a.qty) pieces
+		FROM assembly a WHERE a.parent IN (SELECT part FROM parts)
+		GROUP BY a.parent ORDER BY a.parent`, nil)
+	fmt.Printf("  %-8s %-6s %-6s\n", "PARENT", "KINDS", "PIECES")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-8v %-6v %-6v\n", row[0], row[1], row[2])
+	}
+
+	// --- Ancestors (classic logic-programming example) ----------------
+	// ancestor(X,Y) :- parent(X,Y).
+	// ancestor(X,Y) :- parent(X,Z), ancestor(Z,Y).
+	db.MustExec(`CREATE TABLE parent (p STRING, c STRING)`, nil)
+	for _, r := range [][2]string{
+		{"adam", "bea"}, {"bea", "carl"}, {"carl", "dora"},
+		{"bea", "ben"}, {"eve", "bea"},
+	} {
+		db.MustExec(fmt.Sprintf("INSERT INTO parent VALUES ('%s', '%s')", r[0], r[1]), nil)
+	}
+	fmt.Println("\n=== ancestor('adam', X) — Datalog rules as table expressions ===")
+	res = db.MustExec(`WITH RECURSIVE ancestor (a, d) AS (
+		SELECT p, c FROM parent
+		UNION SELECT p.p, anc.d FROM parent p, ancestor anc WHERE anc.a = p.c)
+		SELECT d FROM ancestor WHERE a = 'adam' ORDER BY d`, nil)
+	for _, row := range res.Rows {
+		fmt.Printf("  %v\n", row[0])
+	}
+
+	// Same-generation: the harder classic, a non-linear recursion.
+	fmt.Println("\n=== same-generation pairs ===")
+	res = db.MustExec(`WITH RECURSIVE sg (x, y) AS (
+		SELECT a.c, b.c FROM parent a, parent b WHERE a.p = b.p AND a.c <> b.c
+		UNION SELECT a.c, b.c FROM parent a, sg, parent b
+		      WHERE a.p = sg.x AND b.p = sg.y)
+		SELECT x, y FROM sg WHERE x < y ORDER BY x, y`, nil)
+	for _, row := range res.Rows {
+		fmt.Printf("  %v ~ %v\n", row[0], row[1])
+	}
+}

@@ -1,0 +1,432 @@
+// Package catalog implements Starburst's catalog: tables, views,
+// indexes (attachments), statistics, and the registries of externally
+// defined functions, storage managers and access methods. Corona's
+// "base system functions (e.g., catalog interface) can frequently be
+// used by the extension" (section 4) — all extensions flow through the
+// registries held here.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// Column describes one column of a table or view.
+type Column struct {
+	Name    string
+	Type    datum.TypeID
+	NotNull bool
+}
+
+// TableStats carries the optimizer's statistics for one table,
+// maintained by Analyze and used for cardinality estimation.
+type TableStats struct {
+	Rows  int64
+	Pages int64
+	// ColCard is the number of distinct values per column.
+	ColCard []int64
+	// ColMin and ColMax bound each column's values (NULL when unknown
+	// or non-scalar).
+	ColMin, ColMax []datum.Value
+}
+
+// Index is an attachment instance on a table.
+type Index struct {
+	Name    string
+	Table   string
+	KeyCols []int
+	Method  string
+	Caps    storage.AccessMethodCaps
+	Unique  bool
+	At      storage.Attachment
+}
+
+// Table is a stored table: schema, storage handle, attachments, stats.
+type Table struct {
+	Name string
+	Cols []Column
+	// SM names the storage manager handling this table; Corona "must
+	// ensure that the correct storage manager is invoked when a table
+	// is accessed" (section 1).
+	SM      string
+	Rel     storage.Relation
+	Indexes []*Index
+	Stats   TableStats
+}
+
+// ColIndex resolves a column name (case-insensitive) to its ordinal, or
+// -1 when absent.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// View is a named query. The definition is kept as Hydrogen text and
+// re-translated into QGM at each use, where the view-merging rewrite
+// rules take over ("as view definitions are hidden from the query
+// writer, only the DBMS can rewrite queries involving views").
+type View struct {
+	Name string
+	// ColNames optionally renames the output columns.
+	ColNames []string
+	Text     string
+}
+
+// Catalog is one database's schema plus the extension registries.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*View
+
+	// Funcs is the registry of scalar/aggregate/set-predicate/table
+	// functions, seeded with built-ins.
+	Funcs *expr.Registry
+	// Storage is the registry of storage managers and access methods.
+	Storage *storage.Registry
+	// IO is the shared simulated-I/O counter for all relations.
+	IO *storage.IOStats
+}
+
+// New returns an empty catalog with built-in registries.
+func New() *Catalog {
+	return &Catalog{
+		tables:  map[string]*Table{},
+		views:   map[string]*View{},
+		Funcs:   expr.NewRegistry(),
+		Storage: storage.NewRegistry(),
+		IO:      &storage.IOStats{},
+	}
+}
+
+func key(name string) string { return strings.ToUpper(name) }
+
+// CreateTable creates a table under the named storage manager (empty
+// for the default heap).
+func (c *Catalog) CreateTable(name string, cols []Column, smName string) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %s needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		k := key(col.Name)
+		if seen[k] {
+			return nil, fmt.Errorf("catalog: duplicate column %s in %s", col.Name, name)
+		}
+		seen[k] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; ok {
+		return nil, fmt.Errorf("catalog: table %s already exists", name)
+	}
+	if _, ok := c.views[k]; ok {
+		return nil, fmt.Errorf("catalog: %s already exists as a view", name)
+	}
+	sm, err := c.Storage.StorageManager(smName)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := sm.Create(name, len(cols), c.IO)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: strings.ToUpper(name), Cols: cols, SM: sm.Name(), Rel: rel}
+	t.Stats.ColCard = make([]int64, len(cols))
+	t.Stats.ColMin = make([]datum.Value, len(cols))
+	t.Stats.ColMax = make([]datum.Value, len(cols))
+	c.tables[k] = t
+	return t, nil
+}
+
+// DropTable removes a table and its attachments.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(name)]; !ok {
+		return fmt.Errorf("catalog: no table %s", name)
+	}
+	delete(c.tables, key(name))
+	return nil
+}
+
+// Table resolves a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// TableNames lists tables, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateView records a view definition.
+func (c *Catalog) CreateView(name string, colNames []string, text string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("catalog: view %s already exists", name)
+	}
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: %s already exists as a table", name)
+	}
+	c.views[k] = &View{Name: strings.ToUpper(name), ColNames: colNames, Text: text}
+	return nil
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.views[key(name)]; !ok {
+		return fmt.Errorf("catalog: no view %s", name)
+	}
+	delete(c.views, key(name))
+	return nil
+}
+
+// View resolves a view by name.
+func (c *Catalog) View(name string) (*View, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[key(name)]
+	return v, ok
+}
+
+// ViewNames lists views, sorted.
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for _, v := range c.views {
+		out = append(out, v.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateIndex creates an attachment on a table using the named access
+// method (empty for B-tree) and backfills it from existing records.
+func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method string, unique bool) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key(tableName)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %s", tableName)
+	}
+	for _, ix := range t.Indexes {
+		if strings.EqualFold(ix.Name, name) {
+			return nil, fmt.Errorf("catalog: index %s already exists", name)
+		}
+	}
+	if len(colNames) == 0 {
+		return nil, fmt.Errorf("catalog: index %s needs key columns", name)
+	}
+	keyCols := make([]int, len(colNames))
+	keyTypes := make([]datum.TypeID, len(colNames))
+	for i, cn := range colNames {
+		ord := t.ColIndex(cn)
+		if ord < 0 {
+			return nil, fmt.Errorf("catalog: no column %s in %s", cn, tableName)
+		}
+		keyCols[i] = ord
+		keyTypes[i] = t.Cols[ord].Type
+	}
+	am, err := c.Storage.AccessMethod(method)
+	if err != nil {
+		return nil, err
+	}
+	at, err := am.New(keyTypes, unique, c.IO)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		Name:    strings.ToUpper(name),
+		Table:   t.Name,
+		KeyCols: keyCols,
+		Method:  am.Name(),
+		Caps:    am.Caps(),
+		Unique:  unique,
+		At:      at,
+	}
+	// Backfill from stored records.
+	it := t.Rel.Scan()
+	defer it.Close()
+	for {
+		row, rid, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := at.Insert(extractKey(row, keyCols), rid); err != nil {
+			return nil, fmt.Errorf("catalog: backfilling %s: %w", name, err)
+		}
+	}
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
+// DropIndex removes an attachment.
+func (c *Catalog) DropIndex(tableName, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key(tableName)]
+	if !ok {
+		return fmt.Errorf("catalog: no table %s", tableName)
+	}
+	for i, ix := range t.Indexes {
+		if strings.EqualFold(ix.Name, name) {
+			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("catalog: no index %s on %s", name, tableName)
+}
+
+func extractKey(row datum.Row, cols []int) datum.Row {
+	k := make(datum.Row, len(cols))
+	for i, c := range cols {
+		k[i] = row[c]
+	}
+	return k
+}
+
+// Insert stores a row in a table, enforcing NOT NULL and type
+// compatibility, coercing numerics, and maintaining every attachment.
+func (c *Catalog) Insert(t *Table, row datum.Row) (storage.RID, error) {
+	if len(row) != len(t.Cols) {
+		return storage.RID{}, fmt.Errorf("catalog: %s: %d values for %d columns", t.Name, len(row), len(t.Cols))
+	}
+	coerced := make(datum.Row, len(row))
+	for i, v := range row {
+		if v.IsNull() {
+			if t.Cols[i].NotNull {
+				return storage.RID{}, fmt.Errorf("catalog: %s.%s is NOT NULL", t.Name, t.Cols[i].Name)
+			}
+			coerced[i] = v
+			continue
+		}
+		cv, err := datum.Coerce(v, t.Cols[i].Type)
+		if err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s.%s: %w", t.Name, t.Cols[i].Name, err)
+		}
+		coerced[i] = cv
+	}
+	rid, err := t.Rel.Insert(coerced)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.At.Insert(extractKey(coerced, ix.KeyCols), rid); err != nil {
+			// Undo the record insert to keep table and attachments
+			// consistent (uniqueness violations surface here).
+			t.Rel.Delete(rid)
+			return storage.RID{}, err
+		}
+	}
+	return rid, nil
+}
+
+// Delete removes the record at rid and its index entries.
+func (c *Catalog) Delete(t *Table, rid storage.RID) error {
+	row, ok := t.Rel.Fetch(rid)
+	if !ok {
+		return fmt.Errorf("catalog: %s: no record %s", t.Name, rid)
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.At.Delete(extractKey(row, ix.KeyCols), rid); err != nil {
+			return err
+		}
+	}
+	return t.Rel.Delete(rid)
+}
+
+// Update replaces the record at rid, maintaining attachments.
+func (c *Catalog) Update(t *Table, rid storage.RID, newRow datum.Row) error {
+	old, ok := t.Rel.Fetch(rid)
+	if !ok {
+		return fmt.Errorf("catalog: %s: no record %s", t.Name, rid)
+	}
+	for i, v := range newRow {
+		if v.IsNull() && t.Cols[i].NotNull {
+			return fmt.Errorf("catalog: %s.%s is NOT NULL", t.Name, t.Cols[i].Name)
+		}
+	}
+	for _, ix := range t.Indexes {
+		oldKey := extractKey(old, ix.KeyCols)
+		newKey := extractKey(newRow, ix.KeyCols)
+		if storage.CompareKeys(oldKey, newKey) == 0 {
+			continue
+		}
+		if err := ix.At.Delete(oldKey, rid); err != nil {
+			return err
+		}
+		if err := ix.At.Insert(newKey, rid); err != nil {
+			return err
+		}
+	}
+	return t.Rel.Update(rid, newRow)
+}
+
+// Analyze recomputes optimizer statistics for a table.
+func (c *Catalog) Analyze(t *Table) {
+	n := len(t.Cols)
+	distinct := make([]map[string]bool, n)
+	mins := make([]datum.Value, n)
+	maxs := make([]datum.Value, n)
+	for i := range distinct {
+		distinct[i] = map[string]bool{}
+		mins[i], maxs[i] = datum.Null, datum.Null
+	}
+	rows := int64(0)
+	it := t.Rel.Scan()
+	defer it.Close()
+	for {
+		row, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		rows++
+		for i, v := range row {
+			if v.IsNull() {
+				continue
+			}
+			distinct[i][datum.RowKey(datum.Row{v})] = true
+			if mins[i].IsNull() || datum.SortCompare(v, mins[i]) < 0 {
+				mins[i] = v
+			}
+			if maxs[i].IsNull() || datum.SortCompare(v, maxs[i]) > 0 {
+				maxs[i] = v
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.Stats.Rows = rows
+	t.Stats.Pages = t.Rel.PageCount()
+	for i := range distinct {
+		t.Stats.ColCard[i] = int64(len(distinct[i]))
+		t.Stats.ColMin[i] = mins[i]
+		t.Stats.ColMax[i] = maxs[i]
+	}
+}

@@ -1,0 +1,303 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/storage"
+)
+
+func testCols() []Column {
+	return []Column{
+		{Name: "ID", Type: datum.TInt, NotNull: true},
+		{Name: "NAME", Type: datum.TString},
+		{Name: "QTY", Type: datum.TInt},
+	}
+}
+
+func mkTable(t *testing.T, c *Catalog, name string) *Table {
+	t.Helper()
+	tbl, err := c.CreateTable(name, testCols(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestCreateTable(t *testing.T) {
+	c := New()
+	tbl := mkTable(t, c, "parts")
+	if tbl.Name != "PARTS" || tbl.SM != "HEAP" {
+		t.Errorf("table = %+v", tbl)
+	}
+	if _, err := c.CreateTable("parts", testCols(), ""); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, err := c.CreateTable("t2", nil, ""); err == nil {
+		t.Error("no columns must fail")
+	}
+	if _, err := c.CreateTable("t3", []Column{{Name: "A", Type: datum.TInt}, {Name: "a", Type: datum.TInt}}, ""); err == nil {
+		t.Error("duplicate column must fail")
+	}
+	if _, err := c.CreateTable("t4", testCols(), "NO_SUCH_SM"); err == nil {
+		t.Error("unknown storage manager must fail")
+	}
+	got, ok := c.Table("PaRtS")
+	if !ok || got != tbl {
+		t.Error("case-insensitive lookup")
+	}
+	if names := c.TableNames(); len(names) != 1 || names[0] != "PARTS" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if err := c.DropTable("parts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("parts"); err == nil {
+		t.Error("double drop must fail")
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	c := New()
+	tbl := mkTable(t, c, "T")
+	if tbl.ColIndex("name") != 1 || tbl.ColIndex("NAME") != 1 {
+		t.Error("ColIndex case-insensitive")
+	}
+	if tbl.ColIndex("nope") != -1 {
+		t.Error("missing column")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	c := New()
+	tbl := mkTable(t, c, "T")
+	if _, err := c.Insert(tbl, datum.Row{datum.NewInt(1), datum.NewString("a"), datum.NewInt(5)}); err != nil {
+		t.Fatal(err)
+	}
+	// NOT NULL.
+	if _, err := c.Insert(tbl, datum.Row{datum.Null, datum.NewString("a"), datum.NewInt(5)}); err == nil {
+		t.Error("NOT NULL violation must fail")
+	}
+	// Nullable NULL ok.
+	if _, err := c.Insert(tbl, datum.Row{datum.NewInt(2), datum.Null, datum.Null}); err != nil {
+		t.Errorf("nullable NULL: %v", err)
+	}
+	// Width mismatch.
+	if _, err := c.Insert(tbl, datum.Row{datum.NewInt(3)}); err == nil {
+		t.Error("width mismatch must fail")
+	}
+	// Type coercion: float into INT column.
+	rid, err := c.Insert(tbl, datum.Row{datum.NewFloat(4.7), datum.NewString("x"), datum.NewInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ := tbl.Rel.Fetch(rid)
+	if row[0].Type() != datum.TInt || row[0].Int() != 4 {
+		t.Errorf("coerced value = %v", row[0])
+	}
+	// Incompatible type.
+	if _, err := c.Insert(tbl, datum.Row{datum.NewString("x"), datum.NewString("x"), datum.NewInt(1)}); err == nil {
+		t.Error("type mismatch must fail")
+	}
+}
+
+func TestIndexLifecycleAndMaintenance(t *testing.T) {
+	c := New()
+	tbl := mkTable(t, c, "T")
+	// Rows inserted before the index exist; CreateIndex must backfill.
+	rid1, _ := c.Insert(tbl, datum.Row{datum.NewInt(1), datum.NewString("a"), datum.NewInt(10)})
+	c.Insert(tbl, datum.Row{datum.NewInt(2), datum.NewString("b"), datum.NewInt(20)})
+
+	ix, err := c.CreateIndex("t_id", "T", []string{"id"}, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Method != "BTREE" || !ix.Unique || ix.KeyCols[0] != 0 {
+		t.Errorf("index = %+v", ix)
+	}
+	if ix.At.Len() != 2 {
+		t.Errorf("backfill: %d entries", ix.At.Len())
+	}
+	// Maintenance on insert.
+	rid3, err := c.Insert(tbl, datum.Row{datum.NewInt(3), datum.NewString("c"), datum.NewInt(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.At.Len() != 3 {
+		t.Error("index not maintained on insert")
+	}
+	// Unique violation rolls back the record insert.
+	before := tbl.Rel.RowCount()
+	if _, err := c.Insert(tbl, datum.Row{datum.NewInt(3), datum.NewString("dup"), datum.NewInt(0)}); err == nil {
+		t.Error("unique violation must fail")
+	}
+	if tbl.Rel.RowCount() != before {
+		t.Error("failed insert must roll back the record")
+	}
+	// Maintenance on update (key change).
+	if err := c.Update(tbl, rid3, datum.Row{datum.NewInt(33), datum.NewString("c"), datum.NewInt(30)}); err != nil {
+		t.Fatal(err)
+	}
+	it := ix.At.Search(storage.Include(datum.Row{datum.NewInt(33)}), storage.Include(datum.Row{datum.NewInt(33)}))
+	if _, ok := it.Next(); !ok {
+		t.Error("updated key not in index")
+	}
+	// Maintenance on delete.
+	if err := c.Delete(tbl, rid1); err != nil {
+		t.Fatal(err)
+	}
+	if ix.At.Len() != 2 {
+		t.Error("index not maintained on delete")
+	}
+	if err := c.Delete(tbl, rid1); err == nil {
+		t.Error("double delete must fail")
+	}
+	// Errors.
+	if _, err := c.CreateIndex("t_id", "T", []string{"id"}, "", false); err == nil {
+		t.Error("duplicate index must fail")
+	}
+	if _, err := c.CreateIndex("x", "NOPE", []string{"id"}, "", false); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if _, err := c.CreateIndex("x", "T", []string{"nope"}, "", false); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := c.CreateIndex("x", "T", nil, "", false); err == nil {
+		t.Error("no key columns must fail")
+	}
+	if _, err := c.CreateIndex("x", "T", []string{"id"}, "NO_AM", false); err == nil {
+		t.Error("unknown access method must fail")
+	}
+	if err := c.DropIndex("T", "t_id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("T", "t_id"); err == nil {
+		t.Error("double index drop must fail")
+	}
+	if err := c.DropIndex("NOPE", "x"); err == nil {
+		t.Error("drop on unknown table must fail")
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	mkTable(t, c, "T")
+	if err := c.CreateView("v1", []string{"A"}, "SELECT id FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView("v1", nil, "x"); err == nil {
+		t.Error("duplicate view must fail")
+	}
+	if err := c.CreateView("T", nil, "x"); err == nil {
+		t.Error("view over table name must fail")
+	}
+	if _, err := c.CreateTable("v1", testCols(), ""); err == nil {
+		t.Error("table over view name must fail")
+	}
+	v, ok := c.View("V1")
+	if !ok || v.Text != "SELECT id FROM t" {
+		t.Error("view lookup")
+	}
+	if names := c.ViewNames(); len(names) != 1 || names[0] != "V1" {
+		t.Errorf("ViewNames = %v", names)
+	}
+	if err := c.DropView("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("v1"); err == nil {
+		t.Error("double view drop must fail")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	c := New()
+	tbl := mkTable(t, c, "T")
+	for i := int64(0); i < 100; i++ {
+		name := datum.NewString("n" + string(rune('a'+i%5)))
+		c.Insert(tbl, datum.Row{datum.NewInt(i), name, datum.NewInt(i % 10)})
+	}
+	c.Analyze(tbl)
+	s := tbl.Stats
+	if s.Rows != 100 {
+		t.Errorf("Rows = %d", s.Rows)
+	}
+	if s.Pages == 0 {
+		t.Error("Pages = 0")
+	}
+	if s.ColCard[0] != 100 || s.ColCard[1] != 5 || s.ColCard[2] != 10 {
+		t.Errorf("ColCard = %v", s.ColCard)
+	}
+	if s.ColMin[0].Int() != 0 || s.ColMax[0].Int() != 99 {
+		t.Errorf("min/max = %v/%v", s.ColMin[0], s.ColMax[0])
+	}
+}
+
+func TestAnalyzeWithNulls(t *testing.T) {
+	c := New()
+	tbl := mkTable(t, c, "T")
+	c.Insert(tbl, datum.Row{datum.NewInt(1), datum.Null, datum.Null})
+	c.Insert(tbl, datum.Row{datum.NewInt(2), datum.Null, datum.NewInt(5)})
+	c.Analyze(tbl)
+	if tbl.Stats.ColCard[1] != 0 {
+		t.Error("all-NULL column has 0 distinct values")
+	}
+	if !tbl.Stats.ColMin[1].IsNull() {
+		t.Error("all-NULL min is NULL")
+	}
+	if tbl.Stats.ColCard[2] != 1 || tbl.Stats.ColMin[2].Int() != 5 {
+		t.Error("NULLs skipped in stats")
+	}
+}
+
+func TestTablePerStorageManager(t *testing.T) {
+	// Corona must route each table to its own storage manager.
+	c := New()
+	c.Storage.RegisterStorageManager(storage.NewFixedManager())
+	ht, err := c.CreateTable("H", []Column{{Name: "A", Type: datum.TInt}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := c.CreateTable("F", []Column{{Name: "A", Type: datum.TInt}}, "FIXED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.SM != "HEAP" || ft.SM != "FIXED" {
+		t.Errorf("SMs = %s, %s", ht.SM, ft.SM)
+	}
+	if _, err := c.Insert(ft, datum.Row{datum.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTreeIndexThroughCatalog(t *testing.T) {
+	c := New()
+	c.Storage.RegisterAccessMethod(storage.RTreeMethod{})
+	tbl, _ := c.CreateTable("PTS", []Column{
+		{Name: "ID", Type: datum.TInt},
+		{Name: "X", Type: datum.TFloat},
+		{Name: "Y", Type: datum.TFloat},
+	}, "")
+	for i := int64(0); i < 25; i++ {
+		c.Insert(tbl, datum.Row{datum.NewInt(i), datum.NewFloat(float64(i % 5)), datum.NewFloat(float64(i / 5))})
+	}
+	ix, err := c.CreateIndex("pts_xy", "PTS", []string{"X", "Y"}, "RTREE", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Caps.Spatial {
+		t.Error("rtree caps")
+	}
+	it := ix.At.Search(
+		storage.Include(datum.Row{datum.NewFloat(1), datum.NewFloat(1)}),
+		storage.Include(datum.Row{datum.NewFloat(2), datum.NewFloat(2)}))
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("window found %d points, want 4", n)
+	}
+}

@@ -1,0 +1,491 @@
+// Package datum implements the typed value system used throughout the
+// Starburst reproduction: the built-in SQL types (NULL, BOOL, INT, FLOAT,
+// STRING) plus externally defined types that a database customizer (DBC)
+// may register at runtime, per section 2 of the paper ("Starburst will
+// allow the definition of almost any type. Columns whose type is
+// externally defined can appear anywhere a column with built-in type can
+// appear, and functions can be defined on them.").
+//
+// Values are small immutable structs passed by value. Comparison follows
+// SQL semantics: NULL is incomparable (Compare reports it via the valid
+// flag), numeric types coerce with each other, and user-defined types
+// compare through their registered TypeDef.
+package datum
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// TypeID identifies a datum type. IDs below UserTypeBase are built in;
+// the rest are allocated by RegisterType.
+type TypeID int32
+
+// Built-in type IDs.
+const (
+	TNull TypeID = iota
+	TBool
+	TInt
+	TFloat
+	TString
+	// UserTypeBase is the first TypeID handed out to externally defined
+	// types registered by a DBC.
+	UserTypeBase TypeID = 1000
+)
+
+// Value is a single typed datum. The zero Value is NULL.
+type Value struct {
+	typ TypeID
+	b   bool
+	i   int64
+	f   float64
+	s   string
+	u   any // payload for user-defined types
+}
+
+// Null is the SQL NULL value.
+var Null = Value{typ: TNull}
+
+// NewBool returns a BOOL datum.
+func NewBool(b bool) Value { return Value{typ: TBool, b: b} }
+
+// NewInt returns an INT datum.
+func NewInt(i int64) Value { return Value{typ: TInt, i: i} }
+
+// NewFloat returns a FLOAT datum.
+func NewFloat(f float64) Value { return Value{typ: TFloat, f: f} }
+
+// NewString returns a STRING datum.
+func NewString(s string) Value { return Value{typ: TString, s: s} }
+
+// NewUser returns a datum of a registered user-defined type. The payload
+// is interpreted by the type's TypeDef.
+func NewUser(t TypeID, payload any) Value { return Value{typ: t, u: payload} }
+
+// Type reports the datum's type.
+func (v Value) Type() TypeID { return v.typ }
+
+// IsNull reports whether the datum is SQL NULL.
+func (v Value) IsNull() bool { return v.typ == TNull }
+
+// Bool returns the boolean payload; it panics on other types.
+func (v Value) Bool() bool {
+	if v.typ != TBool {
+		panic(fmt.Sprintf("datum: Bool() on %s", TypeName(v.typ)))
+	}
+	return v.b
+}
+
+// Int returns the integer payload; it panics on other types.
+func (v Value) Int() int64 {
+	if v.typ != TInt {
+		panic(fmt.Sprintf("datum: Int() on %s", TypeName(v.typ)))
+	}
+	return v.i
+}
+
+// Float returns the numeric payload as float64, coercing INT.
+func (v Value) Float() float64 {
+	switch v.typ {
+	case TFloat:
+		return v.f
+	case TInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("datum: Float() on %s", TypeName(v.typ)))
+}
+
+// Str returns the string payload; it panics on other types.
+func (v Value) Str() string {
+	if v.typ != TString {
+		panic(fmt.Sprintf("datum: Str() on %s", TypeName(v.typ)))
+	}
+	return v.s
+}
+
+// User returns the user-defined payload; it panics on built-in types.
+func (v Value) User() any {
+	if v.typ < UserTypeBase {
+		panic(fmt.Sprintf("datum: User() on %s", TypeName(v.typ)))
+	}
+	return v.u
+}
+
+// String renders the datum for display and EXPLAIN output.
+func (v Value) String() string {
+	switch v.typ {
+	case TNull:
+		return "NULL"
+	case TBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	case TInt:
+		return strconv.FormatInt(v.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TString:
+		return "'" + v.s + "'"
+	default:
+		td := lookupType(v.typ)
+		if td != nil && td.Format != nil {
+			return td.Format(v.u)
+		}
+		return fmt.Sprintf("<%s:%v>", TypeName(v.typ), v.u)
+	}
+}
+
+// TypeDef describes an externally defined type. Compare must impose a
+// total order over payloads of the type; Format renders a payload; Hash,
+// if nil, falls back to hashing the formatted text.
+type TypeDef struct {
+	Name    string
+	Compare func(a, b any) int
+	Format  func(a any) string
+	Hash    func(a any) uint64
+	// Parse converts a string literal (CAST or typed literal) into a
+	// payload. Optional.
+	Parse func(s string) (any, error)
+}
+
+var typeReg = struct {
+	sync.RWMutex
+	byID   map[TypeID]*TypeDef
+	byName map[string]TypeID
+	next   TypeID
+}{
+	byID:   map[TypeID]*TypeDef{},
+	byName: map[string]TypeID{},
+	next:   UserTypeBase,
+}
+
+// RegisterType registers an externally defined type and returns its
+// TypeID. Registering a name twice returns the existing ID with the new
+// definition installed, so tests may re-register freely.
+func RegisterType(def TypeDef) (TypeID, error) {
+	if def.Name == "" {
+		return 0, fmt.Errorf("datum: type must have a name")
+	}
+	if def.Compare == nil {
+		return 0, fmt.Errorf("datum: type %q must define Compare", def.Name)
+	}
+	typeReg.Lock()
+	defer typeReg.Unlock()
+	if id, ok := typeReg.byName[def.Name]; ok {
+		d := def
+		typeReg.byID[id] = &d
+		return id, nil
+	}
+	id := typeReg.next
+	typeReg.next++
+	d := def
+	typeReg.byID[id] = &d
+	typeReg.byName[def.Name] = id
+	return id, nil
+}
+
+// TypeByName resolves a registered user type name.
+func TypeByName(name string) (TypeID, bool) {
+	typeReg.RLock()
+	defer typeReg.RUnlock()
+	id, ok := typeReg.byName[name]
+	return id, ok
+}
+
+func lookupType(id TypeID) *TypeDef {
+	typeReg.RLock()
+	defer typeReg.RUnlock()
+	return typeReg.byID[id]
+}
+
+// RegisteredTypes returns the names of all user-defined types, sorted.
+func RegisteredTypes() []string {
+	typeReg.RLock()
+	defer typeReg.RUnlock()
+	names := make([]string, 0, len(typeReg.byName))
+	for n := range typeReg.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TypeName renders a TypeID for error messages and catalog display.
+func TypeName(t TypeID) string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TBool:
+		return "BOOL"
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "STRING"
+	}
+	if td := lookupType(t); td != nil {
+		return td.Name
+	}
+	return fmt.Sprintf("TYPE(%d)", t)
+}
+
+// TypeIDByName resolves both built-in and user-defined type names.
+func TypeIDByName(name string) (TypeID, bool) {
+	switch name {
+	case "NULL":
+		return TNull, true
+	case "BOOL", "BOOLEAN":
+		return TBool, true
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return TInt, true
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL":
+		return TFloat, true
+	case "STRING", "VARCHAR", "CHAR", "TEXT":
+		return TString, true
+	}
+	return TypeByName(name)
+}
+
+// Compatible reports whether a value of type from may be stored in a
+// column of type to (identity, or numeric coercion).
+func Compatible(from, to TypeID) bool {
+	if from == to || from == TNull {
+		return true
+	}
+	if (from == TInt || from == TFloat) && (to == TInt || to == TFloat) {
+		return true
+	}
+	return false
+}
+
+// Coerce converts v to type t when Compatible allows it.
+func Coerce(v Value, t TypeID) (Value, error) {
+	if v.typ == t || v.IsNull() {
+		return v, nil
+	}
+	switch {
+	case v.typ == TInt && t == TFloat:
+		return NewFloat(float64(v.i)), nil
+	case v.typ == TFloat && t == TInt:
+		return NewInt(int64(v.f)), nil
+	}
+	return Null, fmt.Errorf("datum: cannot coerce %s to %s", TypeName(v.typ), TypeName(t))
+}
+
+// Compare orders two datums. ok is false when either side is NULL or the
+// types are incomparable; SQL predicates treat that as UNKNOWN.
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	switch {
+	case a.typ == TInt && b.typ == TInt:
+		switch {
+		case a.i < b.i:
+			return -1, true
+		case a.i > b.i:
+			return 1, true
+		}
+		return 0, true
+	case (a.typ == TInt || a.typ == TFloat) && (b.typ == TInt || b.typ == TFloat):
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	case a.typ == TString && b.typ == TString:
+		switch {
+		case a.s < b.s:
+			return -1, true
+		case a.s > b.s:
+			return 1, true
+		}
+		return 0, true
+	case a.typ == TBool && b.typ == TBool:
+		switch {
+		case !a.b && b.b:
+			return -1, true
+		case a.b && !b.b:
+			return 1, true
+		}
+		return 0, true
+	case a.typ == b.typ && a.typ >= UserTypeBase:
+		td := lookupType(a.typ)
+		if td == nil {
+			return 0, false
+		}
+		return td.Compare(a.u, b.u), true
+	}
+	return 0, false
+}
+
+// SortCompare is a total order used by SORT and index maintenance: NULLs
+// sort first, then by type, then by Compare. Unlike Compare it never
+// reports incomparability.
+func SortCompare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if c, ok := Compare(a, b); ok {
+		return c
+	}
+	// Different incomparable types: order by TypeID for determinism.
+	switch {
+	case a.typ < b.typ:
+		return -1
+	case a.typ > b.typ:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports SQL equality; NULL = anything is not equal (UNKNOWN is
+// collapsed to false, as in a WHERE clause).
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Identical reports whether two datums are indistinguishable, treating
+// NULL as identical to NULL. Used by DISTINCT, GROUP BY and set
+// operations, which group NULLs together.
+func Identical(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	c, ok := Compare(a, b)
+	if !ok {
+		return false
+	}
+	return c == 0
+}
+
+// Hash returns a hash consistent with Identical (grouping semantics):
+// NULLs hash alike, and INT k hashes like FLOAT k so that hash joins and
+// grouping agree with comparison coercion.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	switch v.typ {
+	case TNull:
+		h.Write([]byte{0})
+	case TBool:
+		if v.b {
+			h.Write([]byte{1, 1})
+		} else {
+			h.Write([]byte{1, 0})
+		}
+	case TInt:
+		writeUint64(h, 2, math.Float64bits(float64(v.i)))
+	case TFloat:
+		writeUint64(h, 2, math.Float64bits(v.f))
+	case TString:
+		h.Write([]byte{3})
+		h.Write([]byte(v.s))
+	default:
+		td := lookupType(v.typ)
+		if td != nil && td.Hash != nil {
+			return td.Hash(v.u)
+		}
+		h.Write([]byte{4})
+		h.Write([]byte(v.String()))
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h interface{ Write([]byte) (int, error) }, tag byte, u uint64) {
+	var buf [9]byte
+	buf[0] = tag
+	for i := 0; i < 8; i++ {
+		buf[1+i] = byte(u >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// Row is a tuple of datums. Rows flow between QES operators as elements
+// of streams (section 7).
+type Row []Value
+
+// Clone returns a copy that does not alias the receiver's backing array.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns the concatenation of two rows (used by join operators
+// to build composite tuples).
+func Concat(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// HashRow hashes selected columns of a row, consistent with Identical.
+func HashRow(r Row, cols []int) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, c := range cols {
+		h = h*1099511628211 ^ Hash(r[c])
+	}
+	return h
+}
+
+// RowsEqual reports column-wise Identical over whole rows.
+func RowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Identical(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowKey builds a canonical string key for a row, used for duplicate
+// elimination in UNION/INTERSECT/EXCEPT and recursive fixpoints. It is
+// consistent with Identical: identical rows map to equal keys.
+func RowKey(r Row) string {
+	buf := make([]byte, 0, 16*len(r))
+	for _, v := range r {
+		switch v.typ {
+		case TNull:
+			buf = append(buf, 'N')
+		case TBool:
+			if v.b {
+				buf = append(buf, 'T')
+			} else {
+				buf = append(buf, 'F')
+			}
+		case TInt:
+			// Canonical numeric form shared with FLOAT.
+			buf = strconv.AppendFloat(buf, float64(v.i), 'g', -1, 64)
+		case TFloat:
+			buf = strconv.AppendFloat(buf, v.f, 'g', -1, 64)
+		case TString:
+			buf = append(buf, 's')
+			buf = strconv.AppendQuote(buf, v.s)
+		default:
+			buf = append(buf, 'u')
+			buf = append(buf, v.String()...)
+		}
+		buf = append(buf, '|')
+	}
+	return string(buf)
+}

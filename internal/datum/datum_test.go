@@ -1,0 +1,433 @@
+package datum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must be null")
+	}
+	if v := NewBool(true); !v.Bool() || v.Type() != TBool {
+		t.Fatal("bool round trip")
+	}
+	if v := NewInt(42); v.Int() != 42 || v.Type() != TInt {
+		t.Fatal("int round trip")
+	}
+	if v := NewFloat(3.5); v.Float() != 3.5 || v.Type() != TFloat {
+		t.Fatal("float round trip")
+	}
+	if v := NewString("abc"); v.Str() != "abc" || v.Type() != TString {
+		t.Fatal("string round trip")
+	}
+	if NewInt(7).Float() != 7.0 {
+		t.Fatal("Float() must coerce INT")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewInt(1).Bool() },
+		func() { NewBool(true).Int() },
+		func() { NewString("x").Float() },
+		func() { NewInt(1).Str() },
+		func() { NewInt(1).User() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null,
+		"TRUE":  NewBool(true),
+		"FALSE": NewBool(false),
+		"42":    NewInt(42),
+		"-7":    NewInt(-7),
+		"3.5":   NewFloat(3.5),
+		"'hi'":  NewString("hi"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{NewInt(1), NewInt(2), -1, true},
+		{NewInt(2), NewInt(2), 0, true},
+		{NewInt(3), NewInt(2), 1, true},
+		{NewInt(1), NewFloat(1.5), -1, true},
+		{NewFloat(2.0), NewInt(2), 0, true},
+		{NewString("a"), NewString("b"), -1, true},
+		{NewString("b"), NewString("b"), 0, true},
+		{NewBool(false), NewBool(true), -1, true},
+		{NewBool(true), NewBool(true), 0, true},
+		{Null, NewInt(1), 0, false},
+		{NewInt(1), Null, 0, false},
+		{Null, Null, 0, false},
+		{NewInt(1), NewString("1"), 0, false}, // incomparable types
+	}
+	for _, tc := range tests {
+		cmp, ok := Compare(tc.a, tc.b)
+		if ok != tc.ok || (ok && cmp != tc.cmp) {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, %v)", tc.a, tc.b, cmp, ok, tc.cmp, tc.ok)
+		}
+	}
+}
+
+func TestSortCompareTotalOrder(t *testing.T) {
+	vals := []Value{Null, NewBool(false), NewBool(true), NewInt(-1), NewInt(0),
+		NewFloat(0.5), NewInt(1), NewString(""), NewString("z")}
+	// NULL sorts first.
+	for _, v := range vals[1:] {
+		if SortCompare(Null, v) != -1 || SortCompare(v, Null) != 1 {
+			t.Errorf("NULL must sort before %v", v)
+		}
+	}
+	// Antisymmetry over all pairs.
+	for _, a := range vals {
+		for _, b := range vals {
+			if SortCompare(a, b) != -SortCompare(b, a) {
+				t.Errorf("SortCompare not antisymmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestEqualAndIdentical(t *testing.T) {
+	if Equal(Null, Null) {
+		t.Error("Equal(NULL, NULL) must be false (UNKNOWN)")
+	}
+	if !Identical(Null, Null) {
+		t.Error("Identical(NULL, NULL) must be true (grouping semantics)")
+	}
+	if !Equal(NewInt(3), NewFloat(3)) {
+		t.Error("INT 3 must equal FLOAT 3")
+	}
+	if Identical(Null, NewInt(0)) {
+		t.Error("NULL is not identical to 0")
+	}
+}
+
+func TestHashConsistentWithIdentical(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(5), NewFloat(5)},
+		{Null, Null},
+		{NewString("x"), NewString("x")},
+		{NewBool(true), NewBool(true)},
+	}
+	for _, p := range pairs {
+		if Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("Hash(%v) != Hash(%v) but values identical-compatible", p[0], p[1])
+		}
+	}
+	if Hash(NewString("a")) == Hash(NewString("b")) {
+		t.Error("suspicious collision 'a' vs 'b'")
+	}
+}
+
+func TestHashPropertyIntFloat(t *testing.T) {
+	f := func(i int32) bool {
+		a, b := NewInt(int64(i)), NewFloat(float64(i))
+		return Identical(a, b) && Hash(a) == Hash(b) && RowKey(Row{a}) == RowKey(Row{b})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparePropertyAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := Compare(NewInt(a), NewInt(b))
+		c2, ok2 := Compare(NewInt(b), NewInt(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUserDefinedType(t *testing.T) {
+	id, err := RegisterType(TypeDef{
+		Name:    "POINT_T",
+		Compare: func(a, b any) int { return int(a.(int) - b.(int)) },
+		Format:  func(a any) string { return "pt" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id < UserTypeBase {
+		t.Fatalf("user type id %d below base", id)
+	}
+	got, ok := TypeByName("POINT_T")
+	if !ok || got != id {
+		t.Fatal("TypeByName lookup failed")
+	}
+	a, b := NewUser(id, 1), NewUser(id, 2)
+	if c, ok := Compare(a, b); !ok || c >= 0 {
+		t.Errorf("user compare = (%d, %v)", c, ok)
+	}
+	if a.String() != "pt" {
+		t.Errorf("user format = %q", a.String())
+	}
+	if a.User().(int) != 1 {
+		t.Error("payload round trip")
+	}
+	// Re-registration keeps ID.
+	id2, err := RegisterType(TypeDef{Name: "POINT_T", Compare: func(a, b any) int { return 0 }})
+	if err != nil || id2 != id {
+		t.Fatalf("re-register: id %d err %v", id2, err)
+	}
+}
+
+func TestRegisterTypeErrors(t *testing.T) {
+	if _, err := RegisterType(TypeDef{Name: ""}); err == nil {
+		t.Error("empty name must fail")
+	}
+	if _, err := RegisterType(TypeDef{Name: "NOCOMPARE"}); err == nil {
+		t.Error("missing Compare must fail")
+	}
+}
+
+func TestTypeIDByName(t *testing.T) {
+	for name, want := range map[string]TypeID{
+		"INT": TInt, "INTEGER": TInt, "FLOAT": TFloat, "DOUBLE": TFloat,
+		"STRING": TString, "VARCHAR": TString, "BOOL": TBool, "NULL": TNull,
+	} {
+		got, ok := TypeIDByName(name)
+		if !ok || got != want {
+			t.Errorf("TypeIDByName(%q) = (%v,%v)", name, got, ok)
+		}
+	}
+	if _, ok := TypeIDByName("NO_SUCH_TYPE"); ok {
+		t.Error("unknown type must not resolve")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := Coerce(NewInt(3), TFloat)
+	if err != nil || v.Float() != 3.0 {
+		t.Errorf("int→float: %v %v", v, err)
+	}
+	v, err = Coerce(NewFloat(3.9), TInt)
+	if err != nil || v.Int() != 3 {
+		t.Errorf("float→int: %v %v", v, err)
+	}
+	if _, err = Coerce(NewString("x"), TInt); err == nil {
+		t.Error("string→int must fail")
+	}
+	v, err = Coerce(Null, TInt)
+	if err != nil || !v.IsNull() {
+		t.Error("NULL coerces to anything")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	if !Compatible(TInt, TFloat) || !Compatible(TNull, TString) || Compatible(TString, TInt) {
+		t.Error("Compatible matrix wrong")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	type binop func(a, b Value) (Value, error)
+	check := func(name string, op binop, a, b, want Value) {
+		t.Helper()
+		got, err := op(a, b)
+		if err != nil {
+			t.Fatalf("%s(%v,%v): %v", name, a, b, err)
+		}
+		if !Identical(got, want) {
+			t.Errorf("%s(%v,%v) = %v, want %v", name, a, b, got, want)
+		}
+	}
+	check("Add", Add, NewInt(2), NewInt(3), NewInt(5))
+	check("Add", Add, NewInt(2), NewFloat(0.5), NewFloat(2.5))
+	check("Add", Add, NewString("a"), NewString("b"), NewString("ab"))
+	check("Add", Add, Null, NewInt(1), Null)
+	check("Sub", Sub, NewInt(2), NewInt(3), NewInt(-1))
+	check("Mul", Mul, NewInt(4), NewFloat(0.25), NewFloat(1))
+	check("Div", Div, NewInt(7), NewInt(2), NewInt(3))
+	check("Div", Div, NewFloat(7), NewInt(2), NewFloat(3.5))
+	check("Mod", Mod, NewInt(7), NewInt(3), NewInt(1))
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("div by zero must error")
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Error("mod by zero must error")
+	}
+	if _, err := Add(NewBool(true), NewInt(1)); err == nil {
+		t.Error("bool+int must error")
+	}
+	if v, err := Neg(NewInt(4)); err != nil || v.Int() != -4 {
+		t.Error("neg int")
+	}
+	if v, err := Neg(NewFloat(1.5)); err != nil || v.Float() != -1.5 {
+		t.Error("neg float")
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("neg string must error")
+	}
+	if v, err := Neg(Null); err != nil || !v.IsNull() {
+		t.Error("neg null is null")
+	}
+}
+
+func TestTristateKleeneTables(t *testing.T) {
+	u, tr, fa := Unknown, True, False
+	and := [][3]Tristate{
+		{tr, tr, tr}, {tr, fa, fa}, {tr, u, u},
+		{fa, fa, fa}, {fa, u, fa}, {u, u, u},
+	}
+	for _, row := range and {
+		if row[0].And(row[1]) != row[2] || row[1].And(row[0]) != row[2] {
+			t.Errorf("AND(%v,%v) != %v", row[0], row[1], row[2])
+		}
+	}
+	or := [][3]Tristate{
+		{tr, tr, tr}, {tr, fa, tr}, {tr, u, tr},
+		{fa, fa, fa}, {fa, u, u}, {u, u, u},
+	}
+	for _, row := range or {
+		if row[0].Or(row[1]) != row[2] || row[1].Or(row[0]) != row[2] {
+			t.Errorf("OR(%v,%v) != %v", row[0], row[1], row[2])
+		}
+	}
+	if tr.Not() != fa || fa.Not() != tr || u.Not() != u {
+		t.Error("NOT table wrong")
+	}
+	if !tr.IsTrue() || fa.IsTrue() || u.IsTrue() {
+		t.Error("IsTrue collapses wrong")
+	}
+}
+
+func TestTristateDatumRoundTrip(t *testing.T) {
+	for _, ts := range []Tristate{True, False, Unknown} {
+		if TristateOf(ts.Datum()) != ts {
+			t.Errorf("round trip %v failed", ts)
+		}
+	}
+	if TristateOf(NewInt(1)) != Unknown {
+		t.Error("non-bool datum is UNKNOWN")
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].Int() != 1 {
+		t.Error("Clone must not alias")
+	}
+	j := Concat(Row{NewInt(1)}, Row{NewInt(2), NewInt(3)})
+	if len(j) != 3 || j[2].Int() != 3 {
+		t.Error("Concat wrong")
+	}
+	if !RowsEqual(Row{Null, NewInt(2)}, Row{Null, NewFloat(2)}) {
+		t.Error("RowsEqual must use Identical semantics")
+	}
+	if RowsEqual(Row{NewInt(1)}, Row{NewInt(1), NewInt(2)}) {
+		t.Error("length mismatch")
+	}
+	if HashRow(Row{NewInt(5), NewString("x")}, []int{0}) != HashRow(Row{NewFloat(5), NewString("y")}, []int{0}) {
+		t.Error("HashRow must hash only selected columns, coercing numerics")
+	}
+}
+
+func TestRowKey(t *testing.T) {
+	a := Row{NewInt(1), NewString("x|y"), Null}
+	b := Row{NewFloat(1), NewString("x|y"), Null}
+	if RowKey(a) != RowKey(b) {
+		t.Error("identical rows must share keys")
+	}
+	// Adversarial: a string containing the separator must not collide
+	// with a two-column split.
+	c := Row{NewString("a|"), NewString("b")}
+	d := Row{NewString("a"), NewString("|b")}
+	if RowKey(c) == RowKey(d) {
+		t.Error("RowKey must be injective across column boundaries")
+	}
+	if RowKey(Row{NewBool(true)}) == RowKey(Row{NewBool(false)}) {
+		t.Error("bool keys collide")
+	}
+}
+
+func TestRowKeyPropertyInjective(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		r1 := Row{NewInt(a), NewString(s1)}
+		r2 := Row{NewInt(b), NewString(s2)}
+		if RowsEqual(r1, r2) {
+			return RowKey(r1) == RowKey(r2)
+		}
+		return RowKey(r1) != RowKey(r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatEdgeCases(t *testing.T) {
+	inf := NewFloat(math.Inf(1))
+	if c, ok := Compare(NewFloat(1e308), inf); !ok || c != -1 {
+		t.Error("finite < +inf")
+	}
+	nan := NewFloat(math.NaN())
+	if c, ok := Compare(nan, nan); ok && c == 0 {
+		// NaN != NaN under IEEE; both branches of < fail so Compare says 0.
+		// Document the behaviour: treated as equal for sorting stability.
+		t.Log("NaN compares equal to NaN (documented)")
+	}
+}
+
+func TestRegisteredTypesAndTypeName(t *testing.T) {
+	id, err := RegisterType(TypeDef{
+		Name:    "LISTED_T",
+		Compare: func(a, b any) int { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := RegisteredTypes()
+	found := false
+	for _, n := range names {
+		if n == "LISTED_T" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RegisteredTypes missing LISTED_T: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatal("not sorted")
+		}
+	}
+	if TypeName(id) != "LISTED_T" {
+		t.Errorf("TypeName = %q", TypeName(id))
+	}
+	if TypeName(TypeID(99999)) == "" {
+		t.Error("unknown type renders something")
+	}
+}
+
+func TestTristateString(t *testing.T) {
+	if True.String() != "TRUE" || False.String() != "FALSE" || Unknown.String() != "UNKNOWN" {
+		t.Error("tristate strings")
+	}
+}

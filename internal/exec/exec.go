@@ -1,0 +1,252 @@
+// Package exec implements Starburst's Query Evaluation System (QES,
+// section 7 of the paper): it interprets a query evaluation plan — an
+// operator tree in the extended relational algebra — against the
+// database. Operators exchange streams of tuples implemented by lazy
+// evaluation, keeping intermediate results as small as one tuple; the
+// algebraic interface makes adding operators easy and keeps operators
+// independent of one another.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/expr"
+	"repro/internal/plan"
+)
+
+// Stream is the tuple-at-a-time iterator interface between operators.
+// Open must be callable again after Close (operators are re-runnable;
+// the recursive-union fixpoint and nested-loop inners rely on it).
+type Stream interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (datum.Row, bool, error)
+	Close(ctx *Ctx) error
+}
+
+// Ctx is the per-execution context.
+type Ctx struct {
+	Cat *catalog.Catalog
+	// Params are host-language variable bindings.
+	Params map[string]datum.Value
+	// corr is the current correlation vector (outer-query column
+	// values) for the subplan being evaluated.
+	corr datum.Row
+	// rec holds the working tables of active recursive unions, keyed
+	// by QGM box id.
+	rec map[int]*recWorkTable
+	// Affected counts rows touched by DML.
+	Affected int64
+}
+
+// NewCtx returns an execution context.
+func NewCtx(cat *catalog.Catalog, params map[string]datum.Value) *Ctx {
+	return &Ctx{Cat: cat, Params: params, rec: map[int]*recWorkTable{}}
+}
+
+// exprCtx adapts the execution context for expression evaluation; the
+// Ctx itself rides along so Subplan closures (deferred subqueries) can
+// recover it.
+func (c *Ctx) exprCtx() *expr.Context {
+	return &expr.Context{Params: c.Params, Corr: c.corr, Exec: c}
+}
+
+type recWorkTable struct {
+	delta []datum.Row
+	total []datum.Row
+	// useTotal switches RECREF reads from the delta (semi-naive, linear
+	// recursion) to the whole accumulated table (non-linear recursion).
+	useTotal bool
+}
+
+// ---------------------------------------------------------------------
+// Expression binding
+
+// bindEnv maps QGM columns to slots: local (the operator's input row)
+// and correlated (the enclosing correlation vector).
+type bindEnv struct {
+	local map[plan.ColRef]int
+	corr  map[plan.ColRef]int
+}
+
+func envFromCols(cols []plan.ColRef, corr map[plan.ColRef]int) *bindEnv {
+	e := &bindEnv{local: map[plan.ColRef]int{}, corr: corr}
+	for i, c := range cols {
+		e.local[c] = i
+	}
+	return e
+}
+
+// bind resolves every column reference in an expression to a local or
+// correlation slot.
+func (env *bindEnv) bind(e expr.Expr) (expr.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	var bindErr error
+	out := expr.Transform(e, func(x expr.Expr) expr.Expr {
+		c, ok := x.(*expr.Col)
+		if !ok {
+			return x
+		}
+		ref := plan.ColRef{QID: c.QID, Ord: c.Ord}
+		if s, ok := env.local[ref]; ok {
+			nc := *c
+			nc.Slot, nc.Corr = s, false
+			return &nc
+		}
+		if env.corr != nil {
+			if s, ok := env.corr[ref]; ok {
+				nc := *c
+				nc.Slot, nc.Corr = s, true
+				return &nc
+			}
+		}
+		if bindErr == nil {
+			bindErr = fmt.Errorf("exec: cannot bind column %s (q%d.#%d)", c.Name, c.QID, c.Ord)
+		}
+		return x
+	})
+	return out, bindErr
+}
+
+func (env *bindEnv) bindAll(es []expr.Expr) ([]expr.Expr, error) {
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		b, err := env.bind(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// evalPreds evaluates a conjunct list as a WHERE clause (UNKNOWN is
+// false).
+func evalPreds(ctx *Ctx, preds []expr.Expr, row datum.Row) (bool, error) {
+	ec := ctx.exprCtx()
+	for _, p := range preds {
+		v, err := p.Eval(ec, row)
+		if err != nil {
+			return false, err
+		}
+		if !datum.TristateOf(v).IsTrue() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------
+// Builder (plan refinement): transforms the optimizer's plan tree into
+// an executable operator tree with all expressions slot-bound.
+
+// Builder builds operator trees; DBCs may register executors for new
+// LOLEPOPs ("adding new operators to the QES has been trivial").
+type Builder struct {
+	cat *catalog.Catalog
+	// custom maps DBC operator names to their build functions.
+	custom map[string]BuildFunc
+}
+
+// BuildFunc builds a Stream for a custom plan operator; inputs are the
+// already-built child streams.
+type BuildFunc func(b *Builder, n *plan.Node, inputs []Stream, corr map[plan.ColRef]int) (Stream, error)
+
+// NewBuilder returns a builder over the catalog.
+func NewBuilder(cat *catalog.Catalog) *Builder {
+	return &Builder{cat: cat, custom: map[string]BuildFunc{}}
+}
+
+// RegisterOperator installs a custom LOLEPOP executor.
+func (b *Builder) RegisterOperator(op string, f BuildFunc) {
+	b.custom[op] = f
+}
+
+// Build refines a plan node into an executable stream. corr maps the
+// correlation columns available to this subtree.
+func (b *Builder) Build(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	switch n.Op {
+	case plan.OpScan:
+		return b.buildScan(n, corr)
+	case plan.OpIndex:
+		return b.buildIndexScan(n, corr)
+	case plan.OpAccess:
+		return b.buildAccess(n, corr)
+	case plan.OpChoose:
+		return b.buildChoose(n, corr)
+	case plan.OpFilter:
+		return b.buildFilter(n, corr)
+	case plan.OpProject:
+		return b.buildProject(n, corr)
+	case plan.OpSort:
+		return b.buildSort(n, corr)
+	case plan.OpNLJoin:
+		return b.buildNLJoin(n, corr)
+	case plan.OpHSJoin:
+		return b.buildHashJoin(n, corr)
+	case plan.OpSMJoin:
+		return b.buildMergeJoin(n, corr)
+	case plan.OpSubq:
+		return b.buildSubq(n, corr)
+	case plan.OpGroup:
+		return b.buildGroup(n, corr)
+	case plan.OpDistinct:
+		return b.buildDistinct(n, corr)
+	case plan.OpUnion, plan.OpInter, plan.OpExcept:
+		return b.buildSetOp(n, corr)
+	case plan.OpValues:
+		return b.buildValues(n, corr)
+	case plan.OpTableFn:
+		return b.buildTableFn(n, corr)
+	case plan.OpRecUnion:
+		return b.buildRecUnion(n, corr)
+	case plan.OpRecRef:
+		return &recRefOp{boxID: n.RecBoxID}, nil
+	case plan.OpLimit:
+		return b.buildLimit(n, corr)
+	case plan.OpTemp:
+		in, err := b.Build(n.Inputs[0], corr)
+		if err != nil {
+			return nil, err
+		}
+		return &tempOp{input: in}, nil
+	case plan.OpInsert:
+		return b.buildInsert(n, corr)
+	case plan.OpUpdate, plan.OpDelete:
+		return b.buildUpdateDelete(n, corr)
+	}
+	if f, ok := b.custom[n.Op]; ok {
+		var ins []Stream
+		for _, c := range n.Inputs {
+			cs, err := b.Build(c, corr)
+			if err != nil {
+				return nil, err
+			}
+			ins = append(ins, cs)
+		}
+		return f(b, n, ins, corr)
+	}
+	return nil, fmt.Errorf("exec: unknown plan operator %s", n.Op)
+}
+
+// Run drains a stream into a materialized result.
+func Run(ctx *Ctx, s Stream) ([]datum.Row, error) {
+	if err := s.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer s.Close(ctx)
+	var out []datum.Row
+	for {
+		row, ok, err := s.Next(ctx)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,1207 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datum"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// ---------------------------------------------------------------------
+// SCAN
+
+type scanOp struct {
+	rel   storage.Relation
+	preds []expr.Expr
+	it    storage.RowIterator
+}
+
+func (b *Builder) buildScan(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	env := envFromCols(n.Cols, corr)
+	preds, err := env.bindAll(n.Preds)
+	if err != nil {
+		return nil, err
+	}
+	return &scanOp{rel: n.Table.Rel, preds: preds}, nil
+}
+
+func (s *scanOp) Open(ctx *Ctx) error {
+	s.it = s.rel.Scan()
+	return nil
+}
+
+func (s *scanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	for {
+		row, _, ok := s.it.Next()
+		if !ok {
+			return nil, false, nil
+		}
+		match, err := evalPreds(ctx, s.preds, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if match {
+			return row, true, nil
+		}
+	}
+}
+
+func (s *scanOp) Close(ctx *Ctx) error {
+	if s.it != nil {
+		s.it.Close()
+		s.it = nil
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// ISCAN: index range/window access with RID fetch
+
+type indexScanOp struct {
+	rel    storage.Relation
+	at     storage.Attachment
+	lo, hi []expr.Expr
+	preds  []expr.Expr
+	it     storage.EntryIterator
+}
+
+func (b *Builder) buildIndexScan(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	env := envFromCols(n.Cols, corr)
+	preds, err := env.bindAll(n.Preds)
+	if err != nil {
+		return nil, err
+	}
+	// Bound expressions may reference only constants, parameters and
+	// correlation columns; bind against an empty local schema.
+	boundEnv := envFromCols(nil, corr)
+	lo, err := boundEnv.bindAll(n.LoVals)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := boundEnv.bindAll(n.HiVals)
+	if err != nil {
+		return nil, err
+	}
+	return &indexScanOp{rel: n.Table.Rel, at: n.Index.At, lo: lo, hi: hi, preds: preds}, nil
+}
+
+func (s *indexScanOp) Open(ctx *Ctx) error {
+	evalKey := func(es []expr.Expr) (storage.Bound, error) {
+		if len(es) == 0 {
+			return storage.Unbounded, nil
+		}
+		key := make(datum.Row, len(es))
+		allNull := true
+		for i, e := range es {
+			v, err := e.Eval(ctx.exprCtx(), nil)
+			if err != nil {
+				return storage.Bound{}, err
+			}
+			key[i] = v
+			if !v.IsNull() {
+				allNull = false
+			}
+		}
+		if allNull {
+			return storage.Unbounded, nil
+		}
+		return storage.Include(key), nil
+	}
+	lo, err := evalKey(s.lo)
+	if err != nil {
+		return err
+	}
+	hi, err := evalKey(s.hi)
+	if err != nil {
+		return err
+	}
+	s.it = s.at.Search(lo, hi)
+	return nil
+}
+
+func (s *indexScanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	for {
+		e, ok := s.it.Next()
+		if !ok {
+			return nil, false, nil
+		}
+		row, ok := s.rel.Fetch(e.RID)
+		if !ok {
+			continue // entry for a deleted record
+		}
+		match, err := evalPreds(ctx, s.preds, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if match {
+			return row, true, nil
+		}
+	}
+}
+
+func (s *indexScanOp) Close(ctx *Ctx) error {
+	if s.it != nil {
+		s.it.Close()
+		s.it = nil
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// ACCESS (identity relabel), FILTER, PROJECT, LIMIT, TEMP
+
+type passThrough struct {
+	input Stream
+}
+
+func (b *Builder) buildAccess(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	in, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	return &passThrough{input: in}, nil
+}
+
+func (p *passThrough) Open(ctx *Ctx) error { return p.input.Open(ctx) }
+func (p *passThrough) Next(ctx *Ctx) (datum.Row, bool, error) {
+	return p.input.Next(ctx)
+}
+func (p *passThrough) Close(ctx *Ctx) error { return p.input.Close(ctx) }
+
+type filterOp struct {
+	input Stream
+	preds []expr.Expr
+}
+
+func (b *Builder) buildFilter(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	in, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	env := envFromCols(n.Inputs[0].Cols, corr)
+	preds, err := env.bindAll(n.Preds)
+	if err != nil {
+		return nil, err
+	}
+	preds, err = b.refineSubplans(preds, n.Inputs[0].Cols, corr)
+	if err != nil {
+		return nil, err
+	}
+	return &filterOp{input: in, preds: preds}, nil
+}
+
+func (f *filterOp) Open(ctx *Ctx) error { return f.input.Open(ctx) }
+
+func (f *filterOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	for {
+		row, ok, err := f.input.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		match, err := evalPreds(ctx, f.preds, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if match {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *filterOp) Close(ctx *Ctx) error { return f.input.Close(ctx) }
+
+type projectOp struct {
+	input Stream
+	exprs []expr.Expr
+}
+
+func (b *Builder) buildProject(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	in, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	env := envFromCols(n.Inputs[0].Cols, corr)
+	exprs, err := env.bindAll(n.Exprs)
+	if err != nil {
+		return nil, err
+	}
+	exprs, err = b.refineSubplans(exprs, n.Inputs[0].Cols, corr)
+	if err != nil {
+		return nil, err
+	}
+	return &projectOp{input: in, exprs: exprs}, nil
+}
+
+func (p *projectOp) Open(ctx *Ctx) error { return p.input.Open(ctx) }
+
+func (p *projectOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	row, ok, err := p.input.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(datum.Row, len(p.exprs))
+	ec := ctx.exprCtx()
+	for i, e := range p.exprs {
+		v, err := e.Eval(ec, row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (p *projectOp) Close(ctx *Ctx) error { return p.input.Close(ctx) }
+
+type limitOp struct {
+	input Stream
+	nExpr expr.Expr
+	left  int64
+}
+
+func (b *Builder) buildLimit(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	in, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	env := envFromCols(nil, corr)
+	ne, err := env.bind(n.LimitExpr)
+	if err != nil {
+		return nil, err
+	}
+	return &limitOp{input: in, nExpr: ne}, nil
+}
+
+func (l *limitOp) Open(ctx *Ctx) error {
+	v, err := l.nExpr.Eval(ctx.exprCtx(), nil)
+	if err != nil {
+		return err
+	}
+	if v.Type() != datum.TInt {
+		return fmt.Errorf("exec: LIMIT must be an integer")
+	}
+	l.left = v.Int()
+	return l.input.Open(ctx)
+}
+
+func (l *limitOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if l.left <= 0 {
+		return nil, false, nil
+	}
+	row, ok, err := l.input.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.left--
+	return row, true, nil
+}
+
+func (l *limitOp) Close(ctx *Ctx) error { return l.input.Close(ctx) }
+
+// tempOp materializes its input at Open. It re-materializes on every
+// Open: a cached copy would go stale whenever the subtree depends on
+// per-execution state — correlation values of an enclosing subquery, or
+// the delta of a recursive fixpoint iteration.
+type tempOp struct {
+	input Stream
+	rows  []datum.Row
+	pos   int
+}
+
+func (t *tempOp) Open(ctx *Ctx) error {
+	t.pos = 0
+	rows, err := Run(ctx, t.input)
+	if err != nil {
+		return err
+	}
+	if rows == nil {
+		rows = []datum.Row{}
+	}
+	t.rows = rows
+	return nil
+}
+
+func (t *tempOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if t.pos >= len(t.rows) {
+		return nil, false, nil
+	}
+	r := t.rows[t.pos]
+	t.pos++
+	return r, true, nil
+}
+
+func (t *tempOp) Close(ctx *Ctx) error { return nil }
+
+// ---------------------------------------------------------------------
+// SORT
+
+type sortOp struct {
+	input Stream
+	keys  []plan.SortKey
+	rows  []datum.Row
+	pos   int
+}
+
+func (b *Builder) buildSort(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	in, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	return &sortOp{input: in, keys: n.SortKeys}, nil
+}
+
+func (s *sortOp) Open(ctx *Ctx) error {
+	rows, err := Run(ctx, s.input)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range s.keys {
+			c := datum.SortCompare(rows[i][k.Slot], rows[j][k.Slot])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows, s.pos = rows, 0
+	return nil
+}
+
+func (s *sortOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sortOp) Close(ctx *Ctx) error {
+	s.rows = nil
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Joins. The join method (nested-loop, hash, merge) is the control
+// structure; the join kind (regular, leftouter, ...) is the function
+// performed, passed as a parameter — section 7's separation.
+
+type nlJoinOp struct {
+	left, right Stream
+	kind        string
+	pred        expr.Expr
+	rightWidth  int
+
+	inner    []datum.Row
+	leftRow  datum.Row
+	ri       int
+	matched  bool
+	emitNull bool
+}
+
+func (b *Builder) buildNLJoin(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	l, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.Build(n.Inputs[1], corr)
+	if err != nil {
+		return nil, err
+	}
+	env := envFromCols(n.Cols, corr)
+	pred, err := env.bind(n.JoinPred)
+	if err != nil {
+		return nil, err
+	}
+	return &nlJoinOp{
+		left: l, right: &tempOp{input: r}, kind: n.JoinKind,
+		pred: pred, rightWidth: len(n.Inputs[1].Cols),
+	}, nil
+}
+
+func (j *nlJoinOp) Open(ctx *Ctx) error {
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	rows, err := Run(ctx, j.right)
+	if err != nil {
+		return err
+	}
+	j.inner = rows
+	j.leftRow = nil
+	j.ri = 0
+	return nil
+}
+
+func (j *nlJoinOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	ec := ctx.exprCtx()
+	for {
+		if j.leftRow == nil {
+			row, ok, err := j.left.Next(ctx)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.leftRow = row
+			j.ri = 0
+			j.matched = false
+		}
+		for j.ri < len(j.inner) {
+			r := j.inner[j.ri]
+			j.ri++
+			out := datum.Concat(j.leftRow, r)
+			if j.pred != nil {
+				v, err := j.pred.Eval(ec, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !datum.TristateOf(v).IsTrue() {
+					continue
+				}
+			}
+			j.matched = true
+			return out, true, nil
+		}
+		// Exhausted inner for this left row.
+		if j.kind == plan.KindLeftOuter && !j.matched {
+			nulls := make(datum.Row, j.rightWidth)
+			for i := range nulls {
+				nulls[i] = datum.Null
+			}
+			out := datum.Concat(j.leftRow, nulls)
+			j.leftRow = nil
+			return out, true, nil
+		}
+		j.leftRow = nil
+	}
+}
+
+func (j *nlJoinOp) Close(ctx *Ctx) error {
+	j.inner = nil
+	j.left.Close(ctx)
+	return j.right.Close(ctx)
+}
+
+type hashJoinOp struct {
+	left, right  Stream
+	kind         string
+	lKeys, rKeys []int
+	pred         expr.Expr
+	rightWidth   int
+
+	table   map[uint64][]datum.Row
+	leftRow datum.Row
+	bucket  []datum.Row
+	bi      int
+	matched bool
+}
+
+func (b *Builder) buildHashJoin(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	l, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.Build(n.Inputs[1], corr)
+	if err != nil {
+		return nil, err
+	}
+	env := envFromCols(n.Cols, corr)
+	pred, err := env.bind(n.JoinPred)
+	if err != nil {
+		return nil, err
+	}
+	return &hashJoinOp{
+		left: l, right: r, kind: n.JoinKind,
+		lKeys: n.EquiLeft, rKeys: n.EquiRight,
+		pred: pred, rightWidth: len(n.Inputs[1].Cols),
+	}, nil
+}
+
+func (j *hashJoinOp) Open(ctx *Ctx) error {
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	rows, err := Run(ctx, j.right)
+	if err != nil {
+		return err
+	}
+	j.table = map[uint64][]datum.Row{}
+	for _, r := range rows {
+		// NULL keys never match under = ; skip build rows with NULLs.
+		hasNull := false
+		for _, k := range j.rKeys {
+			if r[k].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			continue
+		}
+		h := datum.HashRow(r, j.rKeys)
+		j.table[h] = append(j.table[h], r)
+	}
+	j.leftRow = nil
+	return nil
+}
+
+func (j *hashJoinOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	ec := ctx.exprCtx()
+	for {
+		if j.leftRow == nil {
+			row, ok, err := j.left.Next(ctx)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.leftRow = row
+			j.matched = false
+			hasNull := false
+			for _, k := range j.lKeys {
+				if row[k].IsNull() {
+					hasNull = true
+					break
+				}
+			}
+			if hasNull {
+				j.bucket = nil
+			} else {
+				j.bucket = j.table[datum.HashRow(row, j.lKeys)]
+			}
+			j.bi = 0
+		}
+		for j.bi < len(j.bucket) {
+			r := j.bucket[j.bi]
+			j.bi++
+			eq := true
+			for i := range j.lKeys {
+				if !datum.Equal(j.leftRow[j.lKeys[i]], r[j.rKeys[i]]) {
+					eq = false
+					break
+				}
+			}
+			if !eq {
+				continue
+			}
+			out := datum.Concat(j.leftRow, r)
+			if j.pred != nil {
+				v, err := j.pred.Eval(ec, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !datum.TristateOf(v).IsTrue() {
+					continue
+				}
+			}
+			j.matched = true
+			return out, true, nil
+		}
+		if j.kind == plan.KindLeftOuter && !j.matched {
+			nulls := make(datum.Row, j.rightWidth)
+			for i := range nulls {
+				nulls[i] = datum.Null
+			}
+			out := datum.Concat(j.leftRow, nulls)
+			j.leftRow = nil
+			return out, true, nil
+		}
+		j.leftRow = nil
+	}
+}
+
+func (j *hashJoinOp) Close(ctx *Ctx) error {
+	j.table = nil
+	j.left.Close(ctx)
+	return j.right.Close(ctx)
+}
+
+type mergeJoinOp struct {
+	left, right  Stream
+	lKeys, rKeys []int
+	pred         expr.Expr
+
+	lRows, rRows []datum.Row
+	li, rj       int
+	group        []datum.Row // right rows matching current left key
+	gi           int
+	lRow         datum.Row
+}
+
+func (b *Builder) buildMergeJoin(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	l, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.Build(n.Inputs[1], corr)
+	if err != nil {
+		return nil, err
+	}
+	env := envFromCols(n.Cols, corr)
+	pred, err := env.bind(n.JoinPred)
+	if err != nil {
+		return nil, err
+	}
+	return &mergeJoinOp{left: l, right: r, lKeys: n.EquiLeft, rKeys: n.EquiRight, pred: pred}, nil
+}
+
+func (j *mergeJoinOp) Open(ctx *Ctx) error {
+	var err error
+	j.lRows, err = Run(ctx, j.left)
+	if err != nil {
+		return err
+	}
+	j.rRows, err = Run(ctx, j.right)
+	if err != nil {
+		return err
+	}
+	j.li, j.rj, j.group, j.gi, j.lRow = 0, 0, nil, 0, nil
+	return nil
+}
+
+func (j *mergeJoinOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	ec := ctx.exprCtx()
+	for {
+		if j.lRow != nil && j.gi < len(j.group) {
+			r := j.group[j.gi]
+			j.gi++
+			out := datum.Concat(j.lRow, r)
+			if j.pred != nil {
+				v, err := j.pred.Eval(ec, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !datum.TristateOf(v).IsTrue() {
+					continue
+				}
+			}
+			return out, true, nil
+		}
+		// Advance left; rebuild group when the key changes.
+		if j.li >= len(j.lRows) {
+			return nil, false, nil
+		}
+		prev := j.lRow
+		j.lRow = j.lRows[j.li]
+		j.li++
+		// NULL join keys never match.
+		hasNull := false
+		for _, k := range j.lKeys {
+			if j.lRow[k].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			j.group, j.gi = nil, 0
+			j.lRow = nil
+			continue
+		}
+		if prev != nil && sameLeftKey(prev, j.lRow, j.lKeys) {
+			// Same key as previous left row: reuse the group.
+			j.gi = 0
+			continue
+		}
+		// Advance right pointer to the first row >= left key.
+		for j.rj < len(j.rRows) && j.keyCmpRight(j.rRows[j.rj]) < 0 {
+			j.rj++
+		}
+		j.group = nil
+		for k := j.rj; k < len(j.rRows) && j.keyCmpRight(j.rRows[k]) == 0; k++ {
+			j.group = append(j.group, j.rRows[k])
+		}
+		j.gi = 0
+	}
+}
+
+// keyCmpRight compares right row keys against the current left row key:
+// negative when right < left.
+func (j *mergeJoinOp) keyCmpRight(r datum.Row) int {
+	for i := range j.lKeys {
+		if c := datum.SortCompare(r[j.rKeys[i]], j.lRow[j.lKeys[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// sameLeftKey reports whether two left rows share their join key.
+func sameLeftKey(a, b datum.Row, keys []int) bool {
+	for _, k := range keys {
+		if datum.SortCompare(a[k], b[k]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *mergeJoinOp) Close(ctx *Ctx) error {
+	j.lRows, j.rRows, j.group = nil, nil, nil
+	j.left.Close(ctx)
+	return j.right.Close(ctx)
+}
+
+// ---------------------------------------------------------------------
+// GROUP, DISTINCT, set operations
+
+type groupOp struct {
+	input     Stream
+	groupCols []int
+	aggs      []*expr.AggCall
+	argExprs  []expr.Expr
+
+	out []datum.Row
+	pos int
+}
+
+func (b *Builder) buildGroup(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	in, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	env := envFromCols(n.Inputs[0].Cols, corr)
+	args := make([]expr.Expr, len(n.Aggs))
+	for i, a := range n.Aggs {
+		bound, err := env.bind(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = bound
+	}
+	return &groupOp{input: in, groupCols: n.GroupCols, aggs: n.Aggs, argExprs: args}, nil
+}
+
+func (g *groupOp) Open(ctx *Ctx) error {
+	type groupState struct {
+		key      datum.Row
+		states   []expr.AggState
+		distinct []map[string]bool
+	}
+	groups := map[string]*groupState{}
+	var order []string
+	newState := func(key datum.Row) *groupState {
+		gs := &groupState{key: key, states: make([]expr.AggState, len(g.aggs)),
+			distinct: make([]map[string]bool, len(g.aggs))}
+		for i, a := range g.aggs {
+			gs.states[i] = a.Fn.NewState()
+			if a.Distinct {
+				gs.distinct[i] = map[string]bool{}
+			}
+		}
+		return gs
+	}
+	if err := g.input.Open(ctx); err != nil {
+		return err
+	}
+	defer g.input.Close(ctx)
+	ec := ctx.exprCtx()
+	for {
+		row, ok, err := g.input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := make(datum.Row, len(g.groupCols))
+		for i, c := range g.groupCols {
+			key[i] = row[c]
+		}
+		k := datum.RowKey(key)
+		gs := groups[k]
+		if gs == nil {
+			gs = newState(key)
+			groups[k] = gs
+			order = append(order, k)
+		}
+		for i := range g.aggs {
+			v, err := g.argExprs[i].Eval(ec, row)
+			if err != nil {
+				return err
+			}
+			if gs.distinct[i] != nil {
+				dk := datum.RowKey(datum.Row{v})
+				if gs.distinct[i][dk] {
+					continue
+				}
+				gs.distinct[i][dk] = true
+			}
+			if err := gs.states[i].Add(v); err != nil {
+				return err
+			}
+		}
+	}
+	// Scalar aggregation produces one row even for empty input.
+	if len(groups) == 0 && len(g.groupCols) == 0 {
+		gs := newState(nil)
+		groups[""] = gs
+		order = append(order, "")
+	}
+	g.out = nil
+	for _, k := range order {
+		gs := groups[k]
+		row := make(datum.Row, 0, len(g.groupCols)+len(g.aggs))
+		row = append(row, gs.key...)
+		for i := range g.aggs {
+			row = append(row, gs.states[i].Result())
+		}
+		g.out = append(g.out, row)
+	}
+	g.pos = 0
+	return nil
+}
+
+func (g *groupOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if g.pos >= len(g.out) {
+		return nil, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+func (g *groupOp) Close(ctx *Ctx) error {
+	g.out = nil
+	return nil
+}
+
+type distinctOp struct {
+	input Stream
+	seen  map[string]bool
+}
+
+func (b *Builder) buildDistinct(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	in, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	return &distinctOp{input: in}, nil
+}
+
+func (d *distinctOp) Open(ctx *Ctx) error {
+	d.seen = map[string]bool{}
+	return d.input.Open(ctx)
+}
+
+func (d *distinctOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	for {
+		row, ok, err := d.input.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := datum.RowKey(row)
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return row, true, nil
+	}
+}
+
+func (d *distinctOp) Close(ctx *Ctx) error {
+	d.seen = nil
+	return d.input.Close(ctx)
+}
+
+// setOp implements UNION / INTERSECT / EXCEPT with ALL (bag) and
+// DISTINCT (set) semantics.
+type setOp struct {
+	op     string
+	all    bool
+	inputs []Stream
+	out    []datum.Row
+	pos    int
+}
+
+func (b *Builder) buildSetOp(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	var ins []Stream
+	for _, c := range n.Inputs {
+		s, err := b.Build(c, corr)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, s)
+	}
+	return &setOp{op: n.Op, all: n.All, inputs: ins}, nil
+}
+
+func (s *setOp) Open(ctx *Ctx) error {
+	collect := func(st Stream) ([]datum.Row, error) { return Run(ctx, st) }
+	switch s.op {
+	case plan.OpUnion:
+		var rows []datum.Row
+		for _, in := range s.inputs {
+			r, err := collect(in)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r...)
+		}
+		if !s.all {
+			rows = dedup(rows)
+		}
+		s.out = rows
+	case plan.OpInter, plan.OpExcept:
+		left, err := collect(s.inputs[0])
+		if err != nil {
+			return err
+		}
+		counts := map[string]int{}
+		for i := 1; i < len(s.inputs); i++ {
+			r, err := collect(s.inputs[i])
+			if err != nil {
+				return err
+			}
+			for _, row := range r {
+				counts[datum.RowKey(row)]++
+			}
+		}
+		var rows []datum.Row
+		if s.op == plan.OpInter {
+			for _, row := range left {
+				k := datum.RowKey(row)
+				if counts[k] > 0 {
+					if s.all {
+						counts[k]--
+					}
+					rows = append(rows, row)
+				}
+			}
+		} else {
+			for _, row := range left {
+				k := datum.RowKey(row)
+				if counts[k] > 0 {
+					if s.all {
+						counts[k]--
+						continue
+					}
+					continue
+				}
+				rows = append(rows, row)
+			}
+		}
+		if !s.all {
+			rows = dedup(rows)
+		}
+		s.out = rows
+	}
+	s.pos = 0
+	return nil
+}
+
+func dedup(rows []datum.Row) []datum.Row {
+	seen := map[string]bool{}
+	var out []datum.Row
+	for _, r := range rows {
+		k := datum.RowKey(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func (s *setOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if s.pos >= len(s.out) {
+		return nil, false, nil
+	}
+	r := s.out[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *setOp) Close(ctx *Ctx) error {
+	s.out = nil
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// VALUES, TABLEFN
+
+type valuesOp struct {
+	rows [][]expr.Expr
+	pos  int
+}
+
+func (b *Builder) buildValues(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	env := envFromCols(nil, corr)
+	rows := make([][]expr.Expr, len(n.Rows))
+	for i, r := range n.Rows {
+		br, err := env.bindAll(r)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = br
+	}
+	return &valuesOp{rows: rows}, nil
+}
+
+func (v *valuesOp) Open(ctx *Ctx) error {
+	v.pos = 0
+	return nil
+}
+
+func (v *valuesOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if v.pos >= len(v.rows) {
+		return nil, false, nil
+	}
+	es := v.rows[v.pos]
+	v.pos++
+	out := make(datum.Row, len(es))
+	ec := ctx.exprCtx()
+	for i, e := range es {
+		val, err := e.Eval(ec, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = val
+	}
+	return out, true, nil
+}
+
+func (v *valuesOp) Close(ctx *Ctx) error { return nil }
+
+type tableFnOp struct {
+	fn     *expr.TableFunc
+	args   []expr.Expr
+	inputs []Stream
+	inCols [][]expr.ColumnDef
+
+	out []datum.Row
+	pos int
+}
+
+func (b *Builder) buildTableFn(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	var ins []Stream
+	var inCols [][]expr.ColumnDef
+	for _, c := range n.Inputs {
+		s, err := b.Build(c, corr)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, s)
+		var defs []expr.ColumnDef
+		for i, cr := range c.Cols {
+			defs = append(defs, expr.ColumnDef{Name: fmt.Sprintf("C%d_%d", cr.QID, i), Type: c.Types[i]})
+		}
+		inCols = append(inCols, defs)
+	}
+	env := envFromCols(nil, corr)
+	args, err := env.bindAll(n.TFArgs)
+	if err != nil {
+		return nil, err
+	}
+	return &tableFnOp{fn: n.TableFn, args: args, inputs: ins, inCols: inCols}, nil
+}
+
+func (t *tableFnOp) Open(ctx *Ctx) error {
+	var rels []*expr.Relation
+	for i, in := range t.inputs {
+		rows, err := Run(ctx, in)
+		if err != nil {
+			return err
+		}
+		rels = append(rels, &expr.Relation{Cols: t.inCols[i], Rows: rows})
+	}
+	var scalars []datum.Value
+	ec := ctx.exprCtx()
+	for _, a := range t.args {
+		v, err := a.Eval(ec, nil)
+		if err != nil {
+			return err
+		}
+		scalars = append(scalars, v)
+	}
+	out, err := t.fn.Eval(rels, scalars)
+	if err != nil {
+		return err
+	}
+	t.out, t.pos = out.Rows, 0
+	return nil
+}
+
+func (t *tableFnOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if t.pos >= len(t.out) {
+		return nil, false, nil
+	}
+	r := t.out[t.pos]
+	t.pos++
+	return r, true, nil
+}
+
+func (t *tableFnOp) Close(ctx *Ctx) error {
+	t.out = nil
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// CHOOSE: the runtime form of the rewrite phase's CHOOSE operation
+// (section 5): alternatives guarded by predicates over host-language
+// parameters; the first alternative whose guard holds at Open is
+// executed, the last is the default.
+
+type chooseOp struct {
+	alts   []Stream
+	conds  []expr.Expr
+	active Stream
+}
+
+func (b *Builder) buildChoose(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	var alts []Stream
+	for _, c := range n.Inputs {
+		s, err := b.Build(c, corr)
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, s)
+	}
+	env := envFromCols(nil, corr)
+	conds, err := env.bindAll(n.Exprs)
+	if err != nil {
+		return nil, err
+	}
+	if len(alts) == 1 {
+		return alts[0], nil
+	}
+	return &chooseOp{alts: alts, conds: conds}, nil
+}
+
+func (c *chooseOp) Open(ctx *Ctx) error {
+	c.active = c.alts[len(c.alts)-1] // default: last alternative
+	ec := ctx.exprCtx()
+	for i, alt := range c.alts {
+		if i >= len(c.conds) || c.conds[i] == nil {
+			continue
+		}
+		v, err := c.conds[i].Eval(ec, nil)
+		if err != nil {
+			return err
+		}
+		if datum.TristateOf(v).IsTrue() {
+			c.active = alt
+			break
+		}
+	}
+	return c.active.Open(ctx)
+}
+
+func (c *chooseOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	return c.active.Next(ctx)
+}
+
+func (c *chooseOp) Close(ctx *Ctx) error {
+	if c.active != nil {
+		return c.active.Close(ctx)
+	}
+	return nil
+}

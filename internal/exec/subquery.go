@@ -1,0 +1,650 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// subqCache implements the "evaluate-on-demand" mechanism of section 7:
+// subqueries are evaluated only when needed, and re-evaluation is
+// avoided when the correlation values have not changed. The cache keys
+// materialized inner results by correlation-vector value.
+type subqCache struct {
+	entries map[string][]datum.Row
+	// Hits/Misses are exposed for the evaluate-on-demand experiment.
+	Hits, Misses int64
+	cap          int
+}
+
+func newSubqCache() *subqCache {
+	return &subqCache{entries: map[string][]datum.Row{}, cap: 4096}
+}
+
+func (c *subqCache) get(key string) ([]datum.Row, bool) {
+	r, ok := c.entries[key]
+	if ok {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+	return r, ok
+}
+
+func (c *subqCache) put(key string, rows []datum.Row) {
+	if len(c.entries) >= c.cap {
+		// Simple reset; correlation values usually cluster, so a full
+		// reset is rare and keeps the structure trivial.
+		c.entries = map[string][]datum.Row{}
+	}
+	if rows == nil {
+		rows = []datum.Row{}
+	}
+	c.entries[key] = rows
+}
+
+// runSubplan evaluates an inner plan under a correlation vector,
+// caching by correlation value.
+type subplanRunner struct {
+	inner Stream
+	cache *subqCache
+}
+
+func (r *subplanRunner) rows(ctx *Ctx, corr datum.Row) ([]datum.Row, error) {
+	key := datum.RowKey(corr)
+	if rows, ok := r.cache.get(key); ok {
+		return rows, nil
+	}
+	saved := ctx.corr
+	ctx.corr = corr
+	rows, err := Run(ctx, r.inner)
+	ctx.corr = saved
+	if err != nil {
+		return nil, err
+	}
+	r.cache.put(key, rows)
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// SUBQ: applies a subquery quantifier to each outer tuple. The join
+// kind is a parameter (exists / op-all / scalar-subquery / custom set
+// predicates), separated from the (nested-loop) control structure.
+
+type subqOp struct {
+	input    Stream
+	runner   *subplanRunner
+	kind     string
+	negated  bool
+	setPred  string
+	preds    []expr.Expr // evaluated over concat(outer, inner element)
+	corrRefs []expr.Expr // evaluated over the outer row
+	innerW   int
+	builder  *Builder
+	setReg   setPredLookup
+	// pending buffers multi-row emissions (lateral kind).
+	pending []datum.Row
+}
+
+type setPredLookup interface {
+	SetPredicate(name string) *expr.SetPredicateFunc
+}
+
+func (b *Builder) buildSubq(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	in, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	// The inner plan sees a fresh correlation environment: its vector
+	// is built per outer row from CorrCols.
+	innerCorr := map[plan.ColRef]int{}
+	for i, cr := range n.CorrCols {
+		innerCorr[cr] = i
+	}
+	inner, err := b.Build(n.Inputs[1], innerCorr)
+	if err != nil {
+		return nil, err
+	}
+	// CorrCols are resolved against the outer row (or the enclosing
+	// correlation).
+	outerEnv := envFromCols(n.Inputs[0].Cols, corr)
+	corrRefs := make([]expr.Expr, len(n.CorrCols))
+	for i, cr := range n.CorrCols {
+		ref, err := outerEnv.bind(expr.NewCol(cr.QID, cr.Ord, fmt.Sprintf("corr q%d.#%d", cr.QID, cr.Ord), 0))
+		if err != nil {
+			return nil, err
+		}
+		corrRefs[i] = ref
+	}
+	// Linking predicates see outer slots then inner slots.
+	predCols := append(append([]plan.ColRef(nil), n.Inputs[0].Cols...), n.Inputs[1].Cols...)
+	// Relabel inner slots as the quantifier's columns.
+	for i := range n.Inputs[1].Cols {
+		predCols[len(n.Inputs[0].Cols)+i] = plan.ColRef{QID: n.QID, Ord: i}
+	}
+	predEnv := envFromCols(predCols, corr)
+	preds, err := predEnv.bindAll(n.Preds)
+	if err != nil {
+		return nil, err
+	}
+	return &subqOp{
+		input:    in,
+		runner:   &subplanRunner{inner: inner, cache: newSubqCache()},
+		kind:     n.JoinKind,
+		negated:  n.Negated,
+		setPred:  n.SetPred,
+		preds:    preds,
+		corrRefs: corrRefs,
+		innerW:   len(n.Inputs[1].Cols),
+		builder:  b,
+		setReg:   b.cat.Funcs,
+	}, nil
+}
+
+func (s *subqOp) Open(ctx *Ctx) error {
+	s.runner.cache = newSubqCache()
+	s.pending = nil
+	return s.input.Open(ctx)
+}
+
+func (s *subqOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	ec := ctx.exprCtx()
+	for {
+		if len(s.pending) > 0 {
+			out := s.pending[0]
+			s.pending = s.pending[1:]
+			return out, true, nil
+		}
+		row, ok, err := s.input.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		// Build the correlation vector for this outer tuple.
+		corr := make(datum.Row, len(s.corrRefs))
+		for i, r := range s.corrRefs {
+			v, err := r.Eval(ec, row)
+			if err != nil {
+				return nil, false, err
+			}
+			corr[i] = v
+		}
+		inner, err := s.runner.rows(ctx, corr)
+		if err != nil {
+			return nil, false, err
+		}
+		if s.kind == plan.KindLateral {
+			// Correlated derived table: emit the concatenation of the
+			// outer tuple with every qualifying inner tuple.
+			for _, ir := range inner {
+				out := datum.Concat(row, ir)
+				match, err := evalPreds(ctx, s.preds, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if match {
+					s.pending = append(s.pending, out)
+				}
+			}
+			continue
+		}
+		if s.kind == plan.KindScalarSub {
+			switch len(inner) {
+			case 0:
+				nulls := make(datum.Row, s.innerW)
+				for i := range nulls {
+					nulls[i] = datum.Null
+				}
+				return datum.Concat(row, nulls), true, nil
+			case 1:
+				return datum.Concat(row, inner[0]), true, nil
+			default:
+				return nil, false, fmt.Errorf("exec: scalar subquery returned %d rows", len(inner))
+			}
+		}
+		// Set-predicate fold (exists/op-all/custom): the quantifier's
+		// set predicate function folds the linking predicate's truth
+		// value over the subquery elements.
+		spName := s.setPred
+		if spName == "" {
+			spName = "ANY"
+		}
+		sp := s.setReg.SetPredicate(spName)
+		if sp == nil {
+			return nil, false, fmt.Errorf("exec: unknown set predicate %s", spName)
+		}
+		st := sp.NewState()
+		for _, ir := range inner {
+			both := datum.Concat(row, ir)
+			t := datum.True
+			for _, p := range s.preds {
+				v, err := p.Eval(ec, both)
+				if err != nil {
+					return nil, false, err
+				}
+				t = t.And(datum.TristateOf(v))
+				if t == datum.False {
+					break
+				}
+			}
+			st.Add(t)
+			if st.Decided() {
+				break
+			}
+		}
+		res := st.Result()
+		if s.negated {
+			res = res.Not()
+		}
+		if res.IsTrue() {
+			return row, true, nil
+		}
+	}
+}
+
+func (s *subqOp) Close(ctx *Ctx) error { return s.input.Close(ctx) }
+
+// ---------------------------------------------------------------------
+// Deferred subplans (OR-of-subquery predicates): refineSubplans installs
+// Run closures on expr.Subplan nodes, completing the paper's OR-operator
+// machinery — each disjunct's subquery is evaluated on demand with
+// caching, so a tuple rejected by the cheap disjunct is "handed over"
+// to the subquery disjunct for further consideration.
+func (b *Builder) refineSubplans(exprs []expr.Expr, inputCols []plan.ColRef, corr map[plan.ColRef]int) ([]expr.Expr, error) {
+	env := envFromCols(inputCols, corr)
+	out := make([]expr.Expr, len(exprs))
+	for i, e := range exprs {
+		var firstErr error
+		out[i] = expr.Transform(e, func(x expr.Expr) expr.Expr {
+			sp, ok := x.(*expr.Subplan)
+			if !ok {
+				return x
+			}
+			info, ok := sp.Aux.(*plan.SubplanInfo)
+			if !ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("exec: subplan %s was not compiled", sp.Label)
+				}
+				return x
+			}
+			closure, err := b.subplanClosure(info, env, corr)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return x
+			}
+			return &expr.Subplan{Label: sp.Label, Typ: sp.Typ, Run: closure}
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	return out, nil
+}
+
+func (b *Builder) subplanClosure(info *plan.SubplanInfo, env *bindEnv, corr map[plan.ColRef]int) (func(*expr.Context, datum.Row) (datum.Value, error), error) {
+	innerCorr := map[plan.ColRef]int{}
+	for i, cr := range info.CorrCols {
+		innerCorr[cr] = i
+	}
+	inner, err := b.Build(info.Plan, innerCorr)
+	if err != nil {
+		return nil, err
+	}
+	corrRefs := make([]expr.Expr, len(info.CorrCols))
+	for i, cr := range info.CorrCols {
+		ref, err := env.bind(expr.NewCol(cr.QID, cr.Ord, "corr", 0))
+		if err != nil {
+			return nil, err
+		}
+		corrRefs[i] = ref
+	}
+	var lhs expr.Expr
+	if info.Lhs != nil {
+		lhs, err = env.bind(info.Lhs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	runner := &subplanRunner{inner: inner, cache: newSubqCache()}
+	mode, negated := info.Mode, info.Negated
+	return func(callerEC *expr.Context, outer datum.Row) (datum.Value, error) {
+		// Closures run inside expression evaluation; the executor's
+		// context rides along in expr.Context.Exec.
+		ctx, _ := callerEC.Exec.(*Ctx)
+		if ctx == nil {
+			return datum.Null, fmt.Errorf("exec: subplan evaluated outside an execution context")
+		}
+		ec := callerEC
+		cv := make(datum.Row, len(corrRefs))
+		for i, r := range corrRefs {
+			v, err := r.Eval(ec, outer)
+			if err != nil {
+				return datum.Null, err
+			}
+			cv[i] = v
+		}
+		rows, err := runner.rows(ctx, cv)
+		if err != nil {
+			return datum.Null, err
+		}
+		switch mode {
+		case "SCALAR":
+			switch len(rows) {
+			case 0:
+				return datum.Null, nil
+			case 1:
+				return rows[0][0], nil
+			default:
+				return datum.Null, fmt.Errorf("exec: scalar subquery returned %d rows", len(rows))
+			}
+		case "EXISTS":
+			res := len(rows) > 0
+			if negated {
+				res = !res
+			}
+			return datum.NewBool(res), nil
+		case "IN":
+			lv, err := lhs.Eval(ec, outer)
+			if err != nil {
+				return datum.Null, err
+			}
+			res := datum.False
+			for _, r := range rows {
+				eq, err := expr.EvalCmp(expr.OpEq, lv, r[0])
+				if err != nil {
+					return datum.Null, err
+				}
+				res = res.Or(datum.TristateOf(eq))
+				if res == datum.True {
+					break
+				}
+			}
+			if negated {
+				res = res.Not()
+			}
+			return res.Datum(), nil
+		}
+		return datum.Null, fmt.Errorf("exec: unknown subplan mode %s", mode)
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+// Recursion: RECUNION computes the fixpoint of its recursive branches,
+// RECREF reads the working table.
+
+type recUnionOp struct {
+	seed, rec Stream
+	boxID     int
+	linear    bool // exactly one RECREF → semi-naive (delta) evaluation
+
+	out []datum.Row
+	pos int
+}
+
+func (b *Builder) buildRecUnion(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	seed, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := b.Build(n.Inputs[1], corr)
+	if err != nil {
+		return nil, err
+	}
+	// Count recursive references to decide delta vs total evaluation.
+	refs := 0
+	plan.Walk(n.Inputs[1], func(x *plan.Node) bool {
+		if x.Op == plan.OpRecRef && x.RecBoxID == n.RecBoxID {
+			refs++
+		}
+		return true
+	})
+	return &recUnionOp{seed: seed, rec: rec, boxID: n.RecBoxID, linear: refs == 1}, nil
+}
+
+func (r *recUnionOp) Open(ctx *Ctx) error {
+	const maxIterations = 1_000_000
+	seen := map[string]bool{}
+	var total []datum.Row
+	add := func(rows []datum.Row) []datum.Row {
+		var fresh []datum.Row
+		for _, row := range rows {
+			k := datum.RowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			total = append(total, row)
+			fresh = append(fresh, row)
+		}
+		return fresh
+	}
+	seedRows, err := Run(ctx, r.seed)
+	if err != nil {
+		return err
+	}
+	delta := add(seedRows)
+	wt := &recWorkTable{useTotal: !r.linear}
+	prev := ctx.rec[r.boxID]
+	ctx.rec[r.boxID] = wt
+	defer func() { ctx.rec[r.boxID] = prev }()
+
+	for iter := 0; len(delta) > 0; iter++ {
+		if iter > maxIterations {
+			return fmt.Errorf("exec: recursive query exceeded %d iterations", maxIterations)
+		}
+		wt.delta = delta
+		wt.total = total
+		rows, err := Run(ctx, r.rec)
+		if err != nil {
+			return err
+		}
+		delta = add(rows)
+	}
+	r.out, r.pos = total, 0
+	return nil
+}
+
+func (r *recUnionOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if r.pos >= len(r.out) {
+		return nil, false, nil
+	}
+	row := r.out[r.pos]
+	r.pos++
+	return row, true, nil
+}
+
+func (r *recUnionOp) Close(ctx *Ctx) error {
+	r.out = nil
+	return nil
+}
+
+type recRefOp struct {
+	boxID int
+	rows  []datum.Row
+	pos   int
+}
+
+func (r *recRefOp) Open(ctx *Ctx) error {
+	wt := ctx.rec[r.boxID]
+	if wt == nil {
+		return fmt.Errorf("exec: recursive reference outside its fixpoint (box %d)", r.boxID)
+	}
+	if wt.useTotal {
+		r.rows = wt.total
+	} else {
+		r.rows = wt.delta
+	}
+	r.pos = 0
+	return nil
+}
+
+func (r *recRefOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if r.pos >= len(r.rows) {
+		return nil, false, nil
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, true, nil
+}
+
+func (r *recRefOp) Close(ctx *Ctx) error { return nil }
+
+// ---------------------------------------------------------------------
+// DML executors. Updates and deletes run in two phases (identify, then
+// apply) to avoid the Halloween problem of re-visiting freshly updated
+// records.
+
+type insertOp struct {
+	src  Stream
+	node *plan.Node
+	done bool
+}
+
+func (b *Builder) buildInsert(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	src, err := b.Build(n.Inputs[0], corr)
+	if err != nil {
+		return nil, err
+	}
+	return &insertOp{src: src, node: n}, nil
+}
+
+func (i *insertOp) Open(ctx *Ctx) error {
+	i.done = false
+	return nil
+}
+
+func (i *insertOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if i.done {
+		return nil, false, nil
+	}
+	i.done = true
+	rows, err := Run(ctx, i.src)
+	if err != nil {
+		return nil, false, err
+	}
+	t := i.node.Table
+	for _, src := range rows {
+		full := make(datum.Row, len(t.Cols))
+		for k := range full {
+			full[k] = datum.Null
+		}
+		for k, ord := range i.node.TargetCols {
+			full[ord] = src[k]
+		}
+		if _, err := ctx.Cat.Insert(t, full); err != nil {
+			return nil, false, err
+		}
+		ctx.Affected++
+	}
+	return nil, false, nil
+}
+
+func (i *insertOp) Close(ctx *Ctx) error { return nil }
+
+type updateDeleteOp struct {
+	node  *plan.Node
+	preds []expr.Expr
+	exprs []expr.Expr
+	isDel bool
+	done  bool
+}
+
+func (b *Builder) buildUpdateDelete(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	// Predicates and assignment expressions reference the target
+	// table's quantifier columns.
+	cols := make([]plan.ColRef, len(n.Table.Cols))
+	for i := range n.Table.Cols {
+		cols[i] = plan.ColRef{QID: n.QID, Ord: i}
+	}
+	env := envFromCols(cols, corr)
+	preds, err := env.bindAll(n.Preds)
+	if err != nil {
+		return nil, err
+	}
+	preds, err = b.refineSubplans(preds, cols, corr)
+	if err != nil {
+		return nil, err
+	}
+	exprs, err := env.bindAll(n.Exprs)
+	if err != nil {
+		return nil, err
+	}
+	exprs, err = b.refineSubplans(exprs, cols, corr)
+	if err != nil {
+		return nil, err
+	}
+	return &updateDeleteOp{node: n, preds: preds, exprs: exprs, isDel: n.Op == plan.OpDelete}, nil
+}
+
+func (u *updateDeleteOp) Open(ctx *Ctx) error {
+	u.done = false
+	return nil
+}
+
+func (u *updateDeleteOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if u.done {
+		return nil, false, nil
+	}
+	u.done = true
+	t := u.node.Table
+	type pending struct {
+		rid    storage.RID
+		newRow datum.Row
+	}
+	var work []pending
+	it := t.Rel.Scan()
+	ec := ctx.exprCtx()
+	for {
+		row, rid, ok := it.Next()
+		if !ok {
+			break
+		}
+		match, err := evalPreds(ctx, u.preds, row)
+		if err != nil {
+			it.Close()
+			return nil, false, err
+		}
+		if !match {
+			continue
+		}
+		if u.isDel {
+			work = append(work, pending{rid: rid})
+			continue
+		}
+		newRow := row.Clone()
+		for k, ord := range u.node.TargetCols {
+			v, err := u.exprs[k].Eval(ec, row)
+			if err != nil {
+				it.Close()
+				return nil, false, err
+			}
+			cv, err := datum.Coerce(v, t.Cols[ord].Type)
+			if err != nil {
+				it.Close()
+				return nil, false, err
+			}
+			newRow[ord] = cv
+		}
+		work = append(work, pending{rid: rid, newRow: newRow})
+	}
+	it.Close()
+	for _, w := range work {
+		var err error
+		if u.isDel {
+			err = ctx.Cat.Delete(t, w.rid)
+		} else {
+			err = ctx.Cat.Update(t, w.rid, w.newRow)
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		ctx.Affected++
+	}
+	return nil, false, nil
+}
+
+func (u *updateDeleteOp) Close(ctx *Ctx) error { return nil }

@@ -1,0 +1,231 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/qgm"
+)
+
+// Args parameterizes a STAR invocation. Different STARs read different
+// fields (a STAR "consists of a name, zero or more parameters, and one
+// or more alternative definitions").
+type Args struct {
+	// Box is the QGM operation being planned (PLAN star).
+	Box *qgm.Box
+	// Quant is the iterator being accessed (ACCESS star).
+	Quant *qgm.Quantifier
+	// Preds are the predicates this invocation should apply.
+	Preds []expr.Expr
+	// Left and Right are alternative plans for each join operand
+	// (JOIN star).
+	Left, Right []*plan.Node
+	// Plans are candidate plans for GLUE to enforce properties on.
+	Plans []*plan.Node
+	// ReqOrder is the order GLUE must achieve.
+	ReqOrder []plan.SortKey
+	// JoinKind carries the requested kind ("" = regular).
+	JoinKind string
+}
+
+// Alternative is one definition of a STAR: an optional applicability
+// condition (the paper's attached IF), a rank for pruning, and a body
+// producing candidate plans (possibly by evaluating other STARs through
+// the Ctx).
+type Alternative struct {
+	Name string
+	// Condition gates the alternative; nil means always applicable.
+	Condition func(ctx *Ctx, a Args) bool
+	// Rank orders and prunes alternatives: those exceeding the
+	// generator's MaxRank are skipped.
+	Rank int
+	// Build produces candidate plans.
+	Build func(ctx *Ctx, a Args) ([]*plan.Node, error)
+}
+
+// STAR is a strategy alternative rule: a named nonterminal of the plan
+// grammar with one or more alternative definitions.
+type STAR struct {
+	Name         string
+	Alternatives []*Alternative
+}
+
+// SearchStrategy orders alternative evaluation. It is deliberately
+// separate from both the rules and the rule evaluator ("the search
+// strategy can be changed without affecting the rule evaluator or the
+// STARs").
+type SearchStrategy interface {
+	Order(alts []*Alternative) []*Alternative
+}
+
+// DeclaredOrder evaluates alternatives in declaration order (the
+// default depth-first expansion).
+type DeclaredOrder struct{}
+
+// Order implements SearchStrategy.
+func (DeclaredOrder) Order(alts []*Alternative) []*Alternative { return alts }
+
+// RankOrder evaluates lower-rank (preferred) alternatives first — the
+// prioritized-queue mechanism of section 6.
+type RankOrder struct{}
+
+// Order implements SearchStrategy.
+func (RankOrder) Order(alts []*Alternative) []*Alternative {
+	out := append([]*Alternative(nil), alts...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// Generator is the rule-driven plan generator: "(1) a general-purpose
+// STAR evaluator, (2) a search strategy that chooses the next STAR to
+// evaluate, and (3) an array of STARs", each replaceable independently.
+type Generator struct {
+	stars map[string]*STAR
+	// MaxRank prunes alternatives whose rank exceeds it (0 = no limit).
+	MaxRank int
+	// Strategy orders alternative evaluation.
+	Strategy SearchStrategy
+}
+
+// NewGenerator returns a generator with the given STAR array.
+func NewGenerator(stars []*STAR) *Generator {
+	g := &Generator{stars: map[string]*STAR{}, Strategy: DeclaredOrder{}}
+	for _, s := range stars {
+		g.stars[s.Name] = s
+	}
+	return g
+}
+
+// AddAlternative appends an alternative to an existing STAR (or creates
+// the STAR) — the DBC extension hook: "the optimizer designer [can]
+// add, change, or delete rules in the STAR array without affecting the
+// code for the search strategy or the rule evaluator".
+func (g *Generator) AddAlternative(star string, alt *Alternative) {
+	s := g.stars[star]
+	if s == nil {
+		s = &STAR{Name: star}
+		g.stars[star] = s
+	}
+	s.Alternatives = append(s.Alternatives, alt)
+}
+
+// RemoveAlternative deletes a named alternative.
+func (g *Generator) RemoveAlternative(star, name string) bool {
+	s := g.stars[star]
+	if s == nil {
+		return false
+	}
+	for i, a := range s.Alternatives {
+		if a.Name == name {
+			s.Alternatives = append(s.Alternatives[:i], s.Alternatives[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// STARs lists the rule array (for the under-20-rules experiment).
+func (g *Generator) STARs() []*STAR {
+	var out []*STAR
+	for _, s := range g.stars {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CountAlternatives totals rules across all STARs.
+func (g *Generator) CountAlternatives() int {
+	n := 0
+	for _, s := range g.stars {
+		n += len(s.Alternatives)
+	}
+	return n
+}
+
+// Ctx is the evaluation context threaded through STAR expansion.
+type Ctx struct {
+	Opt *Optimizer
+	Gen *Generator
+}
+
+// Evaluate expands a STAR: each applicable alternative contributes
+// candidate plans, "much as is done by a macro processor, until all
+// STARs are fully refined to LOLEPOPs".
+func (ctx *Ctx) Evaluate(star string, a Args) ([]*plan.Node, error) {
+	s := ctx.Gen.stars[star]
+	if s == nil {
+		return nil, fmt.Errorf("optimizer: unknown STAR %s", star)
+	}
+	var out []*plan.Node
+	for _, alt := range ctx.Gen.Strategy.Order(s.Alternatives) {
+		if ctx.Gen.MaxRank > 0 && alt.Rank > ctx.Gen.MaxRank {
+			continue // pruned by rank
+		}
+		if alt.Condition != nil && !alt.Condition(ctx, a) {
+			continue
+		}
+		plans, err := alt.Build(ctx, a)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: STAR %s/%s: %w", star, alt.Name, err)
+		}
+		out = append(out, plans...)
+	}
+	return out, nil
+}
+
+// prunePlans keeps, from a candidate set, every plan that is not
+// dominated: a plan survives if no other plan has lower-or-equal cost
+// AND an order satisfying the survivor's order (interesting orders keep
+// more expensive but usefully ordered plans alive).
+func prunePlans(cands []*plan.Node) []*plan.Node {
+	var out []*plan.Node
+	for i, p := range cands {
+		dominated := false
+		for j, q := range cands {
+			if i == j {
+				continue
+			}
+			if q.Props.Cost <= p.Props.Cost && q.Props.OrderSatisfies(p.Props.Order) {
+				// Tie-break deterministically on index to avoid mutual
+				// elimination of identical plans.
+				if q.Props.Cost < p.Props.Cost || j < i {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// cheapest returns the lowest-cost plan of a set.
+func cheapest(plans []*plan.Node) *plan.Node {
+	var best *plan.Node
+	for _, p := range plans {
+		if best == nil || p.Props.Cost < best.Props.Cost {
+			best = p
+		}
+	}
+	return best
+}
+
+// cheapestWithOrder returns the lowest-cost plan satisfying an order,
+// or nil.
+func cheapestWithOrder(plans []*plan.Node, req []plan.SortKey) *plan.Node {
+	var best *plan.Node
+	for _, p := range plans {
+		if !p.Props.OrderSatisfies(req) {
+			continue
+		}
+		if best == nil || p.Props.Cost < best.Props.Cost {
+			best = p
+		}
+	}
+	return best
+}

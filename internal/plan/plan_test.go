@@ -1,0 +1,130 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/expr"
+)
+
+func sampleTree(t *testing.T) *Node {
+	t.Helper()
+	cat := catalog.New()
+	tbl, err := cat.CreateTable("T", []catalog.Column{
+		{Name: "K", Type: datum.TInt}, {Name: "V", Type: datum.TInt},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateIndex("T_K", "T", []string{"K"}, "", true); err != nil {
+		t.Fatal(err)
+	}
+	scan := &Node{
+		Op: OpScan, Table: tbl, QID: 1,
+		Cols:  []ColRef{{QID: 1, Ord: 0}, {QID: 1, Ord: 1}},
+		Types: []datum.TypeID{datum.TInt, datum.TInt},
+		Preds: []expr.Expr{&expr.Cmp{Op: expr.OpGt, L: expr.NewCol(1, 0, "T.K", datum.TInt), R: expr.NewConst(datum.NewInt(5))}},
+		Props: Props{Rows: 10, Cost: 3.5},
+	}
+	iscan := &Node{
+		Op: OpIndex, Table: tbl, Index: tbl.Indexes[0], QID: 2,
+		Cols:  []ColRef{{QID: 2, Ord: 0}, {QID: 2, Ord: 1}},
+		Types: []datum.TypeID{datum.TInt, datum.TInt},
+		Props: Props{Rows: 1, Cost: 1.2},
+	}
+	join := &Node{
+		Op: OpNLJoin, Inputs: []*Node{scan, iscan},
+		Cols:     append(append([]ColRef(nil), scan.Cols...), iscan.Cols...),
+		JoinKind: KindLeftOuter,
+		Negated:  true,
+		JoinPred: &expr.Cmp{Op: expr.OpEq,
+			L: expr.NewCol(1, 0, "T.K", datum.TInt), R: expr.NewCol(2, 0, "U.K", datum.TInt)},
+		Props: Props{Rows: 10, Cost: 9.9},
+	}
+	return &Node{
+		Op: OpSort, Inputs: []*Node{join},
+		Cols:     join.Cols,
+		SortKeys: []SortKey{{Slot: 0}, {Slot: 1, Desc: true}},
+		Props:    Props{Rows: 10, Cost: 12},
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := sampleTree(t).String()
+	for _, want := range []string{
+		"SORT by #0 #1 desc",
+		"NLJN kind=leftouter negated",
+		"on [T.K = U.K]",
+		"SCAN T [T.K > 5]",
+		"ISCAN T via T_K(BTREE)",
+		"{rows=10 cost=9.9}",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	// Indentation reflects depth.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "  ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Error("indentation wrong")
+	}
+}
+
+func TestWalkAndCollect(t *testing.T) {
+	root := sampleTree(t)
+	n := 0
+	Walk(root, func(*Node) bool { n++; return true })
+	if n != 4 {
+		t.Errorf("walk visited %d", n)
+	}
+	n = 0
+	Walk(root, func(*Node) bool { n++; return false })
+	if n != 1 {
+		t.Error("early stop")
+	}
+	if !Walk(nil, func(*Node) bool { return false }) {
+		t.Error("nil walk")
+	}
+	ops := CollectOps(root)
+	if ops[OpScan] != 1 || ops[OpIndex] != 1 || ops[OpNLJoin] != 1 || ops[OpSort] != 1 {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestSlotOf(t *testing.T) {
+	root := sampleTree(t)
+	if root.SlotOf(1, 1) != 1 {
+		t.Error("slot of (1,1)")
+	}
+	if root.SlotOf(2, 0) != 2 {
+		t.Error("slot of (2,0)")
+	}
+	if root.SlotOf(9, 9) != -1 {
+		t.Error("missing ref")
+	}
+}
+
+func TestOrderSatisfies(t *testing.T) {
+	p := Props{Order: []SortKey{{Slot: 2}, {Slot: 0, Desc: true}}}
+	cases := []struct {
+		req  []SortKey
+		want bool
+	}{
+		{nil, true},
+		{[]SortKey{{Slot: 2}}, true},
+		{[]SortKey{{Slot: 2}, {Slot: 0, Desc: true}}, true},
+		{[]SortKey{{Slot: 0}}, false},
+		{[]SortKey{{Slot: 2}, {Slot: 0}}, false},
+		{[]SortKey{{Slot: 2}, {Slot: 0, Desc: true}, {Slot: 1}}, false},
+	}
+	for i, tc := range cases {
+		if got := p.OrderSatisfies(tc.req); got != tc.want {
+			t.Errorf("case %d: %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package rewrite implements Starburst's query rewrite phase (section 5
+// of the paper, [HASA88]): a rule system transforming one consistent
+// QGM into another, equivalent, consistent QGM for better performance.
+//
+// The three components the paper describes are kept orthogonal:
+//
+//   - the rewrite rules — condition/action pairs (here Go funcs, as the
+//     paper's were C funcs), grouped into rule classes;
+//   - the rule engine — forward chaining with sequential, priority, or
+//     statistical control strategies and a firing budget that always
+//     stops at a consistent QGM;
+//   - the search facility — browses the QGM depth-first (top down) or
+//     breadth-first, providing the context rules work on.
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/qgm"
+)
+
+// Context is handed to rule conditions and actions: the graph being
+// rewritten plus helper queries over it.
+type Context struct {
+	Graph *qgm.Graph
+}
+
+// SoleRanger returns the unique quantifier ranging over box, or nil if
+// the box has zero or multiple rangers. Many rules require sole
+// ownership before destructive restructuring.
+func (c *Context) SoleRanger(box *qgm.Box) (*qgm.Box, *qgm.Quantifier) {
+	rs := c.Graph.RangersOver(box)
+	if len(rs) != 1 {
+		return nil, nil
+	}
+	return rs[0].Box, rs[0].Quant
+}
+
+// Rule is one rewrite rule: when Condition holds on a box, Action
+// transforms the graph. Every rule must complete a transformation —
+// turn a consistent QGM into another consistent QGM.
+type Rule struct {
+	Name string
+	// Class groups rules so subsets can be enabled and ordered; the
+	// paper's base classes are predicate migration, projection
+	// push-down, and operation merging.
+	Class string
+	// Priority orders rules under the Priority and Statistical control
+	// strategies (higher first / more likely).
+	Priority int
+	// Condition reports whether the rule applies to this box.
+	Condition func(ctx *Context, b *qgm.Box) bool
+	// Action applies the transformation.
+	Action func(ctx *Context, b *qgm.Box) error
+}
+
+// Strategy selects how the engine orders candidate rules.
+type Strategy int
+
+// Control strategies (section 5: "sequential ... priority ...
+// statistical").
+const (
+	Sequential Strategy = iota
+	Priority
+	Statistical
+)
+
+// SearchOrder selects how the search facility browses QGM boxes.
+type SearchOrder int
+
+// Search orders.
+const (
+	DepthFirst SearchOrder = iota // top down
+	BreadthFirst
+)
+
+// Options configures one rewrite run.
+type Options struct {
+	Strategy Strategy
+	Search   SearchOrder
+	// Budget bounds the number of rule firings; 0 means unlimited.
+	// When exhausted, processing stops at a consistent QGM state.
+	Budget int
+	// Classes restricts execution to the named rule classes; empty
+	// means all.
+	Classes []string
+	// Seed drives the Statistical strategy.
+	Seed int64
+	// Validate runs Graph.Check after every firing (slower; used in
+	// tests to prove each rule preserves consistency).
+	Validate bool
+}
+
+// Engine executes rewrite rules against QGM graphs. A DB owns one
+// engine; DBC extensions register additional rules into it.
+type Engine struct {
+	rules []*Rule
+}
+
+// NewEngine returns an engine with no rules. Use NewDefaultEngine for
+// the base system's rule set.
+func NewEngine() *Engine { return &Engine{} }
+
+// NewDefaultEngine returns an engine loaded with the base rules for the
+// built-in operations (view/operation merging, subquery-to-join,
+// predicate migration, projection push-down, redundant join
+// elimination).
+func NewDefaultEngine() *Engine {
+	e := NewEngine()
+	for _, r := range BaseRules() {
+		e.Register(r)
+	}
+	return e
+}
+
+// Register adds a rule. Rules registered later run after earlier ones
+// under the Sequential strategy.
+func (e *Engine) Register(r *Rule) error {
+	if r.Name == "" || r.Condition == nil || r.Action == nil {
+		return fmt.Errorf("rewrite: rule needs Name, Condition and Action")
+	}
+	e.rules = append(e.rules, r)
+	return nil
+}
+
+// Rules lists registered rules (for introspection and tests).
+func (e *Engine) Rules() []*Rule { return append([]*Rule(nil), e.rules...) }
+
+// Fired describes one rule firing, for EXPLAIN-style tracing.
+type Fired struct {
+	Rule string
+	Box  int
+}
+
+// Rewrite runs rules to fixpoint (or budget exhaustion) and reports the
+// firing trace.
+func (e *Engine) Rewrite(g *qgm.Graph, opt Options) ([]Fired, error) {
+	ctx := &Context{Graph: g}
+	active := e.activeRules(opt)
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	var trace []Fired
+
+	for {
+		if opt.Budget > 0 && len(trace) >= opt.Budget {
+			return trace, nil // stop at a consistent state
+		}
+		boxes := e.searchOrder(g, opt.Search)
+		fired := false
+	boxLoop:
+		for _, b := range boxes {
+			order := e.ruleOrder(active, opt.Strategy, rng)
+			for _, r := range order {
+				if !r.Condition(ctx, b) {
+					continue
+				}
+				if err := r.Action(ctx, b); err != nil {
+					return trace, fmt.Errorf("rewrite: rule %s on box %d: %w", r.Name, b.ID, err)
+				}
+				g.GC()
+				if opt.Validate {
+					if err := g.Check(); err != nil {
+						return trace, fmt.Errorf("rewrite: rule %s left inconsistent QGM: %w", r.Name, err)
+					}
+				}
+				trace = append(trace, Fired{Rule: r.Name, Box: b.ID})
+				fired = true
+				break boxLoop // graph changed; restart the search
+			}
+		}
+		if !fired {
+			return trace, nil
+		}
+	}
+}
+
+func (e *Engine) activeRules(opt Options) []*Rule {
+	if len(opt.Classes) == 0 {
+		return e.rules
+	}
+	allowed := map[string]bool{}
+	for _, c := range opt.Classes {
+		allowed[c] = true
+	}
+	var out []*Rule
+	for _, r := range e.rules {
+		if allowed[r.Class] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (e *Engine) ruleOrder(rules []*Rule, s Strategy, rng *rand.Rand) []*Rule {
+	out := append([]*Rule(nil), rules...)
+	switch s {
+	case Sequential:
+		// registration order
+	case Priority:
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	case Statistical:
+		// Weighted shuffle: each rule's weight is priority+1.
+		total := 0
+		for _, r := range out {
+			total += r.Priority + 1
+		}
+		var shuffled []*Rule
+		remaining := append([]*Rule(nil), out...)
+		for len(remaining) > 0 {
+			pick := rng.Intn(total)
+			acc := 0
+			for i, r := range remaining {
+				acc += r.Priority + 1
+				if pick < acc {
+					shuffled = append(shuffled, r)
+					total -= r.Priority + 1
+					remaining = append(remaining[:i], remaining[i+1:]...)
+					break
+				}
+			}
+		}
+		out = shuffled
+	}
+	return out
+}
+
+// searchOrder lists boxes reachable from the top in the requested
+// browse order; DepthFirst is top-down preorder, BreadthFirst is level
+// order.
+func (e *Engine) searchOrder(g *qgm.Graph, order SearchOrder) []*qgm.Box {
+	if g.Top == nil {
+		return nil
+	}
+	seen := map[*qgm.Box]bool{}
+	var out []*qgm.Box
+	switch order {
+	case DepthFirst:
+		var dfs func(b *qgm.Box)
+		dfs = func(b *qgm.Box) {
+			if b == nil || seen[b] {
+				return
+			}
+			seen[b] = true
+			out = append(out, b)
+			for _, q := range b.Quants {
+				dfs(q.Input)
+			}
+		}
+		dfs(g.Top)
+	case BreadthFirst:
+		queue := []*qgm.Box{g.Top}
+		seen[g.Top] = true
+		for len(queue) > 0 {
+			b := queue[0]
+			queue = queue[1:]
+			out = append(out, b)
+			for _, q := range b.Quants {
+				if q.Input != nil && !seen[q.Input] {
+					seen[q.Input] = true
+					queue = append(queue, q.Input)
+				}
+			}
+		}
+	}
+	return out
+}

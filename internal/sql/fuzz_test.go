@@ -1,0 +1,75 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser mutated fragments of valid
+// statements; every input must either parse or return an error — never
+// panic or hang.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"SELECT a, b FROM t WHERE a = 1 AND b IN (SELECT c FROM u) ORDER BY 1",
+		"WITH RECURSIVE r (x) AS (SELECT 1 UNION SELECT x + 1 FROM r) SELECT * FROM r",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (NULL, :p)",
+		"UPDATE t SET a = CASE WHEN b > 0 THEN 1 ELSE -1 END WHERE c BETWEEN 1 AND 2",
+		"CREATE UNIQUE INDEX i ON t (a, b) USING btree",
+		"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x WHERE a.y > ALL (SELECT z FROM c)",
+		"SELECT COUNT(DISTINCT x) FROM t GROUP BY y HAVING SUM(z) > 0",
+	}
+	rng := rand.New(rand.NewSource(1))
+	tokensOf := func(s string) []string { return strings.Fields(s) }
+	for trial := 0; trial < 3000; trial++ {
+		src := seeds[rng.Intn(len(seeds))]
+		toks := tokensOf(src)
+		switch rng.Intn(5) {
+		case 0: // drop a token
+			if len(toks) > 1 {
+				i := rng.Intn(len(toks))
+				toks = append(toks[:i], toks[i+1:]...)
+			}
+		case 1: // duplicate a token
+			i := rng.Intn(len(toks))
+			toks = append(toks[:i], append([]string{toks[i]}, toks[i:]...)...)
+		case 2: // swap two tokens
+			i, j := rng.Intn(len(toks)), rng.Intn(len(toks))
+			toks[i], toks[j] = toks[j], toks[i]
+		case 3: // splice a token from another seed
+			other := tokensOf(seeds[rng.Intn(len(seeds))])
+			toks[rng.Intn(len(toks))] = other[rng.Intn(len(other))]
+		case 4: // truncate
+			toks = toks[:rng.Intn(len(toks))+1]
+		}
+		mutated := strings.Join(toks, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", mutated, r)
+				}
+			}()
+			_, _ = Parse(mutated)
+		}()
+	}
+}
+
+// TestLexerNeverPanics throws random bytes at the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(60)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked on %q: %v", buf, r)
+				}
+			}()
+			_, _ = Tokenize(string(buf))
+		}()
+	}
+}

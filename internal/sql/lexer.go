@@ -1,0 +1,226 @@
+// Package sql implements Hydrogen, Starburst's query language (section
+// 2 of the paper): an SQL-based language generalized for orthogonality —
+// table expressions usable anywhere a table is, set operations anywhere
+// a select is, views anywhere a base table is — plus externally defined
+// scalar, aggregate, set-predicate and table functions, host-language
+// parameters, and recursion through cyclic table-expression references.
+//
+// The package provides the lexer, the abstract syntax tree, and a
+// recursive-descent parser. Semantic analysis happens during the
+// translation to the Query Graph Model (package qgm), as in the paper
+// ("semantic analysis of the query is also done during parsing, so the
+// QGM produced is guaranteed to be valid").
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokParam // :name
+	TokSymbol
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords uppercased; identifiers as written
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{}
+
+func init() {
+	for _, k := range []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+		"ASC", "DESC", "DISTINCT", "ALL", "AS", "AND", "OR", "NOT",
+		"IN", "EXISTS", "ANY", "SOME", "BETWEEN", "LIKE", "IS", "NULL",
+		"TRUE", "FALSE", "UNION", "INTERSECT", "EXCEPT", "WITH",
+		"RECURSIVE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+		"DELETE", "CREATE", "DROP", "TABLE", "INDEX", "VIEW", "UNIQUE",
+		"ON", "USING", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CASE",
+		"WHEN", "THEN", "ELSE", "END", "ANALYZE", "LIMIT", "EXPLAIN",
+	} {
+		keywords[k] = true
+	}
+}
+
+// Lexer splits Hydrogen text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		isFloat := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !isFloat {
+				isFloat = true
+				l.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && l.pos+1 < len(l.src) &&
+				(isDigit(l.src[l.pos+1]) || ((l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') && l.pos+2 < len(l.src) && isDigit(l.src[l.pos+2]))) {
+				isFloat = true
+				l.pos += 2
+				continue
+			}
+			break
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: l.src[start:l.pos], Pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped quote
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+
+	case c == '"': // delimited identifier
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '"')
+		if end < 0 {
+			return Token{}, fmt.Errorf("sql: unterminated delimited identifier at offset %d", start)
+		}
+		text := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+
+	case c == ':':
+		l.pos++
+		ns := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		if l.pos == ns {
+			return Token{}, fmt.Errorf("sql: empty parameter name at offset %d", start)
+		}
+		return Token{Kind: TokParam, Text: l.src[ns:l.pos], Pos: start}, nil
+
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+		// Line comment.
+		for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+			l.pos++
+		}
+		return l.Next()
+
+	default:
+		// Multi-character symbols first.
+		for _, sym := range []string{"<>", "!=", "<=", ">=", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], sym) {
+				l.pos += len(sym)
+				if sym == "!=" {
+					sym = "<>"
+				}
+				return Token{Kind: TokSymbol, Text: sym, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%(),.<>=;", rune(c)) {
+			l.pos++
+			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Tokenize lexes the whole input, for tests and diagnostics.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

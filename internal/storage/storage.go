@@ -1,0 +1,319 @@
+// Package storage is the reproduction of the parts of Core — the
+// Starburst data manager — that Corona, the language processor, drives:
+// record management (locating, retrieving, storing records), and the
+// data management extension architecture of [LIND87] that lets a
+// database customizer add new storage managers and new kinds of
+// attachments (access methods) such as B-trees or R-trees.
+//
+// The paper's Core also provides buffer management, concurrency control
+// and recovery; those are below the interfaces Corona uses and are
+// substituted here by an in-memory page-structured store that counts
+// simulated page I/O, so that the optimizer's cost model has real
+// signals to validate against (see DESIGN.md, "Substitutions").
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/datum"
+)
+
+// RID identifies a stored record: page number and slot within the page.
+type RID struct {
+	Page int32
+	Slot int32
+}
+
+// String renders a RID for debugging.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// Less orders RIDs, used as a duplicate-key tiebreak in attachments.
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// IOStats counts simulated I/O so experiments can observe access-path
+// behaviour. A DB owns one; all relations of that DB share it.
+type IOStats struct {
+	mu         sync.Mutex
+	PageReads  int64
+	PageWrites int64
+	IndexReads int64
+}
+
+// ReadPage records one simulated page read.
+func (s *IOStats) ReadPage() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.PageReads++
+	s.mu.Unlock()
+}
+
+// WritePage records one simulated page write.
+func (s *IOStats) WritePage() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.PageWrites++
+	s.mu.Unlock()
+}
+
+// ReadIndex records one simulated index node read.
+func (s *IOStats) ReadIndex() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.IndexReads++
+	s.mu.Unlock()
+}
+
+// Snapshot returns current counters.
+func (s *IOStats) Snapshot() (reads, writes, index int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.PageReads, s.PageWrites, s.IndexReads
+}
+
+// Reset zeroes the counters.
+func (s *IOStats) Reset() {
+	s.mu.Lock()
+	s.PageReads, s.PageWrites, s.IndexReads = 0, 0, 0
+	s.mu.Unlock()
+}
+
+// RowIterator streams stored records.
+type RowIterator interface {
+	// Next returns the next record, its RID, and whether one was
+	// produced.
+	Next() (datum.Row, RID, bool)
+	// Close releases iterator resources.
+	Close()
+}
+
+// Relation is a handle to a stored table, the unit a storage manager
+// manages. All built-in and DBC storage managers produce Relations.
+type Relation interface {
+	// Insert stores a record and returns its RID.
+	Insert(r datum.Row) (RID, error)
+	// Delete removes the record at rid.
+	Delete(rid RID) error
+	// Update replaces the record at rid.
+	Update(rid RID, r datum.Row) error
+	// Fetch retrieves a single record by RID.
+	Fetch(rid RID) (datum.Row, bool)
+	// Scan streams every record. When stats is enabled each page
+	// touched counts one read.
+	Scan() RowIterator
+	// RowCount reports the number of stored records.
+	RowCount() int64
+	// PageCount reports the number of simulated pages occupied.
+	PageCount() int64
+	// Truncate removes all records.
+	Truncate()
+}
+
+// StorageManager creates Relations. DBCs register additional managers
+// (the paper's example: one that "handles fixed-length records only —
+// but extremely efficiently"); Corona must invoke the correct manager
+// when a table is accessed, which it does by recording the manager name
+// in the catalog.
+type StorageManager interface {
+	// Name identifies the manager in CREATE TABLE ... USING <name>.
+	Name() string
+	// Create allocates storage for a table of the given width.
+	Create(tableName string, numCols int, stats *IOStats) (Relation, error)
+}
+
+// ---------------------------------------------------------------------
+// Access methods (attachments)
+
+// Bound is one end of a key range; Unbounded means no constraint.
+type Bound struct {
+	Key       datum.Row
+	Inclusive bool
+	Unbounded bool
+}
+
+// Unbounded is the missing bound.
+var Unbounded = Bound{Unbounded: true}
+
+// Include constructs an inclusive bound.
+func Include(key datum.Row) Bound { return Bound{Key: key, Inclusive: true} }
+
+// Exclude constructs an exclusive bound.
+func Exclude(key datum.Row) Bound { return Bound{Key: key} }
+
+// Entry is a key/RID pair stored in an attachment.
+type Entry struct {
+	Key datum.Row
+	RID RID
+}
+
+// EntryIterator streams index entries in key order (where the access
+// method is ordered).
+type EntryIterator interface {
+	Next() (Entry, bool)
+	Close()
+}
+
+// Attachment is an index instance attached to a relation, per the data
+// management extension architecture. Implementations include the
+// built-in B-tree and the R-tree extension.
+type Attachment interface {
+	// Insert adds an entry.
+	Insert(key datum.Row, rid RID) error
+	// Delete removes an entry (key and rid must both match).
+	Delete(key datum.Row, rid RID) error
+	// Search streams entries with key in [lo, hi] under the method's
+	// ordering. Unordered methods may reject range searches.
+	Search(lo, hi Bound) EntryIterator
+	// Len reports the number of entries.
+	Len() int64
+}
+
+// AccessMethodCaps describes what an access method can do; the
+// optimizer consults this when matching predicates to attachments.
+type AccessMethodCaps struct {
+	// Ordered access methods produce entries in key order, usable to
+	// satisfy ORDER BY and merge-join input requirements.
+	Ordered bool
+	// Equality supports exact-key lookup.
+	Equality bool
+	// Range supports one-dimensional key ranges.
+	Range bool
+	// Spatial supports multi-dimensional window queries (each key
+	// column independently range-constrained), the R-tree case.
+	Spatial bool
+}
+
+// AccessMethod is a kind of attachment a DBC may register (B-tree is
+// built in; the paper's example extension is an R-tree [GUTT84]).
+type AccessMethod interface {
+	// Name identifies the method in CREATE INDEX ... USING <name>.
+	Name() string
+	// Caps reports the method's capabilities.
+	Caps() AccessMethodCaps
+	// New creates an attachment instance for keys of the given types.
+	New(keyTypes []datum.TypeID, unique bool, stats *IOStats) (Attachment, error)
+}
+
+// CompareKeys orders composite keys lexicographically with the total
+// order of datum.SortCompare; shorter prefixes compare less when equal
+// so far (enables prefix searches).
+func CompareKeys(a, b datum.Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := datum.SortCompare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Registries (the extension architecture)
+
+// Registry holds the storage managers and access methods known to one
+// database instance.
+type Registry struct {
+	mu      sync.RWMutex
+	mgrs    map[string]StorageManager
+	methods map[string]AccessMethod
+}
+
+// NewRegistry returns a registry seeded with the built-in heap storage
+// manager and B-tree access method.
+func NewRegistry() *Registry {
+	r := &Registry{
+		mgrs:    map[string]StorageManager{},
+		methods: map[string]AccessMethod{},
+	}
+	r.RegisterStorageManager(NewHeapManager(64))
+	r.RegisterAccessMethod(BTreeMethod{})
+	return r
+}
+
+// RegisterStorageManager installs a storage manager by name.
+func (r *Registry) RegisterStorageManager(m StorageManager) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mgrs[m.Name()] = m
+}
+
+// RegisterAccessMethod installs an access method (attachment type).
+func (r *Registry) RegisterAccessMethod(m AccessMethod) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.methods[m.Name()] = m
+}
+
+// StorageManager resolves a manager by name; empty name means the
+// default heap manager.
+func (r *Registry) StorageManager(name string) (StorageManager, error) {
+	if name == "" {
+		name = "HEAP"
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.mgrs[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown storage manager %q", name)
+	}
+	return m, nil
+}
+
+// AccessMethod resolves an access method by name; empty means B-tree.
+func (r *Registry) AccessMethod(name string) (AccessMethod, error) {
+	if name == "" {
+		name = "BTREE"
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.methods[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown access method %q", name)
+	}
+	return m, nil
+}
+
+// StorageManagerNames lists registered managers, sorted.
+func (r *Registry) StorageManagerNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for n := range r.mgrs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AccessMethodNames lists registered access methods, sorted.
+func (r *Registry) AccessMethodNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for n := range r.methods {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,418 @@
+// Package starburst is a from-scratch reproduction of the extensible
+// query processor described in "Extensible Query Processing in
+// Starburst" (Haas, Freytag, Lohman, Pirahesh; SIGMOD 1989).
+//
+// It implements Corona — the Starburst language processor — end to end:
+// the Hydrogen query language (an orthogonal, extensible SQL dialect),
+// the Query Graph Model internal representation, rule-based query
+// rewrite, a STAR-driven cost-based plan optimizer with a join
+// enumerator, and a stream-based Query Evaluation System; plus the
+// parts of Core (the data manager) that Corona drives: record
+// management, an extensible storage-manager architecture, and
+// attachment (access method) types including B-trees.
+//
+// Every extension axis from the paper is available to database
+// customizers (DBCs) through the DB methods: new types, scalar /
+// aggregate / set-predicate / table functions, query rewrite rules,
+// optimizer STARs, QES operators, join kinds, storage managers and
+// access methods.
+//
+// Quickstart:
+//
+//	db := starburst.Open()
+//	db.Exec(`CREATE TABLE inventory (partno INT, onhand_qty INT, type STRING)`, nil)
+//	db.Exec(`INSERT INTO inventory VALUES (1, 10, 'CPU')`, nil)
+//	res, err := db.Exec(`SELECT partno FROM inventory WHERE type = 'CPU'`, nil)
+package starburst
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/qgm"
+	"repro/internal/rewrite"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Re-exported core types, so DBC extensions are written against the
+// public package alone.
+type (
+	// Value is a typed datum.
+	Value = datum.Value
+	// Row is a tuple of datums.
+	Row = datum.Row
+	// TypeID identifies a built-in or externally defined type.
+	TypeID = datum.TypeID
+	// TypeDef describes an externally defined column type.
+	TypeDef = datum.TypeDef
+	// ScalarFunc is an externally defined scalar function.
+	ScalarFunc = expr.ScalarFunc
+	// AggregateFunc is an externally defined aggregate function.
+	AggregateFunc = expr.AggregateFunc
+	// AggState accumulates one group for an aggregate function.
+	AggState = expr.AggState
+	// SetPredicateFunc is an externally defined set predicate (the
+	// paper's MAJORITY example).
+	SetPredicateFunc = expr.SetPredicateFunc
+	// SetPredState folds per-element predicate truth values.
+	SetPredState = expr.SetPredState
+	// TableFunc is an externally defined table function (SAMPLE).
+	TableFunc = expr.TableFunc
+	// Relation is a materialized table exchanged with table functions.
+	Relation = expr.Relation
+	// ColumnDef names a relation column.
+	ColumnDef = expr.ColumnDef
+	// RewriteRule is a QGM rewrite rule (condition/action).
+	RewriteRule = rewrite.Rule
+	// RewriteContext is passed to rewrite rule conditions and actions.
+	RewriteContext = rewrite.Context
+	// RewriteOptions tunes the rewrite engine (strategy, budget, ...).
+	RewriteOptions = rewrite.Options
+	// STARAlternative is one alternative definition of an optimizer
+	// STAR.
+	STARAlternative = optimizer.Alternative
+	// OptArgs parameterizes a STAR invocation.
+	OptArgs = optimizer.Args
+	// OptCtx is the STAR evaluation context.
+	OptCtx = optimizer.Ctx
+	// PlanNode is a LOLEPOP invocation in a query evaluation plan.
+	PlanNode = plan.Node
+	// StorageManager stores table data (extension architecture).
+	StorageManager = storage.StorageManager
+	// AccessMethod is an attachment type (B-tree, R-tree, ...).
+	AccessMethod = storage.AccessMethod
+	// Stream is the QES tuple iterator interface.
+	Stream = exec.Stream
+	// ExecCtx is the QES execution context.
+	ExecCtx = exec.Ctx
+	// BuildFunc builds the executor for a DBC-registered plan operator.
+	BuildFunc = exec.BuildFunc
+)
+
+// Datum constructors, re-exported.
+var (
+	// Null is the SQL NULL value.
+	Null = datum.Null
+	// NewInt makes an INT datum.
+	NewInt = datum.NewInt
+	// NewFloat makes a FLOAT datum.
+	NewFloat = datum.NewFloat
+	// NewString makes a STRING datum.
+	NewString = datum.NewString
+	// NewBool makes a BOOL datum.
+	NewBool = datum.NewBool
+	// NewUser makes a datum of an externally defined type.
+	NewUser = datum.NewUser
+	// TypeByName resolves an externally defined type name.
+	TypeByName = datum.TypeByName
+)
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	// Columns names the result columns (empty for DDL/DML).
+	Columns []string
+	// Rows holds the result tuples.
+	Rows []Row
+	// Affected counts rows touched by INSERT/UPDATE/DELETE.
+	Affected int64
+}
+
+// DB is one Starburst database instance: catalog plus the four
+// compilation/execution components of Figure 1, each independently
+// extensible.
+type DB struct {
+	cat      *catalog.Catalog
+	rewriter *rewrite.Engine
+	opt      *optimizer.Optimizer
+	builder  *exec.Builder
+
+	// Rewrite configures the query rewrite phase; the zero value runs
+	// all rule classes sequentially to fixpoint.
+	Rewrite rewrite.Options
+	// SkipRewrite bypasses the query rewrite phase ("this phase could
+	// be bypassed for faster query compilation at the expense of
+	// potentially lower runtime performance").
+	SkipRewrite bool
+}
+
+// Open creates an empty in-memory database with the base rule sets.
+func Open() *DB {
+	cat := catalog.New()
+	return &DB{
+		cat:      cat,
+		rewriter: rewrite.NewDefaultEngine(),
+		opt:      optimizer.New(cat),
+		builder:  exec.NewBuilder(cat),
+	}
+}
+
+// Catalog exposes the catalog for inspection.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Optimizer exposes the plan optimizer (join enumerator switches, STAR
+// array) for tuning and extension.
+func (db *DB) Optimizer() *optimizer.Optimizer { return db.opt }
+
+// RewriteEngine exposes the query rewrite engine for rule registration.
+func (db *DB) RewriteEngine() *rewrite.Engine { return db.rewriter }
+
+// IOStats reports simulated storage I/O counters (reads, writes, index
+// node touches).
+func (db *DB) IOStats() (reads, writes, index int64) {
+	return db.cat.IO.Snapshot()
+}
+
+// ResetIOStats zeroes the I/O counters.
+func (db *DB) ResetIOStats() { db.cat.IO.Reset() }
+
+// ---------------------------------------------------------------------
+// DBC extension registration
+
+// RegisterType installs an externally defined column type.
+func (db *DB) RegisterType(def TypeDef) (TypeID, error) { return datum.RegisterType(def) }
+
+// RegisterScalarFunc installs a scalar function usable anywhere a
+// column can be referenced.
+func (db *DB) RegisterScalarFunc(f *ScalarFunc) error { return db.cat.Funcs.RegisterScalar(f) }
+
+// RegisterAggregate installs an aggregate function usable in place of
+// built-in aggregates.
+func (db *DB) RegisterAggregate(f *AggregateFunc) error { return db.cat.Funcs.RegisterAggregate(f) }
+
+// RegisterSetPredicate installs a set predicate function; queries may
+// then use "expr op NAME (subquery)", and QGM gains a quantifier type
+// of the same name.
+func (db *DB) RegisterSetPredicate(f *SetPredicateFunc) error {
+	return db.cat.Funcs.RegisterSetPredicate(f)
+}
+
+// RegisterTableFunc installs a table function usable anywhere a table
+// can appear.
+func (db *DB) RegisterTableFunc(f *TableFunc) error { return db.cat.Funcs.RegisterTableFunc(f) }
+
+// RegisterRewriteRule adds a DBC query rewrite rule.
+func (db *DB) RegisterRewriteRule(r *RewriteRule) error { return db.rewriter.Register(r) }
+
+// AddSTARAlternative extends the optimizer's STAR array.
+func (db *DB) AddSTARAlternative(star string, alt *STARAlternative) {
+	db.opt.Generator().AddAlternative(star, alt)
+}
+
+// RegisterStorageManager installs a storage manager; tables select it
+// with CREATE TABLE ... USING <name>.
+func (db *DB) RegisterStorageManager(m StorageManager) {
+	db.cat.Storage.RegisterStorageManager(m)
+}
+
+// RegisterAccessMethod installs an attachment type; indexes select it
+// with CREATE INDEX ... USING <name>.
+func (db *DB) RegisterAccessMethod(m AccessMethod) {
+	db.cat.Storage.RegisterAccessMethod(m)
+}
+
+// RegisterOperator installs a QES executor for a DBC plan operator
+// emitted by custom STARs.
+func (db *DB) RegisterOperator(op string, f BuildFunc) { db.builder.RegisterOperator(op, f) }
+
+// ---------------------------------------------------------------------
+// Statement execution (Figure 1)
+
+// Exec parses, compiles and executes one statement. Params bind host
+// language variables (":name" references).
+func (db *DB) Exec(query string, params map[string]Value) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.ExplainStmt:
+		text, err := db.explain(s.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"PLAN"}}
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			res.Rows = append(res.Rows, Row{datum.NewString(line)})
+		}
+		return res, nil
+	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.CreateViewStmt,
+		*sql.DropStmt, *sql.AnalyzeStmt:
+		return db.execDDL(stmt)
+	default:
+		_ = s
+	}
+	compiled, err := db.compile(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return db.run(compiled, params)
+}
+
+// Stmt is a compiled statement; compilation and execution "may be
+// separated in time, since the result of the compilation stage can be
+// stored for future use" (section 3).
+type Stmt struct {
+	db       *DB
+	compiled *plan.Compiled
+}
+
+// Prepare compiles a DML statement for repeated execution.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := db.compile(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, compiled: compiled}, nil
+}
+
+// Run executes a prepared statement with the given parameter bindings.
+func (s *Stmt) Run(params map[string]Value) (*Result, error) {
+	return s.db.run(s.compiled, params)
+}
+
+// Plan renders the prepared statement's QEP.
+func (s *Stmt) Plan() string { return s.compiled.Root.String() }
+
+// compile drives the compile-time phases: translation to QGM, query
+// rewrite, plan optimization (and, inside the executor, plan
+// refinement).
+func (db *DB) compile(stmt sql.Statement) (*plan.Compiled, error) {
+	g, err := qgm.TranslateStatement(db.cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !db.SkipRewrite {
+		if _, err := db.rewriter.Rewrite(g, db.Rewrite); err != nil {
+			return nil, err
+		}
+	}
+	return db.opt.Optimize(g)
+}
+
+// run refines and interprets a compiled plan.
+func (db *DB) run(compiled *plan.Compiled, params map[string]Value) (*Result, error) {
+	stream, err := db.builder.Build(compiled.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewCtx(db.cat, params)
+	rows, err := exec.Run(ctx, stream)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:  compiled.OutputNames,
+		Rows:     rows,
+		Affected: ctx.Affected,
+	}, nil
+}
+
+// explain renders the compilation phases for EXPLAIN <stmt>: the QGM
+// after translation, the rewrite trace, the rewritten QGM, and the
+// chosen plan.
+func (db *DB) explain(stmt sql.Statement) (string, error) {
+	var b strings.Builder
+	g, err := qgm.TranslateStatement(db.cat, stmt)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("=== QGM (after parsing & semantic analysis) ===\n")
+	b.WriteString(g.String())
+	if !db.SkipRewrite {
+		trace, err := db.rewriter.Rewrite(g, db.Rewrite)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("=== Query rewrite ===\n")
+		if len(trace) == 0 {
+			b.WriteString("(no rules fired)\n")
+		}
+		for _, f := range trace {
+			fmt.Fprintf(&b, "rule %s fired on box %d\n", f.Rule, f.Box)
+		}
+		b.WriteString("=== QGM (after rewrite) ===\n")
+		b.WriteString(g.String())
+	}
+	compiled, err := db.opt.Optimize(g)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("=== Query evaluation plan ===\n")
+	b.WriteString(compiled.Root.String())
+	return b.String(), nil
+}
+
+// execDDL performs data definition directly against the catalog.
+func (db *DB) execDDL(stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTableStmt:
+		cols := make([]catalog.Column, len(s.Cols))
+		for i, cd := range s.Cols {
+			tid, ok := datum.TypeIDByName(cd.TypeName)
+			if !ok {
+				return nil, fmt.Errorf("starburst: unknown type %s", cd.TypeName)
+			}
+			cols[i] = catalog.Column{Name: strings.ToUpper(cd.Name), Type: tid, NotNull: cd.NotNull}
+		}
+		if _, err := db.cat.CreateTable(s.Name, cols, s.SM); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.CreateIndexStmt:
+		if _, err := db.cat.CreateIndex(s.Name, s.Table, s.Cols, s.Method, s.Unique); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.CreateViewStmt:
+		// Validate the definition by translating it once.
+		if _, err := qgm.Translate(db.cat, s.Query); err != nil {
+			return nil, err
+		}
+		if err := db.cat.CreateView(s.Name, s.Cols, s.Text); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.DropStmt:
+		var err error
+		switch s.Kind {
+		case "TABLE":
+			err = db.cat.DropTable(s.Name)
+		case "VIEW":
+			err = db.cat.DropView(s.Name)
+		case "INDEX":
+			err = db.cat.DropIndex(s.Table, s.Name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.AnalyzeStmt:
+		t, ok := db.cat.Table(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("starburst: no table %s", s.Table)
+		}
+		db.cat.Analyze(t)
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("starburst: unsupported DDL %T", stmt)
+}
+
+// MustExec is Exec that panics on error; for examples and tests.
+func (db *DB) MustExec(query string, params map[string]Value) *Result {
+	res, err := db.Exec(query, params)
+	if err != nil {
+		panic(fmt.Sprintf("starburst: %s: %v", query, err))
+	}
+	return res
+}
