@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet lint race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the project-specific static checker (see cmd/starburst-lint
+# and the README): qgm mutation discipline, complete rewrite.Rule
+# literals, no raw datum.Value comparison, no naked panic in the
+# execution engine.
+lint:
+	$(GO) run ./cmd/starburst-lint ./...
+
+# check is the full gate CI runs: vet, build, race-enabled tests, lint.
+check: vet build race lint

@@ -1,0 +1,369 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one lint violation.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Check, f.Msg)
+}
+
+// loader type-checks packages on demand. Packages inside the module are
+// resolved by mapping the import path onto a directory under the module
+// root; everything else (the standard library) is delegated to the
+// go/importer source importer. Only the standard library is involved —
+// the module has no external dependencies, and the linter enforces that
+// implicitly: an unknown import path simply fails to resolve.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string // absolute path of the module root
+	modPath string // module path from go.mod, e.g. "repro"
+	std     types.Importer
+	info    *types.Info // shared across packages so identities stay consistent
+	cache   map[string]*types.Package
+	files   map[string][]*ast.File // parsed files per cached import path
+	loading map[string]bool
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+		},
+		cache:   make(map[string]*types.Package),
+		files:   make(map[string][]*ast.File),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
+		pkg, _, err := l.load(dir, path)
+		return pkg, err
+	}
+	return l.std.Import(path)
+}
+
+// load returns the type-checked package for importPath, checking it at
+// most once per loader. A package must never be checked twice: two
+// *types.Package copies of the same path make every cross-package type
+// comparison fail ("cannot use x (type T) as T").
+func (l *loader) load(dir, importPath string) (*types.Package, []*ast.File, error) {
+	if pkg, ok := l.cache[importPath]; ok {
+		return pkg, l.files[importPath], nil
+	}
+	if l.loading[importPath] {
+		return nil, nil, fmt.Errorf("import cycle through %q", importPath)
+	}
+	pkg, files, err := l.typeCheck(dir, importPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.cache[importPath] = pkg
+	l.files[importPath] = files
+	return pkg, files, nil
+}
+
+// canonicalDir maps a module-internal import path to the directory it
+// denotes, or "" for paths outside the module.
+func (l *loader) canonicalDir(importPath string) string {
+	if importPath != l.modPath && !strings.HasPrefix(importPath, l.modPath+"/") {
+		return ""
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.modPath), "/")
+	return filepath.Join(l.modRoot, filepath.FromSlash(rel))
+}
+
+// typeCheck parses every non-test .go file in dir and type-checks the
+// package under the given import path, recording results in the shared
+// Info.
+func (l *loader) typeCheck(dir, importPath string) (*types.Package, []*ast.File, error) {
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.fset, files, l.info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return pkg, files, nil
+}
+
+// LintDir type-checks the package in dir as importPath and runs every
+// check over it. importPath is a parameter (rather than derived from
+// dir) so tests can lint fixture directories under a simulated path —
+// the exec-panic check keys on the import path. Packages whose
+// importPath genuinely maps to dir within the module are cached and
+// shared with import resolution; fixture dirs (where the mapping does
+// not hold) are checked standalone so they cannot poison the cache.
+func (l *loader) LintDir(dir, importPath string) ([]Finding, error) {
+	var files []*ast.File
+	var err error
+	if l.canonicalDir(importPath) == dir {
+		_, files, err = l.load(dir, importPath)
+	} else {
+		_, files, err = l.typeCheck(dir, importPath)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &checks{
+		modPath:    l.modPath,
+		importPath: importPath,
+		fset:       l.fset,
+		info:       l.info,
+	}
+	for _, f := range files {
+		ast.Inspect(f, c.node)
+	}
+	sort.Slice(c.findings, func(i, j int) bool {
+		a, b := c.findings[i].Pos, c.findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return c.findings, nil
+}
+
+// checks holds the state shared by the four lint checks.
+type checks struct {
+	modPath    string
+	importPath string
+	fset       *token.FileSet
+	info       *types.Info
+	findings   []Finding
+}
+
+func (c *checks) report(pos token.Pos, check, format string, args ...any) {
+	c.findings = append(c.findings, Finding{
+		Pos:   c.fset.Position(pos),
+		Check: check,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checks) node(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		c.qgmMutation(n)
+	case *ast.CompositeLit:
+		c.ruleLiteral(n)
+	case *ast.BinaryExpr:
+		c.datumCompare(n)
+	case *ast.CallExpr:
+		c.execPanic(n)
+	}
+	return true
+}
+
+// qgmMutation flags assignments whose left-hand side is the Quants
+// field of a qgm.Box or the Boxes field of a qgm.Graph, outside the
+// qgm package itself. These slices encode graph structure; splicing
+// them by hand bypasses the invariants the helper methods maintain
+// (quantifier registration, GC reachability). Assignments *through*
+// the slice (q.Quants[i].Input = ...) mutate a quantifier, not the
+// slice, and are fine.
+func (c *checks) qgmMutation(n *ast.AssignStmt) {
+	qgmPath := c.modPath + "/internal/qgm"
+	if c.importPath == qgmPath {
+		return
+	}
+	for _, lhs := range n.Lhs {
+		se, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := c.info.Selections[se]
+		if !ok || sel.Kind() != types.FieldVal {
+			continue
+		}
+		field := sel.Obj()
+		if field.Pkg() == nil || field.Pkg().Path() != qgmPath {
+			continue
+		}
+		name := field.Name()
+		if name != "Quants" && name != "Boxes" {
+			continue
+		}
+		recv := sel.Recv()
+		for {
+			p, ok := recv.(*types.Pointer)
+			if !ok {
+				break
+			}
+			recv = p.Elem()
+		}
+		owner := "qgm value"
+		if named, ok := recv.(*types.Named); ok {
+			owner = "qgm." + named.Obj().Name()
+		}
+		c.report(se.Pos(), "qgm-mutation",
+			"direct assignment to %s.%s outside internal/qgm; use the qgm helpers (AdoptQuants, NewQuant, RemoveQuant, NewBox, GC) so graph invariants hold",
+			owner, name)
+	}
+}
+
+// ruleLiteral flags rewrite.Rule composite literals that do not supply
+// both Condition and Action. A rule with a nil Condition never fires;
+// a rule with a nil Action panics the engine — both are authoring
+// mistakes the compiler cannot catch.
+func (c *checks) ruleLiteral(n *ast.CompositeLit) {
+	tv, ok := c.info.Types[n]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Rule" || obj.Pkg() == nil || obj.Pkg().Path() != c.modPath+"/internal/rewrite" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	if len(n.Elts) > 0 {
+		if _, keyed := n.Elts[0].(*ast.KeyValueExpr); !keyed {
+			// Positional literal: the compiler forces every field to be
+			// present, so Condition and Action are necessarily set
+			// (possibly to nil, which we cannot see past an expression).
+			if len(n.Elts) == st.NumFields() {
+				return
+			}
+			return
+		}
+	}
+	have := map[string]ast.Expr{}
+	for _, elt := range n.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			have[id.Name] = kv.Value
+		}
+	}
+	for _, want := range []string{"Condition", "Action"} {
+		v, ok := have[want]
+		if !ok {
+			c.report(n.Pos(), "rule-literal",
+				"rewrite.Rule literal missing %s; every rule must supply both Condition and Action", want)
+			continue
+		}
+		if id, ok := v.(*ast.Ident); ok && id.Name == "nil" {
+			c.report(v.Pos(), "rule-literal",
+				"rewrite.Rule literal sets %s to nil; every rule must supply both Condition and Action", want)
+		}
+	}
+}
+
+// datumCompare flags == and != where either operand is a datum.Value.
+// Value is a struct with an `any` payload, so == can panic at runtime
+// on user-defined types, and it ignores SQL comparison semantics
+// (NULL, INT-vs-FLOAT promotion). Code must go through datum.Compare /
+// datum.Equal, which check types first. The datum package itself is
+// exempt — it implements those primitives.
+func (c *checks) datumCompare(n *ast.BinaryExpr) {
+	if n.Op != token.EQL && n.Op != token.NEQ {
+		return
+	}
+	datumPath := c.modPath + "/internal/datum"
+	if c.importPath == datumPath {
+		return
+	}
+	for _, operand := range []ast.Expr{n.X, n.Y} {
+		tv, ok := c.info.Types[operand]
+		if !ok {
+			continue
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Value" && obj.Pkg() != nil && obj.Pkg().Path() == datumPath {
+			c.report(n.OpPos, "datum-compare",
+				"datum.Value compared with %s; use datum.Compare or datum.Equal, which check the types first", n.Op)
+			return
+		}
+	}
+}
+
+// execPanic flags calls to the builtin panic inside internal/exec.
+// Execution operators run user queries; a malformed plan or datum must
+// surface as an error on the Stream, not crash the process.
+func (c *checks) execPanic(n *ast.CallExpr) {
+	if !strings.HasPrefix(c.importPath, c.modPath+"/internal/exec") {
+		return
+	}
+	id, ok := n.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return
+	}
+	if _, isBuiltin := c.info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	c.report(n.Pos(), "exec-panic",
+		"naked panic in internal/exec; execution operators must return errors through the Stream, not crash the process")
+}

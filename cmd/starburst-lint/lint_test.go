@@ -1,0 +1,209 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture drops src into a fresh temp directory and returns it.
+// Fixture packages import the real module packages; the loader resolves
+// those against the repository while the fixture itself is checked
+// under whatever import path the test supplies.
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func countCheck(findings []Finding, check string) int {
+	n := 0
+	for _, f := range findings {
+		if f.Check == check {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLint(t *testing.T) {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(modRoot, modPath)
+
+	t.Run("qgm-mutation", func(t *testing.T) {
+		dir := writeFixture(t, `package x
+
+import "repro/internal/qgm"
+
+func Bad(g *qgm.Graph, b, src *qgm.Box) {
+	b.Quants = append(b.Quants, src.Quants...) // flagged: splices the slice
+	g.Boxes = nil                              // flagged: drops the registry
+}
+
+func Fine(b, src *qgm.Box) {
+	b.AdoptQuants(src)     // the sanctioned way to move quantifiers
+	b.Quants[0].Input = src // mutates a quantifier, not the slice
+	_ = len(b.Quants)       // reads are always fine
+}
+`)
+		findings, err := l.LintDir(dir, "repro/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countCheck(findings, "qgm-mutation"); got != 2 {
+			t.Fatalf("want 2 qgm-mutation findings, got %d: %v", got, findings)
+		}
+		if len(findings) != 2 {
+			t.Fatalf("unexpected extra findings: %v", findings)
+		}
+	})
+
+	t.Run("qgm-mutation exempt inside qgm", func(t *testing.T) {
+		dir := writeFixture(t, `package x
+
+import "repro/internal/qgm"
+
+func Internal(g *qgm.Graph) {
+	g.Boxes = nil
+}
+`)
+		findings, err := l.LintDir(dir, "repro/internal/qgm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Fatalf("qgm package must be exempt, got %v", findings)
+		}
+	})
+
+	t.Run("rule-literal", func(t *testing.T) {
+		dir := writeFixture(t, `package x
+
+import (
+	"repro/internal/qgm"
+	"repro/internal/rewrite"
+)
+
+func cond(ctx *rewrite.Context, b *qgm.Box) bool  { return false }
+func act(ctx *rewrite.Context, b *qgm.Box) error  { return nil }
+
+var good = rewrite.Rule{Name: "good", Condition: cond, Action: act}
+var noAction = rewrite.Rule{Name: "noAction", Condition: cond}
+var noCondition = &rewrite.Rule{Name: "noCondition", Action: act}
+var nilAction = rewrite.Rule{Name: "nilAction", Condition: cond, Action: nil}
+`)
+		findings, err := l.LintDir(dir, "repro/x2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countCheck(findings, "rule-literal"); got != 3 {
+			t.Fatalf("want 3 rule-literal findings, got %d: %v", got, findings)
+		}
+	})
+
+	t.Run("datum-compare", func(t *testing.T) {
+		dir := writeFixture(t, `package x
+
+import "repro/internal/datum"
+
+func Bad(a, b datum.Value) bool  { return a == b }
+func Bad2(a, b datum.Value) bool { return a != b }
+func Fine(a, b datum.Value) bool { return datum.Equal(a, b) }
+func Fine2(a, b datum.Value) bool { return a.Type() == b.Type() }
+`)
+		findings, err := l.LintDir(dir, "repro/x3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countCheck(findings, "datum-compare"); got != 2 {
+			t.Fatalf("want 2 datum-compare findings, got %d: %v", got, findings)
+		}
+	})
+
+	t.Run("datum-compare exempt inside datum", func(t *testing.T) {
+		dir := writeFixture(t, `package x
+
+import "repro/internal/datum"
+
+func Impl(a, b datum.Value) bool { return a == b }
+`)
+		findings, err := l.LintDir(dir, "repro/internal/datum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Fatalf("datum package must be exempt, got %v", findings)
+		}
+	})
+
+	t.Run("exec-panic", func(t *testing.T) {
+		src := `package x
+
+import "fmt"
+
+func boom() {
+	panic("malformed plan")
+}
+
+func fine() error {
+	return fmt.Errorf("malformed plan")
+}
+`
+		dir := writeFixture(t, src)
+		// The same source is clean outside internal/exec...
+		findings, err := l.LintDir(dir, "repro/x4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Fatalf("panic outside internal/exec must not be flagged, got %v", findings)
+		}
+		// ...and flagged when the package claims to be an exec operator.
+		dir2 := writeFixture(t, src)
+		findings, err = l.LintDir(dir2, "repro/internal/exec/fixture")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countCheck(findings, "exec-panic"); got != 1 {
+			t.Fatalf("want 1 exec-panic finding, got %d: %v", got, findings)
+		}
+	})
+
+	t.Run("repository is clean", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("type-checks the whole module")
+		}
+		dirs, err := expandPattern(modRoot, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range dirs {
+			rel, err := filepath.Rel(modRoot, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			importPath := modPath
+			if rel != "." {
+				importPath = modPath + "/" + filepath.ToSlash(rel)
+			}
+			findings, err := l.LintDir(dir, importPath)
+			if err != nil {
+				t.Fatalf("%s: %v", importPath, err)
+			}
+			if len(findings) != 0 {
+				var lines []string
+				for _, f := range findings {
+					lines = append(lines, f.String())
+				}
+				t.Errorf("%s:\n%s", importPath, strings.Join(lines, "\n"))
+			}
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Command starburst-lint is a project-specific static checker for the
+// Starburst reproduction. It type-checks the module with go/parser and
+// go/types (standard library only — no external analysis frameworks)
+// and enforces invariants the Go compiler cannot express:
+//
+//   - qgm-mutation: Box.Quants and Graph.Boxes must not be assigned
+//     directly outside internal/qgm; use the helper methods so the
+//     quantifier registry and GC reachability stay consistent.
+//   - rule-literal: every rewrite.Rule composite literal must supply
+//     both Condition and Action.
+//   - datum-compare: datum.Value must not be compared with == or !=;
+//     use datum.Compare / datum.Equal, which check types first.
+//   - exec-panic: no naked panic in internal/exec — operators return
+//     errors through the Stream.
+//
+// Usage:
+//
+//	starburst-lint [packages]
+//
+// Package patterns are directories relative to the module root, with
+// ./... expanding to every package in the module. With no arguments,
+// ./... is assumed. Exit status is 1 if any finding is reported.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "starburst-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		expanded, err := expandPattern(modRoot, arg)
+		if err != nil {
+			return err
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	l := newLoader(modRoot, modPath)
+	var total int
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		findings, err := l.LintDir(dir, importPath)
+		if err != nil {
+			return err
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(abs, "go.mod")
+		if _, err := os.Stat(gomod); err == nil {
+			path, err := modulePath(gomod)
+			if err != nil {
+				return "", "", err
+			}
+			return abs, path, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+// expandPattern turns a package pattern into the list of directories
+// that contain at least one non-test Go file. Patterns ending in /...
+// walk recursively; others name a single directory.
+func expandPattern(modRoot, pat string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+	}
+	base := pat
+	if !filepath.IsAbs(base) {
+		base = filepath.Join(modRoot, pat)
+	}
+	if !recursive {
+		ok, err := hasGoFiles(base)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("no Go files in %s", pat)
+		}
+		return []string{base}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoFiles(p)
+		if err != nil {
+			return err
+		}
+		if ok {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

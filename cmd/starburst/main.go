@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +28,11 @@ import (
 func main() {
 	eval := flag.String("e", "", "execute the given statements and exit")
 	file := flag.String("f", "", "execute statements from a file and exit")
+	audit := flag.Bool("audit", false, "verify the QGM after every rewrite-rule firing and audit chosen plans")
 	flag.Parse()
 
 	db := starburst.Open()
+	db.SetAudit(*audit)
 	switch {
 	case *eval != "":
 		runScript(db, *eval)
@@ -129,6 +132,17 @@ func execute(db *starburst.DB, stmt string) error {
 	start := time.Now()
 	res, err := db.Exec(stmt, nil)
 	if err != nil {
+		var aerr *starburst.AuditError
+		if errors.As(err, &aerr) {
+			fmt.Fprintln(os.Stderr, "audit failure — firing trace:")
+			for i, f := range aerr.Trace {
+				marker := ""
+				if i == aerr.Firing {
+					marker = "   <-- offending firing"
+				}
+				fmt.Fprintf(os.Stderr, "  %3d: rule %s on box %d%s\n", i, f.Rule, f.Box, marker)
+			}
+		}
 		return err
 	}
 	elapsed := time.Since(start)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/qgm"
+	"repro/internal/verify"
 )
 
 // Optimizer chooses a query evaluation plan for a QGM graph by
@@ -26,6 +27,11 @@ type Optimizer struct {
 	// default. Disconnected quantifier sets still get Cartesian
 	// products as a fallback so every query remains plannable.
 	AllowCartesian bool
+	// Audit verifies every chosen plan against the QGM head (arity,
+	// types, required order) and the per-operator shape invariants
+	// before returning it; failures surface as compile errors instead
+	// of wrong results at execution time.
+	Audit bool
 
 	// mu serializes Optimize calls: the memo and graph fields are
 	// per-compilation state. Executing already-compiled plans is
@@ -104,6 +110,11 @@ func (o *Optimizer) Optimize(g *qgm.Graph) (*plan.Compiled, error) {
 		for _, hc := range g.Top.Head {
 			out.OutputNames = append(out.OutputNames, hc.Name)
 			out.OutputTypes = append(out.OutputTypes, hc.Type)
+		}
+	}
+	if o.Audit {
+		if rep := verify.Plan(out); rep != nil {
+			return nil, fmt.Errorf("optimizer: plan audit failed: %w", rep)
 		}
 	}
 	return out, nil

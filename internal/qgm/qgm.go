@@ -107,20 +107,35 @@ func (p *Predicate) QIDs() map[int]bool { return expr.QIDs(p.Expr) }
 
 // DistinctMode describes a box's duplicate handling, needed by the
 // operation-merging rewrite rule (the paper's Rule 2 conditions mention
-// Tl.distinct and OP2.eliminate-duplicate).
+// Tl.distinct and OP2.eliminate-duplicate). The three modes form the
+// PERMIT / ENFORCE / PRESERVE lattice of the Starburst rewrite system:
+// PERMIT may be strengthened to ENFORCE by a rewrite rule (eliminating
+// duplicates where they are semantically irrelevant), but ENFORCE must
+// never be weakened back to PERMIT, and PRESERVE is frozen — no rule may
+// change it in either direction. The verifier's audit mode checks these
+// transitions after every rule firing.
 type DistinctMode int
 
 // Duplicate-handling modes.
 const (
-	// PermitDuplicates: duplicates in the output are acceptable.
+	// PermitDuplicates: duplicates in the output are acceptable; rules
+	// may add or drop them freely.
 	PermitDuplicates DistinctMode = iota
 	// EnforceDistinct: the operation eliminates duplicates.
 	EnforceDistinct
+	// PreserveDuplicates: the exact duplicate multiplicity of the output
+	// is semantically significant (e.g. the input of a SUM over a
+	// non-distinct view); rules must neither introduce nor eliminate
+	// duplicates here, and the mode itself is frozen.
+	PreserveDuplicates
 )
 
 func (d DistinctMode) String() string {
-	if d == EnforceDistinct {
+	switch d {
+	case EnforceDistinct:
 		return "ENFORCE"
+	case PreserveDuplicates:
+		return "PRESERVE"
 	}
 	return "PERMIT"
 }
@@ -196,6 +211,17 @@ func (b *Box) RemoveQuant(qid int) {
 			return
 		}
 	}
+}
+
+// AdoptQuants moves every quantifier of src into b (at the end of b's
+// body, preserving order) and empties src's body. Range edges are
+// unchanged: the quantifiers keep their ids and inputs. This is the
+// body-restructuring step of operation merging; rules and primitives
+// must use it rather than splicing Quants slices directly (enforced by
+// starburst-lint's qgm-mutation check).
+func (b *Box) AdoptQuants(src *Box) {
+	b.Quants = append(b.Quants, src.Quants...)
+	src.Quants = nil
 }
 
 // Setformers returns the body's setformer iterators.
@@ -353,10 +379,66 @@ func (g *Graph) GC() {
 	g.Boxes = kept
 }
 
-// Check validates structural consistency: every rule must transform a
-// consistent QGM into another consistent QGM, and the rule engine
-// asserts this between rule firings.
+// VisitExprs calls f on every expression attached to the box — head
+// columns, predicates, grouping expressions, VALUES rows, table-function
+// scalar arguments, CHOOSE conditions — with a location label for
+// diagnostics ("head[2]", "pred[0]", "groupby[1]", ...). It is the one
+// enumeration of a box's expression slots: the structural checker, the
+// deep verifier and graph-walking rewrite primitives all share it, so a
+// new expression-bearing field added to Box needs updating only here.
+func (b *Box) VisitExprs(f func(loc string, e expr.Expr)) {
+	for i, hc := range b.Head {
+		if hc.Expr != nil {
+			f(fmt.Sprintf("head[%d] (%s)", i, hc.Name), hc.Expr)
+		}
+	}
+	for i, p := range b.Preds {
+		f(fmt.Sprintf("pred[%d]", i), p.Expr)
+	}
+	for i, ge := range b.GroupBy {
+		f(fmt.Sprintf("groupby[%d]", i), ge)
+	}
+	for ri, row := range b.Rows {
+		for ci, e := range row {
+			f(fmt.Sprintf("values[%d][%d]", ri, ci), e)
+		}
+	}
+	for i, e := range b.TFScalarArgs {
+		f(fmt.Sprintf("tfarg[%d]", i), e)
+	}
+	for i, e := range b.ChooseConds {
+		if e != nil {
+			f(fmt.Sprintf("choosecond[%d]", i), e)
+		}
+	}
+}
+
+// deepVerifier is installed by internal/verify (which cannot be imported
+// from here without a cycle). When present, Check delegates to it so the
+// deep semantic verifier is the single source of truth for QGM validity;
+// the built-in structural pass remains as the fallback for binaries that
+// do not link the verifier.
+var deepVerifier func(*Graph) error
+
+// RegisterVerifier installs the deep verifier Check delegates to.
+func RegisterVerifier(f func(*Graph) error) { deepVerifier = f }
+
+// Check validates consistency: every rule must transform a consistent
+// QGM into another consistent QGM, and the rule engine asserts this
+// between rule firings. When internal/verify is linked in, Check runs
+// its deep semantic verifier; otherwise it runs the structural pass.
 func (g *Graph) Check() error {
+	if deepVerifier != nil {
+		return deepVerifier(g)
+	}
+	return g.StructuralCheck()
+}
+
+// StructuralCheck is the minimal structural consistency pass: box and
+// quantifier registration, range-edge integrity, and resolvability of
+// every column reference in every expression slot (head, predicates,
+// group-by, VALUES rows, table-function arguments, CHOOSE conditions).
+func (g *Graph) StructuralCheck() error {
 	if g.Top == nil {
 		return fmt.Errorf("qgm: graph has no top box")
 	}
@@ -383,36 +465,31 @@ func (g *Graph) Check() error {
 		}
 	}
 	for _, b := range g.Boxes {
+		for i, p := range b.Preds {
+			if p == nil || p.Expr == nil {
+				return fmt.Errorf("qgm: box %d has a nil predicate (pred[%d])", b.ID, i)
+			}
+		}
 		// Every column reference must resolve to a quantifier visible
 		// in this box or an enclosing one (correlation); visibility is
 		// approximated by existence in the graph.
-		check := func(e expr.Expr) error {
-			var err error
+		var err error
+		b.VisitExprs(func(loc string, e expr.Expr) {
+			if err != nil {
+				return
+			}
 			expr.Walk(e, func(x expr.Expr) bool {
 				if c, ok := x.(*expr.Col); ok && c.QID >= 0 {
 					if !qids[c.QID] {
-						err = fmt.Errorf("qgm: box %d references unknown quantifier q%d (%s)", b.ID, c.QID, c.Name)
+						err = fmt.Errorf("qgm: box %d %s references unknown quantifier q%d (%s)", b.ID, loc, c.QID, c.Name)
 						return false
 					}
 				}
 				return true
 			})
+		})
+		if err != nil {
 			return err
-		}
-		for _, hc := range b.Head {
-			if hc.Expr != nil {
-				if err := check(hc.Expr); err != nil {
-					return err
-				}
-			}
-		}
-		for _, p := range b.Preds {
-			if p.Expr == nil {
-				return fmt.Errorf("qgm: box %d has a nil predicate", b.ID)
-			}
-			if err := check(p.Expr); err != nil {
-				return err
-			}
 		}
 		if b.Kind == KindBase && b.Table == nil {
 			return fmt.Errorf("qgm: base box %d has no table", b.ID)
@@ -429,52 +506,63 @@ func (g *Graph) String() string {
 	boxes := append([]*Box(nil), g.Boxes...)
 	sort.Slice(boxes, func(i, j int) bool { return boxes[i].ID < boxes[j].ID })
 	for _, box := range boxes {
-		top := ""
-		if box == g.Top {
-			top = " (top)"
-		}
-		fmt.Fprintf(&b, "Box %d: %s%s", box.ID, box.Kind, top)
-		if box.Kind == KindBase {
-			fmt.Fprintf(&b, " table=%s", box.Table.Name)
-		}
-		if box.Distinct == EnforceDistinct {
-			b.WriteString(" distinct")
-		}
-		if box.SetAll {
-			b.WriteString(" all")
-		}
-		if box.Recursive {
-			b.WriteString(" recursive")
+		b.WriteString(DumpBox(box, box == g.Top))
+	}
+	return b.String()
+}
+
+// DumpBox renders one box in the Graph.String format; the rewrite
+// engine's audit mode uses it for before/after firing diffs.
+func DumpBox(box *Box, top bool) string {
+	var b strings.Builder
+	topMark := ""
+	if top {
+		topMark = " (top)"
+	}
+	fmt.Fprintf(&b, "Box %d: %s%s", box.ID, box.Kind, topMark)
+	if box.Kind == KindBase {
+		fmt.Fprintf(&b, " table=%s", box.Table.Name)
+	}
+	switch box.Distinct {
+	case EnforceDistinct:
+		b.WriteString(" distinct")
+	case PreserveDuplicates:
+		b.WriteString(" preserve-dups")
+	}
+	if box.SetAll {
+		b.WriteString(" all")
+	}
+	if box.Recursive {
+		b.WriteString(" recursive")
+	}
+	b.WriteString("\n")
+	if len(box.Head) > 0 && box.Kind != KindBase {
+		b.WriteString("  head:")
+		for _, hc := range box.Head {
+			if hc.Expr != nil {
+				fmt.Fprintf(&b, " %s=%s", hc.Name, hc.Expr)
+			} else {
+				fmt.Fprintf(&b, " %s", hc.Name)
+			}
 		}
 		b.WriteString("\n")
-		if len(box.Head) > 0 && box.Kind != KindBase {
-			b.WriteString("  head:")
-			for _, hc := range box.Head {
-				if hc.Expr != nil {
-					fmt.Fprintf(&b, " %s=%s", hc.Name, hc.Expr)
-				} else {
-					fmt.Fprintf(&b, " %s", hc.Name)
-				}
-			}
-			b.WriteString("\n")
+	}
+	for _, q := range box.Quants {
+		neg := ""
+		if q.Negated {
+			neg = " negated"
 		}
-		for _, q := range box.Quants {
-			neg := ""
-			if q.Negated {
-				neg = " negated"
-			}
-			fmt.Fprintf(&b, "  quant %s(q%d) type=%s%s over box %d\n", q.Name, q.QID, q.Type, neg, q.Input.ID)
+		fmt.Fprintf(&b, "  quant %s(q%d) type=%s%s over box %d\n", q.Name, q.QID, q.Type, neg, q.Input.ID)
+	}
+	if len(box.GroupBy) > 0 {
+		b.WriteString("  group by:")
+		for _, e := range box.GroupBy {
+			fmt.Fprintf(&b, " %s", e)
 		}
-		if len(box.GroupBy) > 0 {
-			b.WriteString("  group by:")
-			for _, e := range box.GroupBy {
-				fmt.Fprintf(&b, " %s", e)
-			}
-			b.WriteString("\n")
-		}
-		for _, p := range box.Preds {
-			fmt.Fprintf(&b, "  pred: %s\n", p.Expr)
-		}
+		b.WriteString("\n")
+	}
+	for _, p := range box.Preds {
+		fmt.Fprintf(&b, "  pred: %s\n", p.Expr)
 	}
 	return b.String()
 }

@@ -91,6 +91,13 @@ type Options struct {
 	// Validate runs Graph.Check after every firing (slower; used in
 	// tests to prove each rule preserves consistency).
 	Validate bool
+	// Audit runs the deep semantic verifier after every firing and, on
+	// failure, returns a structured *AuditError naming the offending
+	// rule, the firing index, and a before/after dump of the box it
+	// mutated. It also enforces the distinct-mode transition lattice
+	// (PERMIT→ENFORCE only; PRESERVE frozen). Strictly stronger and
+	// slower than Validate.
+	Audit bool
 }
 
 // Engine executes rewrite rules against QGM graphs. A DB owns one
@@ -155,11 +162,23 @@ func (e *Engine) Rewrite(g *qgm.Graph, opt Options) ([]Fired, error) {
 				if !r.Condition(ctx, b) {
 					continue
 				}
+				var before string
+				var modes map[*qgm.Box]qgm.DistinctMode
+				if opt.Audit {
+					before = qgm.DumpBox(b, b == g.Top)
+					modes = distinctSnapshot(g)
+				}
 				if err := r.Action(ctx, b); err != nil {
 					return trace, fmt.Errorf("rewrite: rule %s on box %d: %w", r.Name, b.ID, err)
 				}
 				g.GC()
-				if opt.Validate {
+				if opt.Audit {
+					if aerr := auditFiring(g, r.Name, len(trace), b, before, modes); aerr != nil {
+						trace = append(trace, Fired{Rule: r.Name, Box: b.ID})
+						aerr.Trace = trace
+						return trace, aerr
+					}
+				} else if opt.Validate {
 					if err := g.Check(); err != nil {
 						return trace, fmt.Errorf("rewrite: rule %s left inconsistent QGM: %w", r.Name, err)
 					}

@@ -52,9 +52,8 @@ func MergeQuant(ctx *Context, owner *qgm.Box, q *qgm.Quantifier) error {
 		owner.GroupBy[i] = substituteQuant(owner.GroupBy[i], q.QID, lower.Head)
 	}
 	// Move body parts up.
-	owner.Quants = append(owner.Quants, lower.Quants...)
+	owner.AdoptQuants(lower)
 	owner.Preds = append(owner.Preds, lower.Preds...)
-	lower.Quants = nil
 	lower.Preds = nil
 	// Paper: IF OP2.eliminate-duplicate THEN OP1.eliminate-duplicate.
 	if lower.Distinct == qgm.EnforceDistinct {

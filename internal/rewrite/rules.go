@@ -91,6 +91,11 @@ func SubqueryToDistinctJoinRule() *Rule {
 			if q.Input.Kind != qgm.KindSelect && q.Input.Kind != qgm.KindGroupBy {
 				continue
 			}
+			// PRESERVE is frozen: the rule may not strengthen it to
+			// ENFORCE (audit mode would flag the transition).
+			if q.Input.Distinct == qgm.PreserveDuplicates {
+				continue
+			}
 			if EqualityLinkFor(b, q) == nil {
 				continue
 			}

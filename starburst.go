@@ -75,6 +75,10 @@ type (
 	RewriteContext = rewrite.Context
 	// RewriteOptions tunes the rewrite engine (strategy, budget, ...).
 	RewriteOptions = rewrite.Options
+	// AuditError is returned from compilation in audit mode when a rule
+	// firing leaves the QGM invalid; it names the rule, the firing
+	// index, and carries the verifier report and firing trace.
+	AuditError = rewrite.AuditError
 	// STARAlternative is one alternative definition of an optimizer
 	// STAR.
 	STARAlternative = optimizer.Alternative
@@ -140,6 +144,16 @@ type DB struct {
 	// be bypassed for faster query compilation at the expense of
 	// potentially lower runtime performance").
 	SkipRewrite bool
+}
+
+// SetAudit toggles self-checking compilation: the rewrite engine runs
+// the deep QGM verifier after every rule firing (returning a structured
+// *rewrite.AuditError naming the offending rule on failure), and the
+// optimizer verifies every chosen plan against the QGM head. Audit mode
+// is slower and intended for DBC rule/STAR development and debugging.
+func (db *DB) SetAudit(on bool) {
+	db.Rewrite.Audit = on
+	db.opt.Audit = on
 }
 
 // Open creates an empty in-memory database with the base rule sets.
