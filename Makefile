@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check
+.PHONY: all build test vet lint race check faults bench
 
 all: check
 
@@ -22,6 +22,18 @@ race:
 # execution engine.
 lint:
 	$(GO) run ./cmd/starburst-lint ./...
+
+# faults runs the robustness gate: the fault matrix (every QES operator
+# over a failing store), exhaustive DML atomicity, and a fuzz smoke over
+# random fault schedules.
+faults:
+	$(GO) test ./ -count=1 -run 'TestFaultMatrix|TestDMLAtomicity|TestCancelDuringFaultLatency|FuzzFaultSchedule'
+	$(GO) test ./ -run FuzzFaultSchedule -fuzz FuzzFaultSchedule -fuzztime 10s
+
+# bench records the Figure-1 phase benchmarks as JSON for the perf
+# trajectory across PRs.
+bench:
+	BENCH_JSON=BENCH_PR2.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
 
 # check is the full gate CI runs: vet, build, race-enabled tests, lint.
 check: vet build race lint

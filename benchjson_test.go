@@ -1,0 +1,46 @@
+package starburst
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestEmitBenchJSON records the Figure-1 phase benchmarks as JSON so
+// successive PRs can track the performance trajectory (`make bench`
+// writes BENCH_PR2.json). Skipped unless BENCH_JSON names the output
+// file.
+func TestEmitBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit benchmark JSON")
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"Fig1PhaseParse", BenchmarkFig1PhaseParse},
+		{"Fig1PhaseTranslate", BenchmarkFig1PhaseTranslate},
+		{"Fig1PhaseRewrite", BenchmarkFig1PhaseRewrite},
+		{"Fig1PhaseOptimize", BenchmarkFig1PhaseOptimize},
+		{"Fig1PhaseExecute", BenchmarkFig1PhaseExecute},
+		{"Fig1EndToEnd", BenchmarkFig1EndToEnd},
+	}
+	out := map[string]map[string]int64{}
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		out[bm.name] = map[string]int64{
+			"ns_per_op":     r.NsPerOp(),
+			"allocs_per_op": r.AllocsPerOp(),
+			"bytes_per_op":  r.AllocedBytesPerOp(),
+			"n":             int64(r.N),
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

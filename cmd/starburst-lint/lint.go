@@ -203,6 +203,7 @@ func (c *checks) node(n ast.Node) bool {
 		c.datumCompare(n)
 	case *ast.CallExpr:
 		c.execPanic(n)
+		c.dmlDirectMutate(n)
 	}
 	return true
 }
@@ -366,4 +367,46 @@ func (c *checks) execPanic(n *ast.CallExpr) {
 	}
 	c.report(n.Pos(), "exec-panic",
 		"naked panic in internal/exec; execution operators must return errors through the Stream, not crash the process")
+}
+
+// dmlDirectMutate flags calls to catalog.Catalog's Insert, Update or
+// Delete inside internal/exec. DML operators must mutate through the
+// undo-logged entry points (InsertLogged, UpdateLogged, DeleteLogged)
+// so a mid-statement error can roll the whole statement back; a direct
+// mutation silently escapes statement atomicity.
+func (c *checks) dmlDirectMutate(n *ast.CallExpr) {
+	if !strings.HasPrefix(c.importPath, c.modPath+"/internal/exec") {
+		return
+	}
+	se, ok := n.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	sel, ok := c.info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return
+	}
+	m := sel.Obj()
+	name := m.Name()
+	if name != "Insert" && name != "Update" && name != "Delete" {
+		return
+	}
+	if m.Pkg() == nil || m.Pkg().Path() != c.modPath+"/internal/catalog" {
+		return
+	}
+	recv := sel.Recv()
+	for {
+		p, ok := recv.(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Catalog" {
+		return
+	}
+	c.report(n.Pos(), "dml-direct-mutate",
+		"direct catalog.%s in internal/exec bypasses statement atomicity; mutate through %sLogged with an UndoLog",
+		name, name)
 }

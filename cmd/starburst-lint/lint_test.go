@@ -176,6 +176,62 @@ func fine() error {
 		}
 	})
 
+	t.Run("dml-direct-mutate", func(t *testing.T) {
+		src := `package x
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/storage"
+)
+
+func bad(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row) error {
+	if _, err := c.Insert(t, row); err != nil { // flagged
+		return err
+	}
+	if err := c.Update(t, rid, row); err != nil { // flagged
+		return err
+	}
+	return c.Delete(t, rid) // flagged
+}
+
+func fine(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row) error {
+	var undo catalog.UndoLog
+	if _, err := c.InsertLogged(t, row, &undo); err != nil {
+		return err
+	}
+	if err := c.UpdateLogged(t, rid, row, &undo); err != nil {
+		return err
+	}
+	return c.DeleteLogged(t, rid, &undo)
+}
+
+func alsoFine(t *catalog.Table, row datum.Row) {
+	// Insert on a storage.Relation is not the catalog's; only the
+	// catalog methods are fenced.
+	t.Rel.Insert(row)
+}
+`
+		// Clean outside internal/exec...
+		dir := writeFixture(t, src)
+		findings, err := l.LintDir(dir, "repro/x5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Fatalf("catalog DML outside internal/exec must not be flagged, got %v", findings)
+		}
+		// ...flagged inside it.
+		dir2 := writeFixture(t, src)
+		findings, err = l.LintDir(dir2, "repro/internal/exec/fixture")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countCheck(findings, "dml-direct-mutate"); got != 3 {
+			t.Fatalf("want 3 dml-direct-mutate findings, got %d: %v", got, findings)
+		}
+	})
+
 	t.Run("repository is clean", func(t *testing.T) {
 		if testing.Short() {
 			t.Skip("type-checks the whole module")

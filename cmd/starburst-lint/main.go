@@ -12,6 +12,10 @@
 //     use datum.Compare / datum.Equal, which check types first.
 //   - exec-panic: no naked panic in internal/exec — operators return
 //     errors through the Stream.
+//   - dml-direct-mutate: no direct catalog.Insert / Update / Delete in
+//     internal/exec — DML mutates through the undo-logged entry points
+//     (InsertLogged, UpdateLogged, DeleteLogged) so statements stay
+//     atomic under mid-statement errors.
 //
 // Usage:
 //

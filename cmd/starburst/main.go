@@ -29,10 +29,13 @@ func main() {
 	eval := flag.String("e", "", "execute the given statements and exit")
 	file := flag.String("f", "", "execute statements from a file and exit")
 	audit := flag.Bool("audit", false, "verify the QGM after every rewrite-rule firing and audit chosen plans")
+	timeout := flag.Duration("timeout", 0, "per-statement timeout (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-statement tuple-processing budget (0 = none)")
 	flag.Parse()
 
 	db := starburst.Open()
 	db.SetAudit(*audit)
+	db.SetLimits(starburst.Limits{Timeout: *timeout, MaxRows: *maxRows})
 	switch {
 	case *eval != "":
 		runScript(db, *eval)

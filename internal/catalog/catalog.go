@@ -95,6 +95,10 @@ type Catalog struct {
 	Storage *storage.Registry
 	// IO is the shared simulated-I/O counter for all relations.
 	IO *storage.IOStats
+
+	// faults, when non-nil, decorates new relations and attachments as
+	// they are created (see AttachFaults).
+	faults *storage.FaultInjector
 }
 
 // New returns an empty catalog with built-in registries.
@@ -261,6 +265,11 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method 
 	if err != nil {
 		return nil, err
 	}
+	// A fault-wrapped access method cannot know the owning table at New
+	// time; name the counter bucket now.
+	if fa, ok := at.(*storage.FaultAttachment); ok && fa.Owner() == "" {
+		fa.SetOwner(t.Name)
+	}
 	ix := &Index{
 		Name:    strings.ToUpper(name),
 		Table:   t.Name,
@@ -276,6 +285,9 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method 
 	for {
 		row, rid, ok := it.Next()
 		if !ok {
+			if err := storage.IterErr(it); err != nil {
+				return nil, fmt.Errorf("catalog: backfilling %s: %w", name, err)
+			}
 			break
 		}
 		if err := at.Insert(extractKey(row, keyCols), rid); err != nil {

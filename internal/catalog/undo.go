@@ -1,0 +1,235 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/storage"
+)
+
+// This file implements statement-level atomicity. The paper's Core
+// provides recovery below the interfaces Corona uses; our substitution
+// has no WAL, so without compensation an error halfway through a DML
+// statement — an eval failure, a NOT NULL violation on the fifth row, an
+// injected storage fault — would leave the table half-mutated. The QES
+// DML operators therefore route every mutation through the *Logged
+// entry points, which record one compensating action per storage-level
+// step (record insert/delete/update, index-entry insert/delete) into an
+// UndoLog; on error the operator rolls the log back in reverse order,
+// restoring the heap and every attachment to the pre-statement state.
+//
+// Compensations run against the unwrapped (fault-free) store: rollback
+// must not be failed by the injector that aborted the statement. What
+// still diverges from real Core recovery: no crash or media recovery —
+// the log lives in memory and dies with the process.
+
+type undoKind uint8
+
+const (
+	undoRelInsert undoKind = iota // compensate: delete the record
+	undoRelDelete                 // compensate: restore the record
+	undoRelUpdate                 // compensate: write back the old row
+	undoIxInsert                  // compensate: delete the entry
+	undoIxDelete                  // compensate: re-insert the entry
+)
+
+type undoAction struct {
+	kind undoKind
+	t    *Table
+	ix   *Index
+	rid  storage.RID
+	// row is the record to restore (RelDelete), the old image
+	// (RelUpdate), or the index key (IxInsert / IxDelete).
+	row datum.Row
+}
+
+// UndoLog collects compensating actions for one DML statement.
+type UndoLog struct {
+	actions []undoAction
+}
+
+// Len reports the number of recorded compensating actions.
+func (l *UndoLog) Len() int { return len(l.actions) }
+
+// Rollback applies the compensating actions in reverse order, bypassing
+// fault decoration, and clears the log. It keeps going past individual
+// compensation failures (joining them into the returned error): a
+// partial rollback is still better than none.
+func (l *UndoLog) Rollback() error {
+	var errs []error
+	for i := len(l.actions) - 1; i >= 0; i-- {
+		a := l.actions[i]
+		var err error
+		switch a.kind {
+		case undoRelInsert:
+			err = storage.UnwrapRelation(a.t.Rel).Delete(a.rid)
+		case undoRelDelete:
+			raw := storage.UnwrapRelation(a.t.Rel)
+			if res, ok := raw.(storage.Restorer); ok {
+				err = res.Restore(a.rid, a.row)
+			} else {
+				err = fmt.Errorf("catalog: %s: storage manager cannot restore deleted records", a.t.Name)
+			}
+		case undoRelUpdate:
+			err = storage.UnwrapRelation(a.t.Rel).Update(a.rid, a.row)
+		case undoIxInsert:
+			err = storage.UnwrapAttachment(a.ix.At).Delete(a.row, a.rid)
+		case undoIxDelete:
+			err = storage.UnwrapAttachment(a.ix.At).Insert(a.row, a.rid)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("catalog: undo %s: %w", a.t.Name, err))
+		}
+	}
+	l.actions = nil
+	return errors.Join(errs...)
+}
+
+func (l *UndoLog) note(a undoAction) {
+	l.actions = append(l.actions, a)
+}
+
+// InsertLogged is Insert recording compensating actions: on a later
+// statement error the caller rolls the whole statement back. Unlike
+// Insert, it does not self-compensate a failed index maintenance — the
+// rollback undoes the record insert too.
+func (c *Catalog) InsertLogged(t *Table, row datum.Row, log *UndoLog) (storage.RID, error) {
+	if len(row) != len(t.Cols) {
+		return storage.RID{}, fmt.Errorf("catalog: %s: %d values for %d columns", t.Name, len(row), len(t.Cols))
+	}
+	coerced := make(datum.Row, len(row))
+	for i, v := range row {
+		if v.IsNull() {
+			if t.Cols[i].NotNull {
+				return storage.RID{}, fmt.Errorf("catalog: %s.%s is NOT NULL", t.Name, t.Cols[i].Name)
+			}
+			coerced[i] = v
+			continue
+		}
+		cv, err := datum.Coerce(v, t.Cols[i].Type)
+		if err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s.%s: %w", t.Name, t.Cols[i].Name, err)
+		}
+		coerced[i] = cv
+	}
+	rid, err := t.Rel.Insert(coerced)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	log.note(undoAction{kind: undoRelInsert, t: t, rid: rid})
+	for _, ix := range t.Indexes {
+		key := extractKey(coerced, ix.KeyCols)
+		if err := ix.At.Insert(key, rid); err != nil {
+			return storage.RID{}, err
+		}
+		log.note(undoAction{kind: undoIxInsert, t: t, ix: ix, rid: rid, row: key})
+	}
+	return rid, nil
+}
+
+// DeleteLogged is Delete recording compensating actions.
+func (c *Catalog) DeleteLogged(t *Table, rid storage.RID, log *UndoLog) error {
+	row, ok := t.Rel.Fetch(rid)
+	if !ok {
+		return fmt.Errorf("catalog: %s: no record %s", t.Name, rid)
+	}
+	for _, ix := range t.Indexes {
+		key := extractKey(row, ix.KeyCols)
+		if err := ix.At.Delete(key, rid); err != nil {
+			return err
+		}
+		log.note(undoAction{kind: undoIxDelete, t: t, ix: ix, rid: rid, row: key})
+	}
+	if err := t.Rel.Delete(rid); err != nil {
+		return err
+	}
+	log.note(undoAction{kind: undoRelDelete, t: t, rid: rid, row: row})
+	return nil
+}
+
+// UpdateLogged is Update recording compensating actions.
+func (c *Catalog) UpdateLogged(t *Table, rid storage.RID, newRow datum.Row, log *UndoLog) error {
+	old, ok := t.Rel.Fetch(rid)
+	if !ok {
+		return fmt.Errorf("catalog: %s: no record %s", t.Name, rid)
+	}
+	for i, v := range newRow {
+		if v.IsNull() && t.Cols[i].NotNull {
+			return fmt.Errorf("catalog: %s.%s is NOT NULL", t.Name, t.Cols[i].Name)
+		}
+	}
+	for _, ix := range t.Indexes {
+		oldKey := extractKey(old, ix.KeyCols)
+		newKey := extractKey(newRow, ix.KeyCols)
+		if storage.CompareKeys(oldKey, newKey) == 0 {
+			continue
+		}
+		if err := ix.At.Delete(oldKey, rid); err != nil {
+			return err
+		}
+		log.note(undoAction{kind: undoIxDelete, t: t, ix: ix, rid: rid, row: oldKey})
+		if err := ix.At.Insert(newKey, rid); err != nil {
+			return err
+		}
+		log.note(undoAction{kind: undoIxInsert, t: t, ix: ix, rid: rid, row: newKey})
+	}
+	if err := t.Rel.Update(rid, newRow); err != nil {
+		return err
+	}
+	log.note(undoAction{kind: undoRelUpdate, t: t, rid: rid, row: old})
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection wiring
+
+// AttachFaults decorates this catalog's storage with the fault
+// injector: every registered storage manager and access method is
+// wrapped through its own registry (re-registration under the same name
+// — the LIND87 extension path), and every existing relation and
+// attachment is wrapped in place. Idempotent.
+func (c *Catalog) AttachFaults(fi *storage.FaultInjector) {
+	for _, name := range c.Storage.StorageManagerNames() {
+		if m, err := c.Storage.StorageManager(name); err == nil {
+			c.Storage.RegisterStorageManager(fi.WrapManager(m))
+		}
+	}
+	for _, name := range c.Storage.AccessMethodNames() {
+		if m, err := c.Storage.AccessMethod(name); err == nil {
+			c.Storage.RegisterAccessMethod(fi.WrapMethod(m))
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = fi
+	for _, t := range c.tables {
+		t.Rel = fi.WrapRelation(t.Name, t.Rel)
+		for _, ix := range t.Indexes {
+			ix.At = fi.WrapAttachment(t.Name, ix.At)
+		}
+	}
+}
+
+// DetachFaults removes fault decoration everywhere it was attached.
+func (c *Catalog) DetachFaults() {
+	for _, name := range c.Storage.StorageManagerNames() {
+		if m, err := c.Storage.StorageManager(name); err == nil {
+			c.Storage.RegisterStorageManager(storage.UnwrapManager(m))
+		}
+	}
+	for _, name := range c.Storage.AccessMethodNames() {
+		if m, err := c.Storage.AccessMethod(name); err == nil {
+			c.Storage.RegisterAccessMethod(storage.UnwrapMethod(m))
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = nil
+	for _, t := range c.tables {
+		t.Rel = storage.UnwrapRelation(t.Rel)
+		for _, ix := range t.Indexes {
+			ix.At = storage.UnwrapAttachment(ix.At)
+		}
+	}
+}

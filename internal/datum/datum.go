@@ -427,6 +427,18 @@ func (r Row) Clone() Row {
 	return out
 }
 
+// RowBytes estimates the in-memory size of a row, for execution-time
+// memory accounting: the fixed Value struct per column plus the
+// variable-length string payload.
+func RowBytes(r Row) int64 {
+	n := int64(24) // slice header
+	for _, v := range r {
+		n += 40 // Value struct
+		n += int64(len(v.s))
+	}
+	return n
+}
+
 // Concat returns the concatenation of two rows (used by join operators
 // to build composite tuples).
 func Concat(a, b Row) Row {

@@ -8,7 +8,10 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/datum"
@@ -38,6 +41,17 @@ type Ctx struct {
 	rec map[int]*recWorkTable
 	// Affected counts rows touched by DML.
 	Affected int64
+
+	// goCtx carries cancellation; nil means uncancellable (see Arm).
+	goCtx context.Context
+	// limits are the armed per-statement budgets.
+	limits Limits
+	// started/deadline implement the statement timeout.
+	started, deadline time.Time
+	// ticks counts tuple boundaries crossed (the row/work budget).
+	ticks int64
+	// memUsed is the estimated bytes of materialized operator state.
+	memUsed int64
 }
 
 // NewCtx returns an execution context.
@@ -232,20 +246,34 @@ func (b *Builder) Build(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) 
 	return nil, fmt.Errorf("exec: unknown plan operator %s", n.Op)
 }
 
-// Run drains a stream into a materialized result.
-func Run(ctx *Ctx, s Stream) ([]datum.Row, error) {
+// Run drains a stream into a materialized result. On any failure —
+// including a failing Close — it returns a nil result, never partial
+// rows beside a non-nil error; Close always runs, and its error joins
+// the Next error rather than being discarded.
+func Run(ctx *Ctx, s Stream) (rows []datum.Row, err error) {
 	if err := s.Open(ctx); err != nil {
-		return nil, err
+		// Close even after a failed Open: a multi-input operator may have
+		// opened some children before the failure, and every Close is
+		// safe on a never-opened stream.
+		return nil, errors.Join(err, s.Close(ctx))
 	}
-	defer s.Close(ctx)
+	defer func() {
+		cerr := s.Close(ctx)
+		if err = errors.Join(err, cerr); err != nil {
+			rows = nil
+		}
+	}()
 	var out []datum.Row
 	for {
 		row, ok, err := s.Next(ctx)
 		if err != nil {
-			return out, err
+			return nil, err
 		}
 		if !ok {
 			return out, nil
+		}
+		if err := ctx.tick(); err != nil {
+			return nil, err
 		}
 		out = append(out, row)
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -37,7 +38,12 @@ func (s *scanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	for {
 		row, _, ok := s.it.Next()
 		if !ok {
-			return nil, false, nil
+			// Iterators cannot fail from Next; fallible stores report a
+			// deferred error at exhaustion instead.
+			return nil, false, storage.IterErr(s.it)
+		}
+		if err := ctx.tick(); err != nil {
+			return nil, false, err
 		}
 		match, err := evalPreds(ctx, s.preds, row)
 		if err != nil {
@@ -126,7 +132,10 @@ func (s *indexScanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	for {
 		e, ok := s.it.Next()
 		if !ok {
-			return nil, false, nil
+			return nil, false, storage.IterErr(s.it)
+		}
+		if err := ctx.tick(); err != nil {
+			return nil, false, err
 		}
 		row, ok := s.rel.Fetch(e.RID)
 		if !ok {
@@ -309,6 +318,7 @@ type tempOp struct {
 	input Stream
 	rows  []datum.Row
 	pos   int
+	mem   memCharge
 }
 
 func (t *tempOp) Open(ctx *Ctx) error {
@@ -321,7 +331,7 @@ func (t *tempOp) Open(ctx *Ctx) error {
 		rows = []datum.Row{}
 	}
 	t.rows = rows
-	return nil
+	return t.mem.charge(ctx, rows)
 }
 
 func (t *tempOp) Next(ctx *Ctx) (datum.Row, bool, error) {
@@ -333,7 +343,10 @@ func (t *tempOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	return r, true, nil
 }
 
-func (t *tempOp) Close(ctx *Ctx) error { return nil }
+func (t *tempOp) Close(ctx *Ctx) error {
+	t.mem.release(ctx)
+	return nil
+}
 
 // ---------------------------------------------------------------------
 // SORT
@@ -343,6 +356,7 @@ type sortOp struct {
 	keys  []plan.SortKey
 	rows  []datum.Row
 	pos   int
+	mem   memCharge
 }
 
 func (b *Builder) buildSort(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -356,6 +370,9 @@ func (b *Builder) buildSort(n *plan.Node, corr map[plan.ColRef]int) (Stream, err
 func (s *sortOp) Open(ctx *Ctx) error {
 	rows, err := Run(ctx, s.input)
 	if err != nil {
+		return err
+	}
+	if err := s.mem.charge(ctx, rows); err != nil {
 		return err
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
@@ -386,6 +403,7 @@ func (s *sortOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 
 func (s *sortOp) Close(ctx *Ctx) error {
 	s.rows = nil
+	s.mem.release(ctx)
 	return nil
 }
 
@@ -405,6 +423,7 @@ type nlJoinOp struct {
 	ri       int
 	matched  bool
 	emitNull bool
+	mem      memCharge
 }
 
 func (b *Builder) buildNLJoin(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -431,9 +450,6 @@ func (j *nlJoinOp) Open(ctx *Ctx) error {
 	if err := j.left.Open(ctx); err != nil {
 		return err
 	}
-	if err := j.right.Open(ctx); err != nil {
-		return err
-	}
 	rows, err := Run(ctx, j.right)
 	if err != nil {
 		return err
@@ -441,7 +457,7 @@ func (j *nlJoinOp) Open(ctx *Ctx) error {
 	j.inner = rows
 	j.leftRow = nil
 	j.ri = 0
-	return nil
+	return j.mem.charge(ctx, rows)
 }
 
 func (j *nlJoinOp) Next(ctx *Ctx) (datum.Row, bool, error) {
@@ -459,6 +475,11 @@ func (j *nlJoinOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		for j.ri < len(j.inner) {
 			r := j.inner[j.ri]
 			j.ri++
+			// Every considered pair is a work unit: a cross join must be
+			// cancellable even when the predicate rejects everything.
+			if err := ctx.tick(); err != nil {
+				return nil, false, err
+			}
 			out := datum.Concat(j.leftRow, r)
 			if j.pred != nil {
 				v, err := j.pred.Eval(ec, out)
@@ -488,8 +509,8 @@ func (j *nlJoinOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 
 func (j *nlJoinOp) Close(ctx *Ctx) error {
 	j.inner = nil
-	j.left.Close(ctx)
-	return j.right.Close(ctx)
+	j.mem.release(ctx)
+	return errors.Join(j.left.Close(ctx), j.right.Close(ctx))
 }
 
 type hashJoinOp struct {
@@ -504,6 +525,7 @@ type hashJoinOp struct {
 	bucket  []datum.Row
 	bi      int
 	matched bool
+	mem     memCharge
 }
 
 func (b *Builder) buildHashJoin(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -533,6 +555,9 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 	}
 	rows, err := Run(ctx, j.right)
 	if err != nil {
+		return err
+	}
+	if err := j.mem.charge(ctx, rows); err != nil {
 		return err
 	}
 	j.table = map[uint64][]datum.Row{}
@@ -620,8 +645,8 @@ func (j *hashJoinOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 
 func (j *hashJoinOp) Close(ctx *Ctx) error {
 	j.table = nil
-	j.left.Close(ctx)
-	return j.right.Close(ctx)
+	j.mem.release(ctx)
+	return errors.Join(j.left.Close(ctx), j.right.Close(ctx))
 }
 
 type mergeJoinOp struct {
@@ -634,6 +659,7 @@ type mergeJoinOp struct {
 	group        []datum.Row // right rows matching current left key
 	gi           int
 	lRow         datum.Row
+	mem          memCharge
 }
 
 func (b *Builder) buildMergeJoin(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -664,7 +690,10 @@ func (j *mergeJoinOp) Open(ctx *Ctx) error {
 		return err
 	}
 	j.li, j.rj, j.group, j.gi, j.lRow = 0, 0, nil, 0, nil
-	return nil
+	if err := j.mem.charge(ctx, j.lRows); err != nil {
+		return err
+	}
+	return j.mem.add(ctx, j.rRows...)
 }
 
 func (j *mergeJoinOp) Next(ctx *Ctx) (datum.Row, bool, error) {
@@ -745,8 +774,8 @@ func sameLeftKey(a, b datum.Row, keys []int) bool {
 
 func (j *mergeJoinOp) Close(ctx *Ctx) error {
 	j.lRows, j.rRows, j.group = nil, nil, nil
-	j.left.Close(ctx)
-	return j.right.Close(ctx)
+	j.mem.release(ctx)
+	return errors.Join(j.left.Close(ctx), j.right.Close(ctx))
 }
 
 // ---------------------------------------------------------------------
@@ -760,6 +789,7 @@ type groupOp struct {
 
 	out []datum.Row
 	pos int
+	mem memCharge
 }
 
 func (b *Builder) buildGroup(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -779,7 +809,7 @@ func (b *Builder) buildGroup(n *plan.Node, corr map[plan.ColRef]int) (Stream, er
 	return &groupOp{input: in, groupCols: n.GroupCols, aggs: n.Aggs, argExprs: args}, nil
 }
 
-func (g *groupOp) Open(ctx *Ctx) error {
+func (g *groupOp) Open(ctx *Ctx) (err error) {
 	type groupState struct {
 		key      datum.Row
 		states   []expr.AggState
@@ -801,7 +831,7 @@ func (g *groupOp) Open(ctx *Ctx) error {
 	if err := g.input.Open(ctx); err != nil {
 		return err
 	}
-	defer g.input.Close(ctx)
+	defer func() { err = errors.Join(err, g.input.Close(ctx)) }()
 	ec := ctx.exprCtx()
 	for {
 		row, ok, err := g.input.Next(ctx)
@@ -810,6 +840,9 @@ func (g *groupOp) Open(ctx *Ctx) error {
 		}
 		if !ok {
 			break
+		}
+		if err := ctx.tick(); err != nil {
+			return err
 		}
 		key := make(datum.Row, len(g.groupCols))
 		for i, c := range g.groupCols {
@@ -856,7 +889,7 @@ func (g *groupOp) Open(ctx *Ctx) error {
 		g.out = append(g.out, row)
 	}
 	g.pos = 0
-	return nil
+	return g.mem.charge(ctx, g.out)
 }
 
 func (g *groupOp) Next(ctx *Ctx) (datum.Row, bool, error) {
@@ -870,6 +903,7 @@ func (g *groupOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 
 func (g *groupOp) Close(ctx *Ctx) error {
 	g.out = nil
+	g.mem.release(ctx)
 	return nil
 }
 
@@ -919,6 +953,7 @@ type setOp struct {
 	inputs []Stream
 	out    []datum.Row
 	pos    int
+	mem    memCharge
 }
 
 func (b *Builder) buildSetOp(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -994,7 +1029,7 @@ func (s *setOp) Open(ctx *Ctx) error {
 		s.out = rows
 	}
 	s.pos = 0
-	return nil
+	return s.mem.charge(ctx, s.out)
 }
 
 func dedup(rows []datum.Row) []datum.Row {
@@ -1022,6 +1057,7 @@ func (s *setOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 
 func (s *setOp) Close(ctx *Ctx) error {
 	s.out = nil
+	s.mem.release(ctx)
 	return nil
 }
 
@@ -1079,6 +1115,7 @@ type tableFnOp struct {
 
 	out []datum.Row
 	pos int
+	mem memCharge
 }
 
 func (b *Builder) buildTableFn(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -1127,7 +1164,7 @@ func (t *tableFnOp) Open(ctx *Ctx) error {
 		return err
 	}
 	t.out, t.pos = out.Rows, 0
-	return nil
+	return t.mem.charge(ctx, t.out)
 }
 
 func (t *tableFnOp) Next(ctx *Ctx) (datum.Row, bool, error) {
@@ -1141,6 +1178,7 @@ func (t *tableFnOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 
 func (t *tableFnOp) Close(ctx *Ctx) error {
 	t.out = nil
+	t.mem.release(ctx)
 	return nil
 }
 

@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/datum"
+)
+
+// This file bounds query execution: cancellation, a statement deadline,
+// and per-statement resource budgets. Operators call Ctx.tick on tuple
+// boundaries — amortized, so the hot path pays one counter increment
+// per tuple and a real check every tickInterval tuples — and charge
+// materialized state (sort runs, hash tables, temps, group state,
+// recursive work tables) against the memory budget via Reserve.
+
+// Limits are per-statement execution budgets; zero values are
+// unlimited.
+type Limits struct {
+	// MaxRows bounds the number of tuple-processing steps the statement
+	// may take: every tuple crossing a leaf or materialization boundary
+	// counts one step. It is a work budget, not a result-size limit — a
+	// cross join producing one output row still pays for every pair it
+	// considers. Enforcement is amortized: the statement may overshoot
+	// by up to tickInterval steps before the error surfaces.
+	MaxRows int64
+	// MaxMem bounds the estimated bytes of state materialized at any one
+	// time by sorts, hash tables, temps, grouping and set operations,
+	// table-function results and recursive work tables.
+	MaxMem int64
+	// Timeout bounds the statement's wall-clock execution time.
+	Timeout time.Duration
+}
+
+// ResourceError reports an exhausted execution budget.
+type ResourceError struct {
+	// Budget names what ran out: "rows", "mem" or "time".
+	Budget string
+	// Limit is the configured budget; Used what the statement reached.
+	Limit, Used int64
+}
+
+func (e *ResourceError) Error() string {
+	switch e.Budget {
+	case "time":
+		return fmt.Sprintf("exec: statement timeout: %v elapsed (limit %v)",
+			time.Duration(e.Used), time.Duration(e.Limit))
+	case "mem":
+		return fmt.Sprintf("exec: memory budget exhausted: %d bytes materialized (limit %d)", e.Used, e.Limit)
+	}
+	return fmt.Sprintf("exec: row budget exhausted: %d tuples processed (limit %d)", e.Used, e.Limit)
+}
+
+// tickInterval is how many tuple boundaries pass between full
+// cancellation/deadline checks; a power of two keeps the amortized
+// test a mask.
+const tickInterval = 256
+
+// Arm installs the cancellation context and starts the statement clock;
+// the deadline derives from Limits.Timeout. Call once before Open.
+func (c *Ctx) Arm(goCtx context.Context, limits Limits) {
+	c.goCtx = goCtx
+	c.limits = limits
+	if limits.Timeout > 0 {
+		c.started = time.Now()
+		c.deadline = c.started.Add(limits.Timeout)
+	}
+}
+
+// Limits reports the armed budgets.
+func (c *Ctx) Limits() Limits { return c.limits }
+
+// tick counts one tuple boundary. The hot path is one increment and a
+// mask test (it must stay small enough to inline); every tickInterval
+// calls the slow path enforces the row budget, the deadline and
+// cancellation, so budgets are enforced to within tickInterval tuples.
+func (c *Ctx) tick() error {
+	c.ticks++
+	if c.ticks&(tickInterval-1) != 0 {
+		return nil
+	}
+	return c.tickSlow()
+}
+
+func (c *Ctx) tickSlow() error {
+	if c.limits.MaxRows > 0 && c.ticks > c.limits.MaxRows {
+		return &ResourceError{Budget: "rows", Limit: c.limits.MaxRows, Used: c.ticks}
+	}
+	return c.checkCancel()
+}
+
+// checkCancel is the unamortized cancellation/deadline check.
+func (c *Ctx) checkCancel() error {
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return &ResourceError{Budget: "time",
+			Limit: int64(c.limits.Timeout), Used: int64(time.Since(c.started))}
+	}
+	if c.goCtx != nil {
+		if err := c.goCtx.Err(); err != nil {
+			if context.Cause(c.goCtx) == context.DeadlineExceeded && !c.deadline.IsZero() {
+				return &ResourceError{Budget: "time",
+					Limit: int64(c.limits.Timeout), Used: int64(time.Since(c.started))}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Reserve charges an operator's materialized state against the memory
+// budget; Release returns it when the state is freed.
+func (c *Ctx) Reserve(bytes int64) error {
+	c.memUsed += bytes
+	if c.limits.MaxMem > 0 && c.memUsed > c.limits.MaxMem {
+		return &ResourceError{Budget: "mem", Limit: c.limits.MaxMem, Used: c.memUsed}
+	}
+	return nil
+}
+
+// Release returns previously reserved bytes.
+func (c *Ctx) Release(bytes int64) {
+	c.memUsed -= bytes
+	if c.memUsed < 0 {
+		c.memUsed = 0
+	}
+}
+
+// MemUsed reports the bytes currently charged to the statement.
+func (c *Ctx) MemUsed() int64 { return c.memUsed }
+
+// memCharge tracks one operator's reservation so Open/Close pairs stay
+// balanced even when Open re-materializes.
+type memCharge struct {
+	bytes int64
+}
+
+// charge reserves the estimated size of rows, replacing any previous
+// reservation by this operator.
+func (m *memCharge) charge(ctx *Ctx, rows []datum.Row) error {
+	m.release(ctx)
+	var b int64
+	for _, r := range rows {
+		b += datum.RowBytes(r)
+	}
+	m.bytes = b
+	return ctx.Reserve(b)
+}
+
+// add reserves incrementally (recursive work tables grow row by row).
+func (m *memCharge) add(ctx *Ctx, rows ...datum.Row) error {
+	var b int64
+	for _, r := range rows {
+		b += datum.RowBytes(r)
+	}
+	m.bytes += b
+	return ctx.Reserve(b)
+}
+
+// release returns the whole reservation.
+func (m *memCharge) release(ctx *Ctx) {
+	if m.bytes != 0 {
+		ctx.Release(m.bytes)
+		m.bytes = 0
+	}
+}

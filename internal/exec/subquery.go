@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/catalog"
 	"repro/internal/datum"
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -217,6 +219,11 @@ func (s *subqOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		}
 		st := sp.NewState()
 		for _, ir := range inner {
+			// The fold walks a pre-materialized slice; without its own
+			// tick a huge cached subquery would be uncancellable.
+			if err := ctx.tick(); err != nil {
+				return nil, false, err
+			}
 			both := datum.Concat(row, ir)
 			t := datum.True
 			for _, p := range s.preds {
@@ -383,6 +390,7 @@ type recUnionOp struct {
 
 	out []datum.Row
 	pos int
+	mem memCharge
 }
 
 func (b *Builder) buildRecUnion(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -427,6 +435,9 @@ func (r *recUnionOp) Open(ctx *Ctx) error {
 		return err
 	}
 	delta := add(seedRows)
+	if err := r.mem.add(ctx, delta...); err != nil {
+		return err
+	}
 	wt := &recWorkTable{useTotal: !r.linear}
 	prev := ctx.rec[r.boxID]
 	ctx.rec[r.boxID] = wt
@@ -443,6 +454,9 @@ func (r *recUnionOp) Open(ctx *Ctx) error {
 			return err
 		}
 		delta = add(rows)
+		if err := r.mem.add(ctx, delta...); err != nil {
+			return err
+		}
 	}
 	r.out, r.pos = total, 0
 	return nil
@@ -459,6 +473,7 @@ func (r *recUnionOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 
 func (r *recUnionOp) Close(ctx *Ctx) error {
 	r.out = nil
+	r.mem.release(ctx)
 	return nil
 }
 
@@ -527,7 +542,14 @@ func (i *insertOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		return nil, false, err
 	}
 	t := i.node.Table
+	// The statement is atomic: every mutation is undo-logged, and any
+	// error rolls the whole statement back (heap and indexes).
+	var undo catalog.UndoLog
+	var affected int64
 	for _, src := range rows {
+		if err := ctx.tick(); err != nil {
+			return nil, false, errors.Join(err, undo.Rollback())
+		}
 		full := make(datum.Row, len(t.Cols))
 		for k := range full {
 			full[k] = datum.Null
@@ -535,11 +557,12 @@ func (i *insertOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		for k, ord := range i.node.TargetCols {
 			full[ord] = src[k]
 		}
-		if _, err := ctx.Cat.Insert(t, full); err != nil {
-			return nil, false, err
+		if _, err := ctx.Cat.InsertLogged(t, full, &undo); err != nil {
+			return nil, false, errors.Join(err, undo.Rollback())
 		}
-		ctx.Affected++
+		affected++
 	}
+	ctx.Affected += affected
 	return nil, false, nil
 }
 
@@ -601,7 +624,15 @@ func (u *updateDeleteOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	for {
 		row, rid, ok := it.Next()
 		if !ok {
+			if err := storage.IterErr(it); err != nil {
+				it.Close()
+				return nil, false, err
+			}
 			break
+		}
+		if err := ctx.tick(); err != nil {
+			it.Close()
+			return nil, false, err
 		}
 		match, err := evalPreds(ctx, u.preds, row)
 		if err != nil {
@@ -632,18 +663,25 @@ func (u *updateDeleteOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		work = append(work, pending{rid: rid, newRow: newRow})
 	}
 	it.Close()
+	// Apply phase, statement-atomic: any error rolls back every mutation
+	// already applied, including index maintenance.
+	var undo catalog.UndoLog
+	var affected int64
 	for _, w := range work {
 		var err error
-		if u.isDel {
-			err = ctx.Cat.Delete(t, w.rid)
-		} else {
-			err = ctx.Cat.Update(t, w.rid, w.newRow)
+		if err = ctx.tick(); err == nil {
+			if u.isDel {
+				err = ctx.Cat.DeleteLogged(t, w.rid, &undo)
+			} else {
+				err = ctx.Cat.UpdateLogged(t, w.rid, w.newRow, &undo)
+			}
 		}
 		if err != nil {
-			return nil, false, err
+			return nil, false, errors.Join(err, undo.Rollback())
 		}
-		ctx.Affected++
+		affected++
 	}
+	ctx.Affected += affected
 	return nil, false, nil
 }
 

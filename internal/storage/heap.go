@@ -125,6 +125,29 @@ func (h *heapRelation) Update(rid RID, r datum.Row) error {
 	return nil
 }
 
+// Restore implements Restorer: it puts a deleted record back into its
+// original slot, so a rolled-back DELETE reproduces the exact
+// pre-statement RIDs and scan order.
+func (h *heapRelation) Restore(rid RID, r datum.Row) error {
+	if len(r) != h.numCols {
+		return fmt.Errorf("storage: %s: row width %d, want %d", h.name, len(r), h.numCols)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pg, err := h.locate(rid)
+	if err != nil {
+		return err
+	}
+	if pg.rows[rid.Slot] != nil {
+		return fmt.Errorf("storage: %s: slot %s is occupied", h.name, rid)
+	}
+	pg.rows[rid.Slot] = r.Clone()
+	pg.live++
+	h.rowCount++
+	h.stats.WritePage()
+	return nil
+}
+
 func (h *heapRelation) Fetch(rid RID) (datum.Row, bool) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -293,6 +316,26 @@ func (f *fixedRelation) Update(rid RID, r datum.Row) error {
 		return fmt.Errorf("storage: %s: record %s deleted", f.name, rid)
 	}
 	f.rows[i] = r.Clone()
+	f.stats.WritePage()
+	return nil
+}
+
+// Restore implements Restorer (see heapRelation.Restore).
+func (f *fixedRelation) Restore(rid RID, r datum.Row) error {
+	if err := f.checkFixed(r); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i, err := f.idx(rid)
+	if err != nil {
+		return err
+	}
+	if f.rows[i] != nil {
+		return fmt.Errorf("storage: %s: slot %s is occupied", f.name, rid)
+	}
+	f.rows[i] = r.Clone()
+	f.live++
 	f.stats.WritePage()
 	return nil
 }

@@ -1,0 +1,152 @@
+package starburst
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// This file is the robustness surface of the DB: per-statement resource
+// limits, context-based cancellation, deterministic storage fault
+// injection, and a panic barrier that converts any panic escaping a
+// compilation phase or a QES operator — most likely a DBC extension —
+// into a structured error instead of crashing the process.
+
+// Re-exported robustness types.
+type (
+	// Limits are per-statement execution budgets (rows, memory, time);
+	// zero values are unlimited.
+	Limits = exec.Limits
+	// ResourceError reports an exhausted execution budget.
+	ResourceError = exec.ResourceError
+	// Fault is one injected storage failure.
+	Fault = storage.Fault
+	// FaultError is the typed error produced by an injected fault.
+	FaultError = storage.FaultError
+	// FaultOp names an injectable storage operation.
+	FaultOp = storage.FaultOp
+)
+
+// The injectable storage operations, re-exported.
+const (
+	FaultScan     = storage.FaultScan
+	FaultInsert   = storage.FaultInsert
+	FaultDelete   = storage.FaultDelete
+	FaultUpdate   = storage.FaultUpdate
+	FaultIxInsert = storage.FaultIxInsert
+	FaultIxDelete = storage.FaultIxDelete
+	FaultIxSearch = storage.FaultIxSearch
+)
+
+// QueryError reports a panic captured at the statement boundary: the
+// compilation/execution phase it escaped from, the QES operator it can
+// be attributed to (when one is on the stack), the panic value, and the
+// stack at the point of the panic.
+type QueryError struct {
+	// Phase is where the panic escaped: parse, rewrite, optimize, exec.
+	Phase string
+	// Operator is the failing QES operator type (e.g. "scanOp"), empty
+	// when the panic did not originate under an operator.
+	Operator string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *QueryError) Error() string {
+	if e.Operator != "" {
+		return fmt.Sprintf("starburst: panic during %s (operator %s): %v", e.Phase, e.Operator, e.Value)
+	}
+	return fmt.Sprintf("starburst: panic during %s: %v", e.Phase, e.Value)
+}
+
+// Unwrap exposes the panic value when it was an error.
+func (e *QueryError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recoverQueryError is the single recover barrier: statement entry
+// points defer it with a pointer to their phase marker and error return.
+func recoverQueryError(phase *string, err *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	stack := debug.Stack()
+	*err = &QueryError{Phase: *phase, Operator: operatorFromStack(stack), Value: p, Stack: stack}
+}
+
+// operatorFromStack attributes a panic to the innermost QES operator
+// method on the stack, e.g. "repro/internal/exec.(*scanOp).Next(...)".
+func operatorFromStack(stack []byte) string {
+	for _, line := range strings.Split(string(stack), "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "repro/internal/exec.(*")
+		if !ok {
+			continue
+		}
+		if name, _, ok := strings.Cut(rest, ")"); ok {
+			return name
+		}
+	}
+	return ""
+}
+
+// SetLimits installs per-statement execution budgets applied to every
+// subsequent Exec/ExecContext/Stmt.Run on this DB; the zero Limits
+// removes them.
+func (db *DB) SetLimits(l Limits) { db.limits = l }
+
+// GetLimits reports the current per-statement budgets.
+func (db *DB) GetLimits() Limits { return db.limits }
+
+// ExecContext is Exec under a context: cancelling ctx aborts the
+// statement at the next tuple boundary, and aborts injected fault
+// latency immediately.
+func (db *DB) ExecContext(ctx context.Context, query string, params map[string]Value) (*Result, error) {
+	return db.exec(ctx, query, params)
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+
+// InjectFaults arms storage faults, decorating this DB's storage with a
+// fault injector on first use: every registered storage manager and
+// access method is wrapped through the registries (the same extension
+// path a DBC uses), and existing tables and indexes are wrapped in
+// place. Deterministic: the (After+1)th matching operation fails.
+func (db *DB) InjectFaults(faults ...*Fault) {
+	if db.faults == nil {
+		db.faults = storage.NewFaultInjector()
+		db.cat.AttachFaults(db.faults)
+	}
+	db.faults.Add(faults...)
+}
+
+// ClearFaults disarms every injected fault; the injector stays attached
+// (its counters keep running) until DetachFaults.
+func (db *DB) ClearFaults() {
+	if db.faults != nil {
+		db.faults.ClearFaults()
+	}
+}
+
+// DetachFaults removes fault decoration entirely.
+func (db *DB) DetachFaults() {
+	if db.faults != nil {
+		db.cat.DetachFaults()
+		db.faults = nil
+	}
+}
+
+// Faults exposes the attached injector (nil before InjectFaults) for
+// inspecting operation counts and open-iterator tracking.
+func (db *DB) Faults() *storage.FaultInjector { return db.faults }

@@ -26,6 +26,7 @@
 package starburst
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -137,6 +138,11 @@ type DB struct {
 	opt      *optimizer.Optimizer
 	builder  *exec.Builder
 
+	// limits are the per-statement execution budgets (see SetLimits).
+	limits exec.Limits
+	// faults is the attached fault injector, nil until InjectFaults.
+	faults *storage.FaultInjector
+
 	// Rewrite configures the query rewrite phase; the zero value runs
 	// all rule classes sequentially to fixpoint.
 	Rewrite rewrite.Options
@@ -241,13 +247,21 @@ func (db *DB) RegisterOperator(op string, f BuildFunc) { db.builder.RegisterOper
 // Exec parses, compiles and executes one statement. Params bind host
 // language variables (":name" references).
 func (db *DB) Exec(query string, params map[string]Value) (*Result, error) {
+	return db.exec(context.Background(), query, params)
+}
+
+// exec is the statement entry point shared by Exec and ExecContext; it
+// carries the panic barrier and the phase marker it reports.
+func (db *DB) exec(goCtx context.Context, query string, params map[string]Value) (res *Result, err error) {
+	phase := "parse"
+	defer recoverQueryError(&phase, &err)
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	switch s := stmt.(type) {
 	case *sql.ExplainStmt:
-		text, err := db.explain(s.Stmt)
+		text, err := db.explain(s.Stmt, &phase)
 		if err != nil {
 			return nil, err
 		}
@@ -262,11 +276,12 @@ func (db *DB) Exec(query string, params map[string]Value) (*Result, error) {
 	default:
 		_ = s
 	}
-	compiled, err := db.compile(stmt)
+	compiled, err := db.compile(stmt, &phase)
 	if err != nil {
 		return nil, err
 	}
-	return db.run(compiled, params)
+	phase = "exec"
+	return db.run(goCtx, compiled, params)
 }
 
 // Stmt is a compiled statement; compilation and execution "may be
@@ -278,12 +293,14 @@ type Stmt struct {
 }
 
 // Prepare compiles a DML statement for repeated execution.
-func (db *DB) Prepare(query string) (*Stmt, error) {
+func (db *DB) Prepare(query string) (st *Stmt, err error) {
+	phase := "parse"
+	defer recoverQueryError(&phase, &err)
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := db.compile(stmt)
+	compiled, err := db.compile(stmt, &phase)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +309,14 @@ func (db *DB) Prepare(query string) (*Stmt, error) {
 
 // Run executes a prepared statement with the given parameter bindings.
 func (s *Stmt) Run(params map[string]Value) (*Result, error) {
-	return s.db.run(s.compiled, params)
+	return s.RunContext(context.Background(), params)
+}
+
+// RunContext is Run under a cancellation context.
+func (s *Stmt) RunContext(goCtx context.Context, params map[string]Value) (res *Result, err error) {
+	phase := "exec"
+	defer recoverQueryError(&phase, &err)
+	return s.db.run(goCtx, s.compiled, params)
 }
 
 // Plan renders the prepared statement's QEP.
@@ -300,27 +324,46 @@ func (s *Stmt) Plan() string { return s.compiled.Root.String() }
 
 // compile drives the compile-time phases: translation to QGM, query
 // rewrite, plan optimization (and, inside the executor, plan
-// refinement).
-func (db *DB) compile(stmt sql.Statement) (*plan.Compiled, error) {
+// refinement). phase marks progress for the panic barrier.
+func (db *DB) compile(stmt sql.Statement, phase *string) (*plan.Compiled, error) {
 	g, err := qgm.TranslateStatement(db.cat, stmt)
 	if err != nil {
 		return nil, err
 	}
 	if !db.SkipRewrite {
+		*phase = "rewrite"
 		if _, err := db.rewriter.Rewrite(g, db.Rewrite); err != nil {
 			return nil, err
 		}
 	}
+	*phase = "optimize"
 	return db.opt.Optimize(g)
 }
 
-// run refines and interprets a compiled plan.
-func (db *DB) run(compiled *plan.Compiled, params map[string]Value) (*Result, error) {
+// run refines and interprets a compiled plan under the DB's limits and
+// the caller's cancellation context.
+func (db *DB) run(goCtx context.Context, compiled *plan.Compiled, params map[string]Value) (*Result, error) {
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	limits := db.limits
+	if limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		goCtx, cancel = context.WithTimeout(goCtx, limits.Timeout)
+		defer cancel()
+	}
+	if db.faults != nil {
+		// Injected fault latency must abort as soon as the statement is
+		// cancelled, not when the sleep elapses.
+		db.faults.SetInterrupt(goCtx.Done())
+		defer db.faults.SetInterrupt(nil)
+	}
 	stream, err := db.builder.Build(compiled.Root, nil)
 	if err != nil {
 		return nil, err
 	}
 	ctx := exec.NewCtx(db.cat, params)
+	ctx.Arm(goCtx, limits)
 	rows, err := exec.Run(ctx, stream)
 	if err != nil {
 		return nil, err
@@ -335,7 +378,7 @@ func (db *DB) run(compiled *plan.Compiled, params map[string]Value) (*Result, er
 // explain renders the compilation phases for EXPLAIN <stmt>: the QGM
 // after translation, the rewrite trace, the rewritten QGM, and the
 // chosen plan.
-func (db *DB) explain(stmt sql.Statement) (string, error) {
+func (db *DB) explain(stmt sql.Statement, phase *string) (string, error) {
 	var b strings.Builder
 	g, err := qgm.TranslateStatement(db.cat, stmt)
 	if err != nil {
@@ -344,6 +387,7 @@ func (db *DB) explain(stmt sql.Statement) (string, error) {
 	b.WriteString("=== QGM (after parsing & semantic analysis) ===\n")
 	b.WriteString(g.String())
 	if !db.SkipRewrite {
+		*phase = "rewrite"
 		trace, err := db.rewriter.Rewrite(g, db.Rewrite)
 		if err != nil {
 			return "", err
@@ -358,6 +402,7 @@ func (db *DB) explain(stmt sql.Statement) (string, error) {
 		b.WriteString("=== QGM (after rewrite) ===\n")
 		b.WriteString(g.String())
 	}
+	*phase = "optimize"
 	compiled, err := db.opt.Optimize(g)
 	if err != nil {
 		return "", err

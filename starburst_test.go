@@ -1,6 +1,7 @@
 package starburst
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -844,7 +845,7 @@ func TestRuntimeChoose(t *testing.T) {
 		t.Fatalf("runtime CHOOSE must survive optimization:\n%s", compiled.Root)
 	}
 	run := func(want string) int {
-		res, err := db.run(compiled, map[string]Value{"want": NewString(want)})
+		res, err := db.run(context.Background(), compiled, map[string]Value{"want": NewString(want)})
 		if err != nil {
 			t.Fatal(err)
 		}
