@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check faults bench
+.PHONY: all build test vet lint race check faults bench obs
 
 all: check
 
@@ -30,10 +30,19 @@ faults:
 	$(GO) test ./ -count=1 -run 'TestFaultMatrix|TestDMLAtomicity|TestCancelDuringFaultLatency|FuzzFaultSchedule'
 	$(GO) test ./ -run FuzzFaultSchedule -fuzz FuzzFaultSchedule -fuzztime 10s
 
+# obs runs the observability gate: per-operator stats invariants over
+# every operator kind (clean, faulted, cancelled), metrics counters,
+# tracing, slow-query log, EXPLAIN ANALYZE end to end, and the shell
+# golden files.
+obs:
+	$(GO) test ./ -count=1 -run 'TestAnalyzeInvariants|TestInstrumentationKeeps|TestMetricsCounters|TestTracing|TestRewriteFirings|TestSlowQueryLog|TestExplainAnalyze|TestObsServer'
+	$(GO) test ./cmd/starburst -count=1
+	$(GO) test ./internal/obs -count=1
+
 # bench records the Figure-1 phase benchmarks as JSON for the perf
-# trajectory across PRs.
+# trajectory across PRs, including tracing-off vs tracing-on overhead.
 bench:
-	BENCH_JSON=BENCH_PR2.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+	BENCH_JSON=BENCH_PR3.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
 
 # check is the full gate CI runs: vet, build, race-enabled tests, lint.
 check: vet build race lint

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/qgm"
 	"repro/internal/rewrite"
@@ -113,6 +114,34 @@ func BenchmarkFig1PhaseExecute(b *testing.B) {
 
 func BenchmarkFig1EndToEnd(b *testing.B) {
 	db := benchDB(b, 512, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(benchPaperQuery, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1EndToEndTraced is Fig1EndToEnd with phase tracing armed;
+// the delta against the untraced run is the tracing overhead (a Trace
+// allocation plus a few clock reads per statement).
+func BenchmarkFig1EndToEndTraced(b *testing.B) {
+	db := benchDB(b, 512, 64)
+	db.SetTracing(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(benchPaperQuery, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1EndToEndInstrumented additionally runs every operator
+// under the per-operator stats decorator (armed via a slow-query
+// threshold that never fires) — the full EXPLAIN ANALYZE-grade cost.
+func BenchmarkFig1EndToEndInstrumented(b *testing.B) {
+	db := benchDB(b, 512, 64)
+	db.SetSlowQueryThreshold(time.Hour)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Exec(benchPaperQuery, nil); err != nil {

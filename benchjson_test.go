@@ -8,7 +8,7 @@ import (
 
 // TestEmitBenchJSON records the Figure-1 phase benchmarks as JSON so
 // successive PRs can track the performance trajectory (`make bench`
-// writes BENCH_PR2.json). Skipped unless BENCH_JSON names the output
+// writes BENCH_PR3.json). Skipped unless BENCH_JSON names the output
 // file.
 func TestEmitBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_JSON")
@@ -25,6 +25,10 @@ func TestEmitBenchJSON(t *testing.T) {
 		{"Fig1PhaseOptimize", BenchmarkFig1PhaseOptimize},
 		{"Fig1PhaseExecute", BenchmarkFig1PhaseExecute},
 		{"Fig1EndToEnd", BenchmarkFig1EndToEnd},
+		// Tracing-off vs tracing-on vs fully instrumented: the pair below
+		// bounds the observability overhead against Fig1EndToEnd.
+		{"Fig1EndToEndTraced", BenchmarkFig1EndToEndTraced},
+		{"Fig1EndToEndInstrumented", BenchmarkFig1EndToEndInstrumented},
 	}
 	out := map[string]map[string]int64{}
 	for _, bm := range benches {

@@ -147,12 +147,13 @@ func (l *loader) typeCheck(dir, importPath string) (*types.Package, []*ast.File,
 // shared with import resolution; fixture dirs (where the mapping does
 // not hold) are checked standalone so they cannot poison the cache.
 func (l *loader) LintDir(dir, importPath string) ([]Finding, error) {
+	var pkg *types.Package
 	var files []*ast.File
 	var err error
 	if l.canonicalDir(importPath) == dir {
-		_, files, err = l.load(dir, importPath)
+		pkg, files, err = l.load(dir, importPath)
 	} else {
-		_, files, err = l.typeCheck(dir, importPath)
+		pkg, files, err = l.typeCheck(dir, importPath)
 	}
 	if err != nil {
 		return nil, err
@@ -166,6 +167,7 @@ func (l *loader) LintDir(dir, importPath string) ([]Finding, error) {
 	for _, f := range files {
 		ast.Inspect(f, c.node)
 	}
+	c.obsBypass(pkg, files)
 	sort.Slice(c.findings, func(i, j int) bool {
 		a, b := c.findings[i].Pos, c.findings[j].Pos
 		if a.Filename != b.Filename {
@@ -367,6 +369,85 @@ func (c *checks) execPanic(n *ast.CallExpr) {
 	}
 	c.report(n.Pos(), "exec-panic",
 		"naked panic in internal/exec; execution operators must return errors through the Stream, not crash the process")
+}
+
+// obsBypass verifies, inside internal/exec, that every named type
+// implementing the package's Stream interface appears as a case in the
+// operatorKind type switch — the registration point of the per-operator
+// stats decorator. An operator missing from operatorKind still executes,
+// but EXPLAIN ANALYZE and the slow-query log would report it under a
+// raw %T name, and nothing proves its author thought about
+// instrumentation. This is a whole-package check (it needs the full
+// type set), so it runs once per LintDir rather than per node.
+func (c *checks) obsBypass(pkg *types.Package, files []*ast.File) {
+	if pkg == nil || !strings.HasPrefix(c.importPath, c.modPath+"/internal/exec") {
+		return
+	}
+	scope := pkg.Scope()
+	streamObj := scope.Lookup("Stream")
+	if streamObj == nil {
+		return
+	}
+	iface, ok := streamObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	registered := c.operatorKindCases(files)
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if !registered[name] {
+			c.report(tn.Pos(), "obs-bypass",
+				"type %s implements Stream but is not a case in operatorKind; register every QES operator there so the stats decorator and EXPLAIN ANALYZE can name it", name)
+		}
+	}
+}
+
+// operatorKindCases collects the type names switched on inside the
+// package's operatorKind function.
+func (c *checks) operatorKindCases(files []*ast.File) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "operatorKind" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					tv, ok := c.info.Types[e]
+					if !ok {
+						continue
+					}
+					t := tv.Type
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+					}
+					if named, ok := t.(*types.Named); ok {
+						out[named.Obj().Name()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
 }
 
 // dmlDirectMutate flags calls to catalog.Catalog's Insert, Update or

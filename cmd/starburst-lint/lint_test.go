@@ -232,6 +232,102 @@ func alsoFine(t *catalog.Table, row datum.Row) {
 		}
 	})
 
+	t.Run("obs-bypass", func(t *testing.T) {
+		src := `package x
+
+type Ctx struct{}
+type Row []int
+
+type Stream interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (Row, bool, error)
+	Close(ctx *Ctx) error
+}
+
+type goodOp struct{}
+
+func (*goodOp) Open(*Ctx) error              { return nil }
+func (*goodOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
+func (*goodOp) Close(*Ctx) error             { return nil }
+
+// rogueOp implements Stream but is missing from operatorKind: flagged.
+type rogueOp struct{}
+
+func (*rogueOp) Open(*Ctx) error              { return nil }
+func (*rogueOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
+func (*rogueOp) Close(*Ctx) error             { return nil }
+
+// notAStream has the wrong shape; never flagged.
+type notAStream struct{}
+
+func (*notAStream) Open(*Ctx) error { return nil }
+
+func operatorKind(s Stream) string {
+	switch s.(type) {
+	case *goodOp:
+		return "goodOp"
+	}
+	return ""
+}
+`
+		// Outside internal/exec the check does not apply...
+		dir := writeFixture(t, src)
+		findings, err := l.LintDir(dir, "repro/x6")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Fatalf("obs-bypass outside internal/exec must not fire, got %v", findings)
+		}
+		// ...inside it, exactly the unregistered operator is flagged.
+		dir2 := writeFixture(t, src)
+		findings, err = l.LintDir(dir2, "repro/internal/exec/fixture")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countCheck(findings, "obs-bypass"); got != 1 {
+			t.Fatalf("want 1 obs-bypass finding, got %d: %v", got, findings)
+		}
+		if !strings.Contains(findings[0].Msg, "rogueOp") {
+			t.Fatalf("finding must name rogueOp: %v", findings[0])
+		}
+	})
+
+	t.Run("obs-bypass clean when exhaustive", func(t *testing.T) {
+		dir := writeFixture(t, `package x
+
+type Ctx struct{}
+type Row []int
+
+type Stream interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (Row, bool, error)
+	Close(ctx *Ctx) error
+}
+
+type onlyOp struct{}
+
+func (*onlyOp) Open(*Ctx) error              { return nil }
+func (*onlyOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
+func (*onlyOp) Close(*Ctx) error             { return nil }
+
+func operatorKind(s Stream) string {
+	switch s.(type) {
+	case *onlyOp:
+		return "onlyOp"
+	}
+	return ""
+}
+`)
+		findings, err := l.LintDir(dir, "repro/internal/exec/fixture2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Fatalf("exhaustive operatorKind must be clean, got %v", findings)
+		}
+	})
+
 	t.Run("repository is clean", func(t *testing.T) {
 		if testing.Short() {
 			t.Skip("type-checks the whole module")

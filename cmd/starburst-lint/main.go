@@ -16,6 +16,10 @@
 //     internal/exec — DML mutates through the undo-logged entry points
 //     (InsertLogged, UpdateLogged, DeleteLogged) so statements stay
 //     atomic under mid-statement errors.
+//   - obs-bypass: every type in internal/exec implementing Stream must
+//     be a case in operatorKind, the registration point of the
+//     per-operator stats decorator, so EXPLAIN ANALYZE and the
+//     slow-query log can name it.
 //
 // Usage:
 //

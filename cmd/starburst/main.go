@@ -9,8 +9,11 @@
 //	starburst -f script.sql   # execute a file and exit
 //
 // Inside the REPL, "EXPLAIN <stmt>" shows the QGM before and after
-// rewrite plus the chosen plan; "\d" lists tables and views; "\io"
-// shows simulated I/O counters; "\q" quits.
+// rewrite plus the chosen plan; "EXPLAIN ANALYZE <stmt>" executes the
+// statement and shows the plan annotated with actual per-operator row
+// counts, timings and memory; "\d" lists tables and views; "\io" shows
+// simulated I/O counters; "\timing" toggles elapsed-time reporting;
+// "\metrics" dumps the DB metrics registry; "\q" quits.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -31,64 +35,85 @@ func main() {
 	audit := flag.Bool("audit", false, "verify the QGM after every rewrite-rule firing and audit chosen plans")
 	timeout := flag.Duration("timeout", 0, "per-statement timeout (0 = none)")
 	maxRows := flag.Int64("max-rows", 0, "per-statement tuple-processing budget (0 = none)")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
 	db := starburst.Open()
 	db.SetAudit(*audit)
 	db.SetLimits(starburst.Limits{Timeout: *timeout, MaxRows: *maxRows})
+	if *obsAddr != "" {
+		srv, err := db.StartObsServer(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s/metrics\n", srv.Addr())
+	}
+	sh := &shell{db: db, out: os.Stdout, errOut: os.Stderr, timing: true}
 	switch {
 	case *eval != "":
-		runScript(db, *eval)
+		exitOn(sh.runScript(*eval))
 	case *file != "":
 		data, err := os.ReadFile(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		runScript(db, string(data))
+		exitOn(sh.runScript(string(data)))
 	default:
-		repl(db)
+		sh.repl(os.Stdin)
 	}
 }
 
-func runScript(db *starburst.DB, script string) {
+func exitOn(err error) {
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+// shell is one REPL/script session: a DB, the sinks output goes to, and
+// the \timing toggle.
+type shell struct {
+	db     *starburst.DB
+	out    io.Writer
+	errOut io.Writer
+	// timing appends "(elapsed)" to statement status lines; toggled by
+	// \timing. On by default.
+	timing bool
+}
+
+func (sh *shell) runScript(script string) error {
 	for _, stmt := range splitStatements(script) {
 		if strings.TrimSpace(stmt) == "" {
 			continue
 		}
-		if err := execute(db, stmt); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		if err := sh.execute(stmt); err != nil {
+			fmt.Fprintln(sh.errOut, "error:", err)
+			return err
 		}
 	}
+	return nil
 }
 
-func repl(db *starburst.DB) {
-	fmt.Println("Starburst reproduction shell — Hydrogen statements end with ';'")
-	fmt.Println(`commands: \d (schema)  \io (I/O counters)  \q (quit)`)
-	sc := bufio.NewScanner(os.Stdin)
+func (sh *shell) repl(in io.Reader) {
+	fmt.Fprintln(sh.out, "Starburst reproduction shell — Hydrogen statements end with ';'")
+	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \q (quit)`)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := "starburst> "
 	for {
-		fmt.Print(prompt)
+		fmt.Fprint(sh.out, prompt)
 		if !sc.Scan() {
-			fmt.Println()
+			fmt.Fprintln(sh.out)
 			return
 		}
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			switch trimmed {
-			case `\q`:
+			if sh.command(trimmed) {
 				return
-			case `\d`:
-				describe(db)
-			case `\io`:
-				r, w, ix := db.IOStats()
-				fmt.Printf("page reads=%d writes=%d index reads=%d\n", r, w, ix)
-			default:
-				fmt.Println("unknown command", trimmed)
 			}
 			continue
 		}
@@ -98,8 +123,8 @@ func repl(db *starburst.DB) {
 			stmt := buf.String()
 			buf.Reset()
 			prompt = "starburst> "
-			if err := execute(db, stmt); err != nil {
-				fmt.Println("error:", err)
+			if err := sh.execute(stmt); err != nil {
+				fmt.Fprintln(sh.out, "error:", err)
 			}
 		} else if buf.Len() > 0 {
 			prompt = "      ...> "
@@ -107,63 +132,94 @@ func repl(db *starburst.DB) {
 	}
 }
 
-func describe(db *starburst.DB) {
-	cat := db.Catalog()
+// command handles one backslash command; reports whether to quit.
+func (sh *shell) command(cmd string) (quit bool) {
+	switch cmd {
+	case `\q`:
+		return true
+	case `\d`:
+		sh.describe()
+	case `\io`:
+		r, w, ix := sh.db.IOStats()
+		fmt.Fprintf(sh.out, "page reads=%d writes=%d index reads=%d\n", r, w, ix)
+	case `\timing`:
+		sh.timing = !sh.timing
+		if sh.timing {
+			fmt.Fprintln(sh.out, "timing is on")
+		} else {
+			fmt.Fprintln(sh.out, "timing is off")
+		}
+	case `\metrics`:
+		if _, err := sh.db.Metrics().WriteTo(sh.out); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+	default:
+		fmt.Fprintln(sh.out, "unknown command", cmd)
+	}
+	return false
+}
+
+func (sh *shell) describe() {
+	cat := sh.db.Catalog()
 	for _, name := range cat.TableNames() {
 		t, _ := cat.Table(name)
 		var cols []string
 		for _, c := range t.Cols {
 			cols = append(cols, c.Name)
 		}
-		fmt.Printf("table %s (%s) using %s, %d rows", name, strings.Join(cols, ", "), t.SM, t.Rel.RowCount())
+		fmt.Fprintf(sh.out, "table %s (%s) using %s, %d rows", name, strings.Join(cols, ", "), t.SM, t.Rel.RowCount())
 		for _, ix := range t.Indexes {
-			fmt.Printf(" [index %s/%s]", ix.Name, ix.Method)
+			fmt.Fprintf(sh.out, " [index %s/%s]", ix.Name, ix.Method)
 		}
-		fmt.Println()
+		fmt.Fprintln(sh.out)
 	}
 	for _, name := range cat.ViewNames() {
 		v, _ := cat.View(name)
-		fmt.Printf("view %s AS %s\n", name, v.Text)
+		fmt.Fprintf(sh.out, "view %s AS %s\n", name, v.Text)
 	}
 }
 
-func execute(db *starburst.DB, stmt string) error {
+func (sh *shell) execute(stmt string) error {
 	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
 	if stmt == "" {
 		return nil
 	}
 	start := time.Now()
-	res, err := db.Exec(stmt, nil)
+	res, err := sh.db.Exec(stmt, nil)
 	if err != nil {
 		var aerr *starburst.AuditError
 		if errors.As(err, &aerr) {
-			fmt.Fprintln(os.Stderr, "audit failure — firing trace:")
+			fmt.Fprintln(sh.errOut, "audit failure — firing trace:")
 			for i, f := range aerr.Trace {
 				marker := ""
 				if i == aerr.Firing {
 					marker = "   <-- offending firing"
 				}
-				fmt.Fprintf(os.Stderr, "  %3d: rule %s on box %d%s\n", i, f.Rule, f.Box, marker)
+				fmt.Fprintf(sh.errOut, "  %3d: rule %s on box %d%s\n", i, f.Rule, f.Box, marker)
 			}
 		}
 		return err
 	}
 	elapsed := time.Since(start)
 	if len(res.Columns) > 0 {
-		printTable(res)
+		sh.printTable(res)
+	}
+	suffix := ""
+	if sh.timing {
+		suffix = fmt.Sprintf(" (%v)", elapsed.Round(time.Microsecond))
 	}
 	switch {
 	case res.Affected > 0:
-		fmt.Printf("%d row(s) affected (%v)\n", res.Affected, elapsed.Round(time.Microsecond))
+		fmt.Fprintf(sh.out, "%d row(s) affected%s\n", res.Affected, suffix)
 	case len(res.Columns) > 0:
-		fmt.Printf("%d row(s) (%v)\n", len(res.Rows), elapsed.Round(time.Microsecond))
+		fmt.Fprintf(sh.out, "%d row(s)%s\n", len(res.Rows), suffix)
 	default:
-		fmt.Printf("ok (%v)\n", elapsed.Round(time.Microsecond))
+		fmt.Fprintf(sh.out, "ok%s\n", suffix)
 	}
 	return nil
 }
 
-func printTable(res *starburst.Result) {
+func (sh *shell) printTable(res *starburst.Result) {
 	widths := make([]int, len(res.Columns))
 	for i, c := range res.Columns {
 		widths[i] = len(c)
@@ -181,21 +237,21 @@ func printTable(res *starburst.Result) {
 	}
 	var sep strings.Builder
 	for i, c := range res.Columns {
-		fmt.Printf("%-*s  ", widths[i], c)
+		fmt.Fprintf(sh.out, "%-*s  ", widths[i], c)
 		sep.WriteString(strings.Repeat("-", widths[i]))
 		sep.WriteString("  ")
 	}
-	fmt.Println()
-	fmt.Println(strings.TrimRight(sep.String(), " "))
+	fmt.Fprintln(sh.out)
+	fmt.Fprintln(sh.out, strings.TrimRight(sep.String(), " "))
 	for _, row := range cells {
 		for i, s := range row {
 			w := 0
 			if i < len(widths) {
 				w = widths[i]
 			}
-			fmt.Printf("%-*s  ", w, s)
+			fmt.Fprintf(sh.out, "%-*s  ", w, s)
 		}
-		fmt.Println()
+		fmt.Fprintln(sh.out)
 	}
 }
 

@@ -41,6 +41,11 @@ type Ctx struct {
 	rec map[int]*recWorkTable
 	// Affected counts rows touched by DML.
 	Affected int64
+	// SubqHits/SubqMisses count subquery-cache lookups statement-wide
+	// (evaluate-on-demand re-use, section 7).
+	SubqHits, SubqMisses int64
+	// Rollbacks counts undo-log rollbacks taken by failing DML.
+	Rollbacks int64
 
 	// goCtx carries cancellation; nil means uncancellable (see Arm).
 	goCtx context.Context
@@ -163,6 +168,9 @@ type Builder struct {
 	cat *catalog.Catalog
 	// custom maps DBC operator names to their build functions.
 	custom map[string]BuildFunc
+	// instr, when set, wraps every built operator with the stats
+	// decorator (see Instrumented); nil on the DB's shared builder.
+	instr *Instrumentation
 }
 
 // BuildFunc builds a Stream for a custom plan operator; inputs are the
@@ -180,8 +188,18 @@ func (b *Builder) RegisterOperator(op string, f BuildFunc) {
 }
 
 // Build refines a plan node into an executable stream. corr maps the
-// correlation columns available to this subtree.
+// correlation columns available to this subtree. When the builder is
+// instrumented, every node's stream — children included, since they are
+// built through this method too — is wrapped with the stats decorator.
 func (b *Builder) Build(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	s, err := b.buildNode(n, corr)
+	if err != nil || b.instr == nil {
+		return s, err
+	}
+	return b.instr.wrap(n, s), nil
+}
+
+func (b *Builder) buildNode(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
 	switch n.Op {
 	case plan.OpScan:
 		return b.buildScan(n, corr)
@@ -263,6 +281,10 @@ func Run(ctx *Ctx, s Stream) (rows []datum.Row, err error) {
 			rows = nil
 		}
 	}()
+	// When the drained stream is the stats decorator, its Next already
+	// charged the work budget through Ctx.countRow (the single row-
+	// accounting path); charging again here would double-bill the tuple.
+	counted := statsOf(s) != nil
 	var out []datum.Row
 	for {
 		row, ok, err := s.Next(ctx)
@@ -272,8 +294,10 @@ func Run(ctx *Ctx, s Stream) (rows []datum.Row, err error) {
 		if !ok {
 			return out, nil
 		}
-		if err := ctx.tick(); err != nil {
-			return nil, err
+		if !counted {
+			if err := ctx.countRow(nil); err != nil {
+				return nil, err
+			}
 		}
 		out = append(out, row)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/datum"
+	"repro/internal/obs"
 )
 
 // This file bounds query execution: cancellation, a statement deadline,
@@ -81,6 +82,23 @@ func (c *Ctx) tick() error {
 		return nil
 	}
 	return c.tickSlow()
+}
+
+// countRow accounts one produced tuple crossing an observed boundary.
+// It is the single row-accounting path shared by the work budget and
+// the observability layer: the tuple pays one budget tick and, when the
+// producing operator is instrumented, one increment on its row counter
+// — so MaxRows accounting and EXPLAIN ANALYZE row counts can never
+// disagree about what counts as a row. A budget-rejected tuple is not
+// recorded as produced.
+func (c *Ctx) countRow(st *obs.OpStats) error {
+	if err := c.tick(); err != nil {
+		return err
+	}
+	if st != nil {
+		st.Rows++
+	}
+	return nil
 }
 
 func (c *Ctx) tickSlow() error {

@@ -58,8 +58,10 @@ type subplanRunner struct {
 func (r *subplanRunner) rows(ctx *Ctx, corr datum.Row) ([]datum.Row, error) {
 	key := datum.RowKey(corr)
 	if rows, ok := r.cache.get(key); ok {
+		ctx.SubqHits++
 		return rows, nil
 	}
+	ctx.SubqMisses++
 	saved := ctx.corr
 	ctx.corr = corr
 	rows, err := Run(ctx, r.inner)
@@ -89,6 +91,9 @@ type subqOp struct {
 	setReg   setPredLookup
 	// pending buffers multi-row emissions (lateral kind).
 	pending []datum.Row
+	// prevHits/prevMisses carry cache totals across re-opens (each Open
+	// starts a fresh cache), so CacheStats is statement-cumulative.
+	prevHits, prevMisses int64
 }
 
 type setPredLookup interface {
@@ -147,9 +152,19 @@ func (b *Builder) buildSubq(n *plan.Node, corr map[plan.ColRef]int) (Stream, err
 }
 
 func (s *subqOp) Open(ctx *Ctx) error {
+	if c := s.runner.cache; c != nil {
+		s.prevHits += c.Hits
+		s.prevMisses += c.Misses
+	}
 	s.runner.cache = newSubqCache()
 	s.pending = nil
 	return s.input.Open(ctx)
+}
+
+// CacheStats reports statement-cumulative subquery-cache totals; the
+// stats decorator harvests them at Close.
+func (s *subqOp) CacheStats() (hits, misses int64) {
+	return s.prevHits + s.runner.cache.Hits, s.prevMisses + s.runner.cache.Misses
 }
 
 func (s *subqOp) Next(ctx *Ctx) (datum.Row, bool, error) {
@@ -513,6 +528,15 @@ func (r *recRefOp) Close(ctx *Ctx) error { return nil }
 // apply) to avoid the Halloween problem of re-visiting freshly updated
 // records.
 
+// rollback compensates a failing DML statement and counts the rollback
+// (a no-op log is not counted: nothing was undone).
+func rollback(ctx *Ctx, undo *catalog.UndoLog) error {
+	if undo.Len() > 0 {
+		ctx.Rollbacks++
+	}
+	return undo.Rollback()
+}
+
 type insertOp struct {
 	src  Stream
 	node *plan.Node
@@ -548,7 +572,7 @@ func (i *insertOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	var affected int64
 	for _, src := range rows {
 		if err := ctx.tick(); err != nil {
-			return nil, false, errors.Join(err, undo.Rollback())
+			return nil, false, errors.Join(err, rollback(ctx, &undo))
 		}
 		full := make(datum.Row, len(t.Cols))
 		for k := range full {
@@ -558,7 +582,7 @@ func (i *insertOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 			full[ord] = src[k]
 		}
 		if _, err := ctx.Cat.InsertLogged(t, full, &undo); err != nil {
-			return nil, false, errors.Join(err, undo.Rollback())
+			return nil, false, errors.Join(err, rollback(ctx, &undo))
 		}
 		affected++
 	}
@@ -677,7 +701,7 @@ func (u *updateDeleteOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 			}
 		}
 		if err != nil {
-			return nil, false, errors.Join(err, undo.Rollback())
+			return nil, false, errors.Join(err, rollback(ctx, &undo))
 		}
 		affected++
 	}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddPhase(PhaseParse, time.Millisecond)
+	tr.CountRule("r")
+	tr.CountStar("s")
+	if tr.Total() != 0 {
+		t.Fatal("nil trace should total zero")
+	}
+	if tr.String() != "" {
+		t.Fatal("nil trace should render empty")
+	}
+}
+
+func TestTraceAccrual(t *testing.T) {
+	tr := NewTrace()
+	tr.AddPhase(PhaseParse, 2*time.Millisecond)
+	tr.AddPhase(PhaseExec, 3*time.Millisecond)
+	tr.CountRule("merge")
+	tr.CountRule("merge")
+	tr.CountStar("JOIN")
+	if tr.Total() != 5*time.Millisecond {
+		t.Fatalf("total = %v", tr.Total())
+	}
+	if tr.RuleFirings["merge"] != 2 || tr.StarExpansions["JOIN"] != 1 {
+		t.Fatalf("counts = %v %v", tr.RuleFirings, tr.StarExpansions)
+	}
+	s := tr.String()
+	for _, want := range []string{"parse=2ms", "execute=3ms", "rewrite=0s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stmts").Inc()
+	r.Counter("stmts").Add(2)
+	if got := r.Counter("stmts").Value(); got != 3 {
+		t.Fatalf("counter = %d", got)
+	}
+	r.CounterWith("by_kind", "kind", "SELECT").Inc()
+	if got := r.CounterValue("by_kind", "kind", "SELECT"); got != 1 {
+		t.Fatalf("labelled counter = %d", got)
+	}
+	if got := r.CounterValue("by_kind", "kind", "INSERT"); got != 0 {
+		t.Fatalf("absent series = %d", got)
+	}
+	r.Gauge("open").Set(7)
+	r.Gauge("open").Add(-2)
+	if got := r.Gauge("open").Value(); got != 5 {
+		t.Fatalf("gauge = %d", got)
+	}
+	r.GaugeFunc("computed", func() int64 { return 42 })
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "computed 42") {
+		t.Fatalf("gauge func missing from:\n%s", b.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="0.01"} 1`,
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+		"lat_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c").Inc()
+				r.CounterWith("l", "k", "v").Inc()
+				r.Histogram("h", DefaultLatencyBuckets).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 4000 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 4000 {
+		t.Fatalf("histogram count = %d", got)
+	}
+}
+
+// promLine matches one sample line of the Prometheus text format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [0-9.eE+-]+(Inf)?$`)
+
+// TestPrometheusTextParseable checks every emitted line against the
+// exposition-format grammar (comments or samples, nothing else).
+func TestPrometheusTextParseable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.CounterWith("b_total", "phase", "exec").Add(3)
+	r.Gauge("g").Set(-1)
+	r.GaugeFunc("gf", func() int64 { return 9 })
+	r.Histogram("h_seconds", DefaultLatencyBuckets).Observe(0.2)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+	}
+}
+
+func TestServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up").Inc()
+	s, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	// The pprof index must answer too.
+	resp2, err := http.Get("http://" + s.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a dependency-free metrics registry: named counters,
+// gauges and histograms, each with at most one label dimension, rendered
+// in the Prometheus text exposition format. Metric handles are cheap to
+// look up and cheap to bump (atomic increments), so a DB keeps one
+// registry for its lifetime and statements record into it directly.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[metricKey]*Counter
+	gauges     map[metricKey]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+}
+
+// metricKey identifies one metric series: a name plus an optional
+// single label pair.
+type metricKey struct {
+	name, label, value string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[metricKey]*Counter{},
+		gauges:     map[metricKey]*Gauge{},
+		gaugeFuncs: map[string]func() int64{},
+		hists:      map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution (cumulative buckets, sum and
+// count), Prometheus-style. Observations and snapshots are mutex-
+// guarded; histograms are bumped once per statement, not per tuple.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []int64   // non-cumulative counts per bound, plus overflow
+	count   int64
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(h.bounds)]++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the running total of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// DefaultLatencyBuckets spans 100µs to ~100s in decades, in seconds.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 100,
+}
+
+// Counter returns (creating on first use) the unlabelled counter name.
+func (r *Registry) Counter(name string) *Counter {
+	return r.CounterWith(name, "", "")
+}
+
+// CounterWith returns the counter series name{label="value"}.
+func (r *Registry) CounterWith(name, label, value string) *Counter {
+	k := metricKey{name, label, value}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the unlabelled gauge name.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.GaugeWith(name, "", "")
+}
+
+// GaugeWith returns the gauge series name{label="value"}.
+func (r *Registry) GaugeWith(name, label, value string) *Gauge {
+	k := metricKey{name, label, value}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time (e.g. a counter
+// owned by another subsystem). Re-registering a name replaces the
+// function.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns (creating on first use) the named histogram; bounds
+// are ascending bucket upper limits and are fixed at first creation.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter series for tests; zero when absent.
+func (r *Registry) CounterValue(name, label, value string) int64 {
+	r.mu.Lock()
+	c := r.counters[metricKey{name, label, value}]
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// WriteTo renders every metric in the Prometheus text exposition
+// format, sorted by name then label value, with # TYPE headers.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	type series struct {
+		key metricKey
+		val string
+	}
+	group := map[string][]series{} // name → series
+	typ := map[string]string{}
+	for k, c := range r.counters {
+		group[k.name] = append(group[k.name], series{k, strconv.FormatInt(c.Value(), 10)})
+		typ[k.name] = "counter"
+	}
+	for k, g := range r.gauges {
+		group[k.name] = append(group[k.name], series{k, strconv.FormatInt(g.Value(), 10)})
+		typ[k.name] = "gauge"
+	}
+	for name, fn := range r.gaugeFuncs {
+		group[name] = append(group[name], series{metricKey{name: name}, strconv.FormatInt(fn(), 10)})
+		typ[name] = "gauge"
+	}
+	type histSnap struct {
+		name   string
+		bounds []float64
+		cumul  []int64
+		count  int64
+		sum    float64
+	}
+	var hists []histSnap
+	for name, h := range r.hists {
+		h.mu.Lock()
+		hs := histSnap{name: name, bounds: append([]float64(nil), h.bounds...),
+			count: h.count, sum: h.sum}
+		var run int64
+		for _, b := range h.buckets {
+			run += b
+			hs.cumul = append(hs.cumul, run)
+		}
+		h.mu.Unlock()
+		hists = append(hists, hs)
+	}
+	r.mu.Unlock()
+
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	names := make([]string, 0, len(group))
+	for name := range group {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := emit("# TYPE %s %s\n", name, typ[name]); err != nil {
+			return total, err
+		}
+		ss := group[name]
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].key.label != ss[j].key.label {
+				return ss[i].key.label < ss[j].key.label
+			}
+			return ss[i].key.value < ss[j].key.value
+		})
+		for _, s := range ss {
+			if s.key.label == "" {
+				if err := emit("%s %s\n", name, s.val); err != nil {
+					return total, err
+				}
+				continue
+			}
+			if err := emit("%s{%s=%q} %s\n", name, s.key.label, s.key.value, s.val); err != nil {
+				return total, err
+			}
+		}
+	}
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, h := range hists {
+		if err := emit("# TYPE %s histogram\n", h.name); err != nil {
+			return total, err
+		}
+		for i, b := range h.bounds {
+			if err := emit("%s_bucket{le=%q} %d\n", h.name,
+				strconv.FormatFloat(b, 'g', -1, 64), h.cumul[i]); err != nil {
+				return total, err
+			}
+		}
+		if err := emit("%s_bucket{le=\"+Inf\"} %d\n", h.name, h.count); err != nil {
+			return total, err
+		}
+		if err := emit("%s_sum %s\n", h.name, strconv.FormatFloat(h.sum, 'g', -1, 64)); err != nil {
+			return total, err
+		}
+		if err := emit("%s_count %d\n", h.name, h.count); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

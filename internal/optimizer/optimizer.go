@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/datum"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/qgm"
 	"repro/internal/verify"
@@ -33,13 +34,16 @@ type Optimizer struct {
 	// of wrong results at execution time.
 	Audit bool
 
-	// mu serializes Optimize calls: the memo and graph fields are
-	// per-compilation state. Executing already-compiled plans is
+	// mu serializes Optimize calls: the memo, graph and trace fields
+	// are per-compilation state. Executing already-compiled plans is
 	// concurrency-safe; compilation itself is serialized per optimizer.
 	mu         sync.Mutex
 	graph      *qgm.Graph
 	memo       map[*qgm.Box]*plan.Node
 	inProgress map[*qgm.Box]bool
+	// trace receives STAR expansion counts for the current compilation;
+	// nil when the caller is not tracing.
+	trace *obs.Trace
 }
 
 // New returns an optimizer over the catalog with the built-in STAR
@@ -55,8 +59,16 @@ func (o *Optimizer) Generator() *Generator { return o.gen }
 
 // Optimize compiles a rewritten QGM graph into a query evaluation plan.
 func (o *Optimizer) Optimize(g *qgm.Graph) (*plan.Compiled, error) {
+	return o.OptimizeTraced(g, nil)
+}
+
+// OptimizeTraced is Optimize recording per-STAR expansion counts into
+// tr (nil-safe: a nil trace records nothing).
+func (o *Optimizer) OptimizeTraced(g *qgm.Graph, tr *obs.Trace) (*plan.Compiled, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.trace = tr
+	defer func() { o.trace = nil }()
 	o.graph = g
 	o.memo = map[*qgm.Box]*plan.Node{}
 	o.inProgress = map[*qgm.Box]bool{}

@@ -159,6 +159,11 @@ func (ctx *Ctx) Evaluate(star string, a Args) ([]*plan.Node, error) {
 	if s == nil {
 		return nil, fmt.Errorf("optimizer: unknown STAR %s", star)
 	}
+	if ctx.Opt != nil {
+		// CountStar is nil-safe; the trace is per-compilation state
+		// guarded by the optimizer mutex.
+		ctx.Opt.trace.CountStar(star)
+	}
 	var out []*plan.Node
 	for _, alt := range ctx.Gen.Strategy.Order(s.Alternatives) {
 		if ctx.Gen.MaxRank > 0 && alt.Rank > ctx.Gen.MaxRank {

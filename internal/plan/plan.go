@@ -197,11 +197,20 @@ func (n *Node) SlotOf(qid, ord int) int {
 // String renders the plan tree for EXPLAIN.
 func (n *Node) String() string {
 	var b strings.Builder
-	n.render(&b, 0)
+	n.render(&b, 0, nil)
 	return b.String()
 }
 
-func (n *Node) render(b *strings.Builder, depth int) {
+// RenderAnnotated renders the tree like String, appending annot(n) to
+// every node's line — EXPLAIN ANALYZE uses it to print actual execution
+// statistics beside the optimizer's estimates.
+func RenderAnnotated(n *Node, annot func(*Node) string) string {
+	var b strings.Builder
+	n.render(&b, 0, annot)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int, annot func(*Node) string) {
 	b.WriteString(strings.Repeat("  ", depth))
 	b.WriteString(n.Op)
 	switch {
@@ -235,9 +244,12 @@ func (n *Node) render(b *strings.Builder, depth int) {
 	if n.Props.Rows > 0 {
 		fmt.Fprintf(b, "  {rows=%.0f cost=%.1f}", n.Props.Rows, n.Props.Cost)
 	}
+	if annot != nil {
+		b.WriteString(annot(n))
+	}
 	b.WriteString("\n")
 	for _, in := range n.Inputs {
-		in.render(b, depth+1)
+		in.render(b, depth+1, annot)
 	}
 }
 

@@ -141,6 +141,16 @@ type Fired struct {
 	Box  int
 }
 
+// FiringCounts aggregates a firing trace per rule name, for phase
+// tracing and observability.
+func FiringCounts(trace []Fired) map[string]int {
+	out := make(map[string]int, len(trace))
+	for _, f := range trace {
+		out[f.Rule]++
+	}
+	return out
+}
+
 // Rewrite runs rules to fixpoint (or budget exhaustion) and reports the
 // firing trace.
 func (e *Engine) Rewrite(g *qgm.Graph, opt Options) ([]Fired, error) {

@@ -447,8 +447,13 @@ type AnalyzeStmt struct{ Table string }
 func (*AnalyzeStmt) stmt() {}
 
 // ExplainStmt wraps a statement to show its compilation phases instead
-// of executing it (Figure 1).
-type ExplainStmt struct{ Stmt Statement }
+// of executing it (Figure 1). With Analyze set (EXPLAIN ANALYZE) the
+// statement IS executed, and the plan is rendered with actual
+// per-operator rows, timings and memory beside the estimates.
+type ExplainStmt struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*ExplainStmt) stmt() {}
 

@@ -136,11 +136,28 @@ func (p *Parser) parseStatement() (Statement, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
+		analyze := false
+		if p.isKeyword("ANALYZE") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind == TokIdent {
+				// EXPLAIN ANALYZE <ident> explains the ANALYZE statement
+				// itself (no statement starts with a bare identifier);
+				// any statement keyword means EXPLAIN ANALYZE <stmt>.
+				name, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				return &ExplainStmt{Stmt: &AnalyzeStmt{Table: name}}, nil
+			}
+			analyze = true
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	case p.isKeyword("SELECT"), p.isKeyword("WITH"), p.isSymbol("("):
 		return p.parseSelectStmt()
 	case p.isKeyword("INSERT"):

@@ -489,6 +489,39 @@ func TestExplain(t *testing.T) {
 	if _, ok := ex.Stmt.(*SelectStmt); !ok {
 		t.Error("explain wraps select")
 	}
+	if ex.Analyze {
+		t.Error("plain EXPLAIN must not set Analyze")
+	}
+}
+
+// TestExplainAnalyze covers the EXPLAIN ANALYZE disambiguation:
+// followed by a statement keyword it is the analyzed-execution form;
+// followed by a bare identifier it is EXPLAIN of the ANALYZE <table>
+// statistics statement.
+func TestExplainAnalyze(t *testing.T) {
+	ex := mustParse(t, "EXPLAIN ANALYZE SELECT * FROM t").(*ExplainStmt)
+	if !ex.Analyze {
+		t.Error("EXPLAIN ANALYZE SELECT must set Analyze")
+	}
+	if _, ok := ex.Stmt.(*SelectStmt); !ok {
+		t.Errorf("inner statement = %T, want *SelectStmt", ex.Stmt)
+	}
+	for _, src := range []string{
+		"EXPLAIN ANALYZE INSERT INTO t VALUES (1)",
+		"EXPLAIN ANALYZE UPDATE t SET x = 1",
+		"EXPLAIN ANALYZE DELETE FROM t",
+	} {
+		if !mustParse(t, src).(*ExplainStmt).Analyze {
+			t.Errorf("%s: Analyze not set", src)
+		}
+	}
+	ex = mustParse(t, "EXPLAIN ANALYZE t").(*ExplainStmt)
+	if ex.Analyze {
+		t.Error("EXPLAIN ANALYZE <table> must parse as EXPLAIN of ANALYZE")
+	}
+	if an, ok := ex.Stmt.(*AnalyzeStmt); !ok || an.Table != "t" {
+		t.Errorf("inner statement = %#v, want AnalyzeStmt{Table: t}", ex.Stmt)
+	}
 }
 
 func TestParseErrors(t *testing.T) {

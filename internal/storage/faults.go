@@ -98,6 +98,7 @@ type FaultInjector struct {
 	counts    map[CountKey]int64
 	interrupt <-chan struct{}
 	openIters int64
+	fired     int64
 }
 
 // NewFaultInjector returns an empty injector.
@@ -139,6 +140,14 @@ func (fi *FaultInjector) Counts() map[CountKey]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+// Fired reports how many injected faults have fired (latency-only
+// firings included) since the injector was created.
+func (fi *FaultInjector) Fired() int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.fired
 }
 
 // OpenIterators reports how many wrapped iterators are currently open;
@@ -183,6 +192,7 @@ func (fi *FaultInjector) check(table string, op FaultOp) error {
 	var latency time.Duration
 	var errText string
 	if hit != nil {
+		fi.fired++
 		latency, errText = hit.Latency, hit.Err
 	}
 	interrupt := fi.interrupt

@@ -1,0 +1,343 @@
+package starburst
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// This file is the observability surface of the DB: per-statement phase
+// tracing, the metrics registry, the slow-query log, and the EXPLAIN
+// ANALYZE renderer. All of it is always compiled in and default-off;
+// the only always-on cost is one counter bump and one histogram
+// observation per statement.
+
+// Re-exported observability types.
+type (
+	// Trace is the per-statement phase trace: wall time per
+	// compilation/execution phase, rewrite-rule firing counts, and
+	// STAR expansion counts.
+	Trace = obs.Trace
+	// OpStats is the per-operator runtime profile collected under
+	// EXPLAIN ANALYZE or an armed slow-query log.
+	OpStats = obs.OpStats
+	// Registry is the dependency-free metrics registry backing
+	// DB.Metrics.
+	Registry = obs.Registry
+	// ObsServer serves /metrics and /debug/pprof for one DB.
+	ObsServer = obs.Server
+)
+
+// Metric names exported by every DB.
+const (
+	// MetricStatements counts statements by kind label.
+	MetricStatements = "starburst_statements_total"
+	// MetricStatementErrors counts failed statements by the phase the
+	// error escaped from.
+	MetricStatementErrors = "starburst_statement_errors_total"
+	// MetricBudgetTrips counts ResourceError returns by budget label
+	// (rows, mem, time).
+	MetricBudgetTrips = "starburst_budget_trips_total"
+	// MetricRollbacks counts statement-atomicity undo rollbacks.
+	MetricRollbacks = "starburst_rollbacks_total"
+	// MetricSubqCacheHits / Misses count subquery-cache lookups.
+	MetricSubqCacheHits   = "starburst_subq_cache_hits_total"
+	MetricSubqCacheMisses = "starburst_subq_cache_misses_total"
+	// MetricSlowQueries counts statements over the slow threshold.
+	MetricSlowQueries = "starburst_slow_queries_total"
+	// MetricFaultsFired reports fault injections fired (gauge; tracks
+	// the attached injector).
+	MetricFaultsFired = "starburst_faults_fired"
+	// MetricStatementSeconds is the statement latency histogram.
+	MetricStatementSeconds = "starburst_statement_seconds"
+)
+
+// SetTracing arms per-statement phase tracing: subsequent statements
+// carry a Trace on their Result (phase wall times, rewrite rules fired,
+// STARs expanded, subquery-cache and rollback counters). Off by
+// default; when off, statements run the exact uninstrumented path.
+func (db *DB) SetTracing(on bool) { db.tracing.Store(on) }
+
+// Tracing reports whether phase tracing is armed.
+func (db *DB) Tracing() bool { return db.tracing.Load() }
+
+// Metrics exposes the DB's metrics registry (counters, gauges, the
+// statement latency histogram). Always non-nil.
+func (db *DB) Metrics() *Registry { return db.metrics }
+
+// MetricsHandler returns an http.Handler serving the registry in
+// Prometheus text exposition format at /metrics plus net/http/pprof
+// under /debug/pprof/.
+func (db *DB) MetricsHandler() http.Handler { return obs.Handler(db.metrics) }
+
+// StartObsServer listens on addr (e.g. "127.0.0.1:0") and serves
+// MetricsHandler until Close.
+func (db *DB) StartObsServer(addr string) (*ObsServer, error) {
+	return obs.StartServer(addr, db.metrics)
+}
+
+// SetSlowQueryThreshold arms the slow-query log: any statement whose
+// end-to-end wall time reaches d is reported through the slow-query
+// sink with its SQL text, phase timings, and the top 3 operators by
+// self-time. d = 0 disarms. While armed, statements run instrumented
+// (per-operator stats are needed for the report).
+func (db *DB) SetSlowQueryThreshold(d time.Duration) { db.slowNanos.Store(int64(d)) }
+
+// SetSlowQueryLog installs the slog handler slow-query records are
+// emitted to; nil restores the default (slog.Default's handler).
+func (db *DB) SetSlowQueryLog(h slog.Handler) {
+	if h == nil {
+		db.slowLog.Store(nil)
+		return
+	}
+	l := slog.New(h)
+	db.slowLog.Store(l)
+}
+
+func (db *DB) slowLogger() *slog.Logger {
+	if l := db.slowLog.Load(); l != nil {
+		return l
+	}
+	return slog.Default()
+}
+
+// traceWanted reports whether statements should collect a phase trace,
+// and instrumentWanted whether they should run with per-operator stats.
+func (db *DB) traceWanted() bool      { return db.tracing.Load() || db.slowNanos.Load() > 0 }
+func (db *DB) instrumentWanted() bool { return db.slowNanos.Load() > 0 }
+
+// stmtKind classifies a statement for the statements-by-kind counter.
+func stmtKind(stmt sql.Statement) string {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return "SELECT"
+	case *sql.InsertStmt:
+		return "INSERT"
+	case *sql.UpdateStmt:
+		return "UPDATE"
+	case *sql.DeleteStmt:
+		return "DELETE"
+	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.CreateViewStmt:
+		return "CREATE"
+	case *sql.DropStmt:
+		return "DROP"
+	case *sql.AnalyzeStmt:
+		return "ANALYZE"
+	case *sql.ExplainStmt:
+		if s.Analyze {
+			return "EXPLAIN ANALYZE"
+		}
+		return "EXPLAIN"
+	}
+	return "OTHER"
+}
+
+// observation carries everything the per-statement observe defer needs;
+// fields are filled in as the statement progresses.
+type observation struct {
+	query string
+	kind  string
+	start time.Time
+	trace *obs.Trace
+	instr *exec.Instrumentation
+	root  *plan.Node
+}
+
+// observe records a finished statement into the metrics registry and,
+// when it was slow, emits a slow-query record. phase and err are read
+// at defer time: the recover barrier (registered after, so it runs
+// first) has already converted any panic into *QueryError.
+func (db *DB) observe(o *observation, phase string, err error) {
+	elapsed := time.Since(o.start)
+	m := db.metrics
+	m.CounterWith(MetricStatements, "kind", o.kind).Inc()
+	m.Histogram(MetricStatementSeconds, obs.DefaultLatencyBuckets).Observe(elapsed.Seconds())
+	if err != nil {
+		m.CounterWith(MetricStatementErrors, "phase", phase).Inc()
+		var rerr *exec.ResourceError
+		if errors.As(err, &rerr) {
+			m.CounterWith(MetricBudgetTrips, "budget", rerr.Budget).Inc()
+		}
+	}
+	if th := db.slowNanos.Load(); th > 0 && elapsed.Nanoseconds() >= th {
+		m.Counter(MetricSlowQueries).Inc()
+		db.emitSlow(o, elapsed, err)
+	}
+}
+
+// emitSlow writes one structured slow-query record through the sink.
+func (db *DB) emitSlow(o *observation, elapsed time.Duration, err error) {
+	attrs := []slog.Attr{
+		slog.String("sql", strings.TrimSpace(o.query)),
+		slog.String("kind", o.kind),
+		slog.Duration("elapsed", elapsed),
+	}
+	if o.trace != nil {
+		for p := obs.Phase(0); p < obs.NumPhases; p++ {
+			attrs = append(attrs, slog.Duration("phase_"+p.String(), o.trace.Phases[p]))
+		}
+	}
+	if o.instr != nil && o.root != nil {
+		for i, op := range o.instr.TopBySelfTime(o.root, 3) {
+			attrs = append(attrs, slog.Group(fmt.Sprintf("op%d", i+1),
+				slog.String("op", op.Op),
+				slog.Duration("self", time.Duration(op.SelfNanos)),
+				slog.Int64("rows", op.Rows)))
+		}
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	db.slowLogger().LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
+}
+
+// recordCtx folds one execution's Ctx counters into the metrics
+// registry and the statement trace.
+func (db *DB) recordCtx(ctx *exec.Ctx, tr *obs.Trace) {
+	if tr != nil {
+		tr.SubqHits += ctx.SubqHits
+		tr.SubqMisses += ctx.SubqMisses
+		tr.Rollbacks += ctx.Rollbacks
+	}
+	if ctx.SubqHits > 0 {
+		db.metrics.Counter(MetricSubqCacheHits).Add(ctx.SubqHits)
+	}
+	if ctx.SubqMisses > 0 {
+		db.metrics.Counter(MetricSubqCacheMisses).Add(ctx.SubqMisses)
+	}
+	if ctx.Rollbacks > 0 {
+		db.metrics.Counter(MetricRollbacks).Add(ctx.Rollbacks)
+	}
+}
+
+// runObserved is run plus observability: it optionally times the build
+// and execute phases into tr and, when instrument is set (EXPLAIN
+// ANALYZE, armed slow log), builds the plan through the per-operator
+// stats decorator.
+func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params map[string]Value,
+	tr *obs.Trace, instrument bool) (*Result, *exec.Instrumentation, error) {
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	limits := db.limits
+	if limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		goCtx, cancel = context.WithTimeout(goCtx, limits.Timeout)
+		defer cancel()
+	}
+	if db.faults != nil {
+		// Injected fault latency must abort as soon as the statement is
+		// cancelled, not when the sleep elapses.
+		db.faults.SetInterrupt(goCtx.Done())
+		defer db.faults.SetInterrupt(nil)
+	}
+	builder := db.builder
+	var instr *exec.Instrumentation
+	if instrument || db.instrumentWanted() {
+		instr = exec.NewInstrumentation()
+		builder = builder.Instrumented(instr)
+	}
+	t0 := time.Now()
+	stream, err := builder.Build(compiled.Root, nil)
+	tr.AddPhase(obs.PhaseBuild, time.Since(t0))
+	if err != nil {
+		return nil, instr, err
+	}
+	ctx := exec.NewCtx(db.cat, params)
+	ctx.Arm(goCtx, limits)
+	t0 = time.Now()
+	rows, err := exec.Run(ctx, stream)
+	tr.AddPhase(obs.PhaseExec, time.Since(t0))
+	db.recordCtx(ctx, tr)
+	if err != nil {
+		return nil, instr, err
+	}
+	return &Result{
+		Columns:  compiled.OutputNames,
+		Rows:     rows,
+		Affected: ctx.Affected,
+	}, instr, nil
+}
+
+// explainAnalyze compiles and EXECUTES the inner statement through the
+// stats decorator, then renders the plan annotated with actual row
+// counts, timings, memory high-water marks and cache hit ratios, plus
+// the phase-timing summary. DML side effects are applied as usual.
+func (db *DB) explainAnalyze(goCtx context.Context, inner sql.Statement, phase *string,
+	params map[string]Value, tr *obs.Trace, o *observation) (*Result, error) {
+	compiled, err := db.compile(inner, phase, tr)
+	if err != nil {
+		return nil, err
+	}
+	o.root = compiled.Root
+	*phase = "exec"
+	res, instr, err := db.runObserved(goCtx, compiled, params, tr, true)
+	o.instr = instr
+	if err != nil {
+		return nil, err
+	}
+
+	var b strings.Builder
+	b.WriteString("=== Query evaluation plan (analyzed) ===\n")
+	b.WriteString(plan.RenderAnnotated(compiled.Root, instr.Annotate))
+	fmt.Fprintf(&b, "=== Execution summary ===\n")
+	fmt.Fprintf(&b, "phase times: %s\n", tr)
+	if len(tr.RuleFirings) > 0 {
+		b.WriteString("rewrite rules fired: " + countList(tr.RuleFirings) + "\n")
+	}
+	if len(tr.StarExpansions) > 0 {
+		b.WriteString("STARs expanded: " + countList(tr.StarExpansions) + "\n")
+	}
+	if tr.SubqHits+tr.SubqMisses > 0 {
+		fmt.Fprintf(&b, "subquery cache: %d hits / %d misses\n", tr.SubqHits, tr.SubqMisses)
+	}
+	if res.Affected > 0 {
+		fmt.Fprintf(&b, "%d row(s) affected\n", res.Affected)
+	} else {
+		fmt.Fprintf(&b, "%d row(s) returned\n", len(res.Rows))
+	}
+
+	out := &Result{Columns: []string{"EXPLAIN ANALYZE"}, Affected: res.Affected}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		out.Rows = append(out.Rows, Row{NewString(line)})
+	}
+	out.Trace = tr
+	return out, nil
+}
+
+// countList renders a name→count map deterministically: "a=2 b=1".
+func countList(m map[string]int) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, m[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// obsState groups the DB's observability knobs (embedded in DB).
+type obsState struct {
+	// metrics is the per-DB registry; created in Open.
+	metrics *obs.Registry
+	// tracing arms per-statement phase tracing.
+	tracing atomic.Bool
+	// slowNanos is the slow-query threshold; 0 disarmed.
+	slowNanos atomic.Int64
+	// slowLog overrides the slow-query sink (nil = slog.Default).
+	slowLog atomic.Pointer[slog.Logger]
+}

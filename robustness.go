@@ -127,6 +127,8 @@ func (db *DB) InjectFaults(faults ...*Fault) {
 	if db.faults == nil {
 		db.faults = storage.NewFaultInjector()
 		db.cat.AttachFaults(db.faults)
+		fi := db.faults
+		db.metrics.GaugeFunc(MetricFaultsFired, fi.Fired)
 	}
 	db.faults.Add(faults...)
 }

@@ -177,35 +177,60 @@ func registerSample(tb testing.TB, db *DB) {
 // TestFaultMatrix drives every operator exec.Build can emit over a
 // failing store and asserts: the injected error propagates (typed, no
 // panic), no iterator leaks, and no table is left partially mutated.
-func TestFaultMatrix(t *testing.T) {
+// mcase is one operator-coverage case, shared by the fault matrix and
+// the observability-invariants test: a statement (or built plan) whose
+// compiled form must contain the named operator, plus the fault that
+// hits it.
+type mcase struct {
+	name  string
+	op    string // plan op that must be present in the compiled plan
+	sql   string
+	fault *Fault
+	// setup runs before compilation (optimizer forcing, DBC registration).
+	setup func(t *testing.T, db *DB)
+	// build overrides SQL compilation for plan shapes without syntax.
+	build  func(t *testing.T, db *DB) *plan.Compiled
+	params map[string]Value
+}
+
+// compilePlan resolves a case to its compiled plan (build override or
+// SQL), asserting the expected operator is present.
+func (c *mcase) compilePlan(t *testing.T, db *DB) *plan.Compiled {
+	var compiled *plan.Compiled
+	if c.build != nil {
+		compiled = c.build(t, db)
+	} else {
+		compiled = preparedPlan(c.sql)(t, db)
+	}
+	ops := plan.CollectOps(compiled.Root)
+	if ops[c.op] == 0 {
+		t.Fatalf("plan for %q does not contain %s: %v", c.sql, c.op, ops)
+	}
+	return compiled
+}
+
+func preparedPlan(q string) func(*testing.T, *DB) *plan.Compiled {
+	return func(t *testing.T, db *DB) *plan.Compiled {
+		st, err := db.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.compiled
+	}
+}
+
+// faultMatrixCases is the operator-coverage table: every plan operator
+// exec.Build handles, with a statement exercising it.
+func faultMatrixCases() []mcase {
 	scanFault := func(table string) *Fault {
 		return &Fault{Table: table, Op: FaultScan, Err: "boom"}
 	}
-	type mcase struct {
-		name  string
-		op    string // plan op that must be present in the compiled plan
-		sql   string
-		fault *Fault
-		// setup runs before compilation (optimizer forcing, DBC registration).
-		setup func(t *testing.T, db *DB)
-		// build overrides SQL compilation for plan shapes without syntax.
-		build  func(t *testing.T, db *DB) *plan.Compiled
-		params map[string]Value
-	}
-	prepared := func(q string) func(*testing.T, *DB) *plan.Compiled {
-		return func(t *testing.T, db *DB) *plan.Compiled {
-			st, err := db.Prepare(q)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return st.compiled
-		}
-	}
+	prepared := preparedPlan
 	recursiveQ := `WITH RECURSIVE reach (src, dst) AS (
 		SELECT src, dst FROM edges WHERE src = 1
 		UNION SELECT r.src, e.dst FROM reach r, edges e WHERE r.dst = e.src)
 		SELECT src, dst FROM reach`
-	cases := []mcase{
+	return []mcase{
 		{name: "scan", op: plan.OpScan,
 			sql: `SELECT id, qty FROM items WHERE qty > 0`, fault: scanFault("items")},
 		{name: "index-scan", op: plan.OpIndex,
@@ -340,6 +365,10 @@ func TestFaultMatrix(t *testing.T) {
 				return c
 			}},
 	}
+}
+
+func TestFaultMatrix(t *testing.T) {
+	cases := faultMatrixCases()
 
 	// Completeness: every operator exec.Build handles must appear in some
 	// case's expected-op column (custom operators via FAULTPASS).
@@ -365,16 +394,7 @@ func TestFaultMatrix(t *testing.T) {
 			if c.setup != nil {
 				c.setup(t, db)
 			}
-			var compiled *plan.Compiled
-			if c.build != nil {
-				compiled = c.build(t, db)
-			} else {
-				compiled = prepared(c.sql)(t, db)
-			}
-			ops := plan.CollectOps(compiled.Root)
-			if ops[c.op] == 0 {
-				t.Fatalf("plan for %q does not contain %s: %v", c.sql, c.op, ops)
-			}
+			compiled := c.compilePlan(t, db)
 			before := snapshotAll(t, db)
 			db.InjectFaults(c.fault)
 			res, err := db.run(context.Background(), compiled, c.params)

@@ -29,11 +29,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/datum"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/qgm"
@@ -127,6 +129,9 @@ type Result struct {
 	Rows []Row
 	// Affected counts rows touched by INSERT/UPDATE/DELETE.
 	Affected int64
+	// Trace is the phase trace, present when tracing is armed (see
+	// DB.SetTracing) or the statement was EXPLAIN ANALYZE.
+	Trace *Trace
 }
 
 // DB is one Starburst database instance: catalog plus the four
@@ -142,6 +147,10 @@ type DB struct {
 	limits exec.Limits
 	// faults is the attached fault injector, nil until InjectFaults.
 	faults *storage.FaultInjector
+
+	// obsState holds the observability knobs: metrics registry, phase
+	// tracing, slow-query log (see observe.go).
+	obsState
 
 	// Rewrite configures the query rewrite phase; the zero value runs
 	// all rule classes sequentially to fixpoint.
@@ -165,12 +174,14 @@ func (db *DB) SetAudit(on bool) {
 // Open creates an empty in-memory database with the base rule sets.
 func Open() *DB {
 	cat := catalog.New()
-	return &DB{
+	db := &DB{
 		cat:      cat,
 		rewriter: rewrite.NewDefaultEngine(),
 		opt:      optimizer.New(cat),
 		builder:  exec.NewBuilder(cat),
 	}
+	db.metrics = obs.NewRegistry()
+	return db
 }
 
 // Catalog exposes the catalog for inspection.
@@ -251,16 +262,36 @@ func (db *DB) Exec(query string, params map[string]Value) (*Result, error) {
 }
 
 // exec is the statement entry point shared by Exec and ExecContext; it
-// carries the panic barrier and the phase marker it reports.
+// carries the panic barrier, the phase marker it reports, and the
+// observation record for metrics/tracing. Defer order matters: observe
+// is registered first so it runs last, after the recover barrier has
+// converted any panic into err.
 func (db *DB) exec(goCtx context.Context, query string, params map[string]Value) (res *Result, err error) {
 	phase := "parse"
+	o := &observation{query: query, kind: "INVALID", start: time.Now()}
+	defer func() { db.observe(o, phase, err) }()
 	defer recoverQueryError(&phase, &err)
+
+	var tr *obs.Trace
+	if db.traceWanted() {
+		tr = obs.NewTrace()
+	}
+	t0 := time.Now()
 	stmt, err := sql.Parse(query)
+	tr.AddPhase(obs.PhaseParse, time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
+	o.kind = stmtKind(stmt)
 	switch s := stmt.(type) {
 	case *sql.ExplainStmt:
+		if s.Analyze {
+			if tr == nil {
+				tr = obs.NewTrace() // ANALYZE always reports phase times
+			}
+			o.trace = tr
+			return db.explainAnalyze(goCtx, s.Stmt, &phase, params, tr, o)
+		}
 		text, err := db.explain(s.Stmt, &phase)
 		if err != nil {
 			return nil, err
@@ -276,12 +307,21 @@ func (db *DB) exec(goCtx context.Context, query string, params map[string]Value)
 	default:
 		_ = s
 	}
-	compiled, err := db.compile(stmt, &phase)
+	compiled, err := db.compile(stmt, &phase, tr)
 	if err != nil {
 		return nil, err
 	}
+	o.trace, o.root = tr, compiled.Root
 	phase = "exec"
-	return db.run(goCtx, compiled, params)
+	res, instr, err := db.runObserved(goCtx, compiled, params, tr, false)
+	o.instr = instr
+	if err != nil {
+		return nil, err
+	}
+	if db.tracing.Load() {
+		res.Trace = tr
+	}
+	return res, nil
 }
 
 // Stmt is a compiled statement; compilation and execution "may be
@@ -290,6 +330,8 @@ func (db *DB) exec(goCtx context.Context, query string, params map[string]Value)
 type Stmt struct {
 	db       *DB
 	compiled *plan.Compiled
+	query    string
+	kind     string
 }
 
 // Prepare compiles a DML statement for repeated execution.
@@ -300,11 +342,11 @@ func (db *DB) Prepare(query string) (st *Stmt, err error) {
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := db.compile(stmt, &phase)
+	compiled, err := db.compile(stmt, &phase, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, compiled: compiled}, nil
+	return &Stmt{db: db, compiled: compiled, query: query, kind: stmtKind(stmt)}, nil
 }
 
 // Run executes a prepared statement with the given parameter bindings.
@@ -315,8 +357,23 @@ func (s *Stmt) Run(params map[string]Value) (*Result, error) {
 // RunContext is Run under a cancellation context.
 func (s *Stmt) RunContext(goCtx context.Context, params map[string]Value) (res *Result, err error) {
 	phase := "exec"
+	o := &observation{query: s.query, kind: s.kind, start: time.Now(), root: s.compiled.Root}
+	defer func() { s.db.observe(o, phase, err) }()
 	defer recoverQueryError(&phase, &err)
-	return s.db.run(goCtx, s.compiled, params)
+	var tr *obs.Trace
+	if s.db.traceWanted() {
+		tr = obs.NewTrace()
+		o.trace = tr
+	}
+	res, instr, err := s.db.runObserved(goCtx, s.compiled, params, tr, false)
+	o.instr = instr
+	if err != nil {
+		return nil, err
+	}
+	if s.db.tracing.Load() {
+		res.Trace = tr
+	}
+	return res, nil
 }
 
 // Plan renders the prepared statement's QEP.
@@ -324,55 +381,42 @@ func (s *Stmt) Plan() string { return s.compiled.Root.String() }
 
 // compile drives the compile-time phases: translation to QGM, query
 // rewrite, plan optimization (and, inside the executor, plan
-// refinement). phase marks progress for the panic barrier.
-func (db *DB) compile(stmt sql.Statement, phase *string) (*plan.Compiled, error) {
+// refinement). phase marks progress for the panic barrier; tr (nil-safe)
+// collects per-phase wall time and rule/STAR firing counts.
+func (db *DB) compile(stmt sql.Statement, phase *string, tr *obs.Trace) (*plan.Compiled, error) {
+	t0 := time.Now()
 	g, err := qgm.TranslateStatement(db.cat, stmt)
+	tr.AddPhase(obs.PhaseParse, time.Since(t0)) // semantic analysis counts as parsing
 	if err != nil {
 		return nil, err
 	}
 	if !db.SkipRewrite {
 		*phase = "rewrite"
-		if _, err := db.rewriter.Rewrite(g, db.Rewrite); err != nil {
+		t0 = time.Now()
+		trace, err := db.rewriter.Rewrite(g, db.Rewrite)
+		tr.AddPhase(obs.PhaseRewrite, time.Since(t0))
+		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			for rule, n := range rewrite.FiringCounts(trace) {
+				tr.RuleFirings[rule] += n
+			}
 		}
 	}
 	*phase = "optimize"
-	return db.opt.Optimize(g)
+	t0 = time.Now()
+	compiled, err := db.opt.OptimizeTraced(g, tr)
+	tr.AddPhase(obs.PhaseOptimize, time.Since(t0))
+	return compiled, err
 }
 
 // run refines and interprets a compiled plan under the DB's limits and
-// the caller's cancellation context.
+// the caller's cancellation context (see runObserved in observe.go for
+// the full path; run is the untraced shorthand).
 func (db *DB) run(goCtx context.Context, compiled *plan.Compiled, params map[string]Value) (*Result, error) {
-	if goCtx == nil {
-		goCtx = context.Background()
-	}
-	limits := db.limits
-	if limits.Timeout > 0 {
-		var cancel context.CancelFunc
-		goCtx, cancel = context.WithTimeout(goCtx, limits.Timeout)
-		defer cancel()
-	}
-	if db.faults != nil {
-		// Injected fault latency must abort as soon as the statement is
-		// cancelled, not when the sleep elapses.
-		db.faults.SetInterrupt(goCtx.Done())
-		defer db.faults.SetInterrupt(nil)
-	}
-	stream, err := db.builder.Build(compiled.Root, nil)
-	if err != nil {
-		return nil, err
-	}
-	ctx := exec.NewCtx(db.cat, params)
-	ctx.Arm(goCtx, limits)
-	rows, err := exec.Run(ctx, stream)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Columns:  compiled.OutputNames,
-		Rows:     rows,
-		Affected: ctx.Affected,
-	}, nil
+	res, _, err := db.runObserved(goCtx, compiled, params, nil, false)
+	return res, err
 }
 
 // explain renders the compilation phases for EXPLAIN <stmt>: the QGM
