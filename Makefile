@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check faults bench obs
+.PHONY: all build test vet lint race check faults bench bench-compare obs
 
 all: check
 
@@ -39,10 +39,17 @@ obs:
 	$(GO) test ./cmd/starburst -count=1
 	$(GO) test ./internal/obs -count=1
 
-# bench records the Figure-1 phase benchmarks as JSON for the perf
-# trajectory across PRs, including tracing-off vs tracing-on overhead.
+# bench records the Figure-1 phase and parallel-execution benchmarks as
+# JSON for the perf trajectory across PRs.
 bench:
-	BENCH_JSON=BENCH_PR3.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+	BENCH_JSON=BENCH_PR4.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+
+# bench-compare regenerates BENCH_PR4.json and diffs it against the
+# PR-3 baseline, failing on a >10% serial regression of the end-to-end
+# paper query, a parallel speedup below 2x, or a batched-path alloc
+# saving below 25%.
+bench-compare: bench
+	$(GO) run ./cmd/benchcmp BENCH_PR3.json BENCH_PR4.json
 
 # check is the full gate CI runs: vet, build, race-enabled tests, lint.
 check: vet build race lint

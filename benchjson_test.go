@@ -6,10 +6,11 @@ import (
 	"testing"
 )
 
-// TestEmitBenchJSON records the Figure-1 phase benchmarks as JSON so
-// successive PRs can track the performance trajectory (`make bench`
-// writes BENCH_PR3.json). Skipped unless BENCH_JSON names the output
-// file.
+// TestEmitBenchJSON records the Figure-1 phase and parallel-execution
+// benchmarks as JSON so successive PRs can track the performance
+// trajectory (`make bench` writes BENCH_PR4.json; `make bench-compare`
+// gates it against the PR-3 baseline). Skipped unless BENCH_JSON names
+// the output file.
 func TestEmitBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_JSON")
 	if path == "" {
@@ -29,6 +30,12 @@ func TestEmitBenchJSON(t *testing.T) {
 		// bounds the observability overhead against Fig1EndToEnd.
 		{"Fig1EndToEndTraced", BenchmarkFig1EndToEndTraced},
 		{"Fig1EndToEndInstrumented", BenchmarkFig1EndToEndInstrumented},
+		// PR-4 parallel/batched execution: exchange speedup on an
+		// I/O-bound scan, and the allocation saving of the batched path.
+		{"ParallelScanDOP1", BenchmarkParallelScanDOP1},
+		{"ParallelScanDOP4", BenchmarkParallelScanDOP4},
+		{"ScanFilterProjectTuple", BenchmarkScanFilterProjectTuple},
+		{"ScanFilterProjectBatched", BenchmarkScanFilterProjectBatched},
 	}
 	out := map[string]map[string]int64{}
 	for _, bm := range benches {

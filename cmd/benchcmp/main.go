@@ -1,0 +1,114 @@
+// Command benchcmp diffs two benchmark JSON files produced by `make
+// bench` (TestEmitBenchJSON) and enforces the performance gates of the
+// parallel-execution work:
+//
+//   - no serial regression: the end-to-end paper query (Fig1EndToEnd)
+//     in the new file must be within 10% of the old file's ns/op —
+//     adding exchanges and batching must not tax serial plans;
+//   - parallel speedup: ParallelScanDOP4 must run in at most half the
+//     ns/op of ParallelScanDOP1 (≥2x on the I/O-bound scan);
+//   - batching pays: ScanFilterProjectBatched must allocate at most
+//     75% of ScanFilterProjectTuple's allocs/op.
+//
+// Every benchmark present in both files is printed as a diff table;
+// only the gates above fail the run.
+//
+// Usage:
+//
+//	benchcmp OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type entry map[string]int64
+
+func load(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// ratio returns new/old for the given field, or 0 when either side is
+// missing or zero.
+func ratio(old, new map[string]entry, name, field string) float64 {
+	o, n := old[name][field], new[name][field]
+	if o == 0 || n == 0 {
+		return 0
+	}
+	return float64(n) / float64(o)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	new, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range new {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		fmt.Printf("%-28s %14d %14d %8.2f\n",
+			name, old[name]["ns_per_op"], new[name]["ns_per_op"],
+			ratio(old, new, name, "ns_per_op"))
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+		failed = true
+	}
+
+	if r := ratio(old, new, "Fig1EndToEnd", "ns_per_op"); r == 0 {
+		fail("Fig1EndToEnd missing from one of the files")
+	} else if r > 1.10 {
+		fail("serial regression: Fig1EndToEnd ns/op ratio %.2f exceeds 1.10", r)
+	}
+
+	d1, d4 := new["ParallelScanDOP1"]["ns_per_op"], new["ParallelScanDOP4"]["ns_per_op"]
+	switch {
+	case d1 == 0 || d4 == 0:
+		fail("ParallelScanDOP1/DOP4 missing from %s", os.Args[2])
+	case float64(d4) > 0.5*float64(d1):
+		fail("parallel speedup below 2x: DOP4 %dns vs DOP1 %dns", d4, d1)
+	}
+
+	at, ab := new["ScanFilterProjectTuple"]["allocs_per_op"], new["ScanFilterProjectBatched"]["allocs_per_op"]
+	switch {
+	case at == 0 || ab == 0:
+		fail("ScanFilterProjectTuple/Batched missing from %s", os.Args[2])
+	case float64(ab) > 0.75*float64(at):
+		fail("batched path saves <25%% allocs: %d vs %d allocs/op", ab, at)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("ok: serial within 10%, parallel ≥2x, batched allocs ≤75%")
+}

@@ -328,6 +328,64 @@ func operatorKind(s Stream) string {
 		}
 	})
 
+	t.Run("ctx-shared-mutation", func(t *testing.T) {
+		src := `package x
+
+type Ctx struct {
+	Affected int64
+	SubqHits int64
+	rec      map[int]int
+}
+
+type badOp struct{}
+
+func (o *badOp) Next(ctx *Ctx) {
+	ctx.Affected++       // flagged: lost on the worker's Ctx copy
+	ctx.SubqHits += 2    // flagged
+	ctx.rec[1] = 1       // flagged: races through the shared map
+}
+
+type insertOp struct{}
+
+func (o *insertOp) Next(ctx *Ctx) {
+	ctx.Affected++ // allowed: DML never parallelizes
+}
+
+func rollback(ctx *Ctx) {
+	ctx.Affected++ // allowed: serial-only free function
+}
+
+func (c *Ctx) reset() {
+	c.Affected = 0 // allowed: Ctx's own API
+}
+
+func reads(ctx *Ctx) int64 {
+	return ctx.Affected + ctx.SubqHits // reads are always fine
+}
+`
+		// Outside internal/exec the check does not apply...
+		dir := writeFixture(t, src)
+		findings, err := l.LintDir(dir, "repro/x7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Fatalf("ctx-shared-mutation outside internal/exec must not fire, got %v", findings)
+		}
+		// ...inside it, exactly the three worker-unsafe writes are flagged.
+		dir2 := writeFixture(t, src)
+		findings, err = l.LintDir(dir2, "repro/internal/exec/fixture3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countCheck(findings, "ctx-shared-mutation"); got != 3 {
+			t.Fatalf("want 3 ctx-shared-mutation findings, got %d: %v", got, findings)
+		}
+		if len(findings) != 3 {
+			t.Fatalf("unexpected extra findings: %v", findings)
+		}
+	})
+
 	t.Run("repository is clean", func(t *testing.T) {
 		if testing.Short() {
 			t.Skip("type-checks the whole module")

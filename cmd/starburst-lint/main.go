@@ -20,6 +20,11 @@
 //     be a case in operatorKind, the registration point of the
 //     per-operator stats decorator, so EXPLAIN ANALYZE and the
 //     slow-query log can name it.
+//   - ctx-shared-mutation: only the serial-only operator set (DML,
+//     subqueries, recursion — subtrees the optimizer never
+//     parallelizes) may write non-atomic statement-wide Ctx fields;
+//     operators reachable from an exchange must go through the atomic
+//     shared record, since workers run on Ctx copies.
 //
 // Usage:
 //

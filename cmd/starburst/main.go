@@ -36,11 +36,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-statement timeout (0 = none)")
 	maxRows := flag.Int64("max-rows", 0, "per-statement tuple-processing budget (0 = none)")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+	dop := flag.Int("dop", 1, "degree of parallelism for eligible queries (1 = serial)")
 	flag.Parse()
 
 	db := starburst.Open()
 	db.SetAudit(*audit)
 	db.SetLimits(starburst.Limits{Timeout: *timeout, MaxRows: *maxRows})
+	db.SetParallelism(*dop)
 	if *obsAddr != "" {
 		srv, err := db.StartObsServer(*obsAddr)
 		if err != nil {

@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"repro/internal/datum"
+	"repro/internal/storage"
+)
+
+// This file is the batched fast path: an optional extension of Stream
+// that moves rows in slices instead of one at a time, cutting per-tuple
+// call and allocation overhead on the scan→filter→project spine while
+// leaving every tuple-at-a-time operator composable and unchanged.
+//
+// Ownership contract: the slice returned by NextBatch is the
+// producer's container — it is invalidated by the producer's next
+// NextBatch (or Close) and must not be retained or mutated. The rows
+// inside it ARE caller-retainable: producers hand out freshly
+// materialized rows (cloned from storage or built in a per-batch
+// arena), never buffers they will overwrite.
+
+// BatchStream is the optional batched extension of Stream. A final
+// partial batch may be returned together with ok=false; ok=true means
+// more batches may follow (an empty ok=true batch is legal and simply
+// means "keep pulling").
+type BatchStream interface {
+	Stream
+	NextBatch(ctx *Ctx) ([]datum.Row, bool, error)
+}
+
+// nextBatchFrom pulls one batch from s: natively when s is
+// batch-capable, otherwise by looping Next into *buf (allocated on
+// first use and reused across calls). The returned slice follows the
+// BatchStream ownership contract either way.
+func nextBatchFrom(ctx *Ctx, s Stream, buf *[]datum.Row) ([]datum.Row, bool, error) {
+	if bs, ok := s.(BatchStream); ok {
+		return bs.NextBatch(ctx)
+	}
+	n := ctx.batchLen()
+	if n <= 0 {
+		n = defaultBatchSize
+	}
+	if cap(*buf) < n {
+		*buf = make([]datum.Row, 0, n)
+	}
+	out := (*buf)[:0]
+	for len(out) < n {
+		row, ok, err := s.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return out, false, nil
+		}
+		out = append(out, row)
+	}
+	return out, true, nil
+}
+
+// ---------------------------------------------------------------------
+// Batch-native operators
+
+// NextBatch implements BatchStream for table scans. When the storage
+// iterator is batch-capable the rows of a batch are materialized in one
+// arena (one allocation) instead of one clone per row.
+func (s *scanOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
+	n := ctx.batchLen()
+	if n <= 0 {
+		n = defaultBatchSize
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]datum.Row, n)
+	}
+	bsc, fast := s.it.(storage.BatchScanner)
+	if !fast {
+		// Tuple-at-a-time store: reuse the row-pointer buffer but pull
+		// through Next (which ticks and filters).
+		out := s.buf[:0]
+		for len(out) < n {
+			row, ok, err := s.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return out, false, nil
+			}
+			out = append(out, row)
+		}
+		return out, true, nil
+	}
+	buf := s.buf[:n]
+	for {
+		k := bsc.NextRows(buf)
+		if k == 0 {
+			return nil, false, storage.IterErr(s.it)
+		}
+		// Filter in place: out shares buf's backing array, writing only
+		// slots already consumed.
+		out := buf[:0]
+		for _, row := range buf[:k] {
+			if err := ctx.tick(); err != nil {
+				return nil, false, err
+			}
+			match, err := evalPreds(ctx, s.preds, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if match {
+				out = append(out, row)
+			}
+		}
+		if len(out) > 0 {
+			return out, true, nil
+		}
+		// Every row of this chunk was filtered out; pull the next chunk
+		// rather than bubbling an empty batch up the tree.
+	}
+}
+
+// NextBatch implements BatchStream: predicates are applied to a whole
+// input batch, compacting survivors in place in the producer's
+// container (legal: our next pull invalidates it anyway, and we only
+// ever hand rows onward, never write them).
+func (f *filterOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
+	for {
+		batch, more, err := nextBatchFrom(ctx, f.input, &f.inBuf)
+		if err != nil {
+			return nil, false, err
+		}
+		out := batch[:0]
+		for _, row := range batch {
+			match, err := evalPreds(ctx, f.preds, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if match {
+				out = append(out, row)
+			}
+		}
+		if len(out) > 0 || !more {
+			return out, more, nil
+		}
+	}
+}
+
+// NextBatch implements BatchStream: output rows of one batch share a
+// single value arena, so projection costs two allocations per batch
+// (arena + nothing else, the row-header container is reused) instead of
+// one allocation per row.
+func (p *projectOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
+	batch, more, err := nextBatchFrom(ctx, p.input, &p.inBuf)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(batch) == 0 {
+		return nil, more, nil
+	}
+	w := len(p.exprs)
+	if cap(p.outBuf) < len(batch) {
+		p.outBuf = make([]datum.Row, 0, cap(p.inBuf)+len(batch))
+	}
+	out := p.outBuf[:0]
+	// Fresh arena per batch: the rows handed out slice into it and stay
+	// valid for the consumer to retain.
+	arena := make([]datum.Value, len(batch)*w)
+	ec := ctx.exprCtx()
+	for bi, row := range batch {
+		dst := arena[bi*w : (bi+1)*w : (bi+1)*w]
+		for i, e := range p.exprs {
+			v, err := e.Eval(ec, row)
+			if err != nil {
+				return nil, false, err
+			}
+			dst[i] = v
+		}
+		out = append(out, datum.Row(dst))
+	}
+	return out, more, nil
+}
+
+// NextBatch forwards batches through the identity relabel.
+func (p *passThrough) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
+	return nextBatchFrom(ctx, p.input, &p.buf)
+}
+
+// NextBatch implements BatchStream for LIMIT: it trims the batch to the
+// remaining quota and, once the quota fills, raises the statement-wide
+// early-termination signal so parallel scan workers stop draining their
+// morsels instead of producing rows nobody will read.
+func (l *limitOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
+	if l.left <= 0 {
+		return nil, false, nil
+	}
+	batch, more, err := nextBatchFrom(ctx, l.input, &l.inBuf)
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(batch)) >= l.left {
+		batch = batch[:l.left]
+		l.left = 0
+		ctx.signalDone()
+		return batch, false, nil
+	}
+	l.left -= int64(len(batch))
+	return batch, more, nil
+}

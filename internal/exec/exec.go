@@ -53,15 +53,66 @@ type Ctx struct {
 	limits Limits
 	// started/deadline implement the statement timeout.
 	started, deadline time.Time
-	// ticks counts tuple boundaries crossed (the row/work budget).
-	ticks int64
-	// memUsed is the estimated bytes of materialized operator state.
-	memUsed int64
+	// sh holds the statement-wide atomic counters (work ticks, memory,
+	// early-termination flag) shared with every worker child.
+	sh *shared
+	// dop is the runtime degree of parallelism: exchange operators run
+	// their workers concurrently only when dop > 1. A plan compiled with
+	// exchanges still executes correctly (serially) at dop <= 1, which
+	// is how fault injection forces parallel plans back to one thread.
+	dop int
+	// batchSize is the row-batch granularity of the batched fast path;
+	// 0 means the default, <=1 disables batched draining.
+	batchSize int
+	// par, when set, receives parallel-execution telemetry (worker
+	// lifecycle, batch sizes, backpressure) for the obs layer.
+	par *ParallelObs
 }
 
 // NewCtx returns an execution context.
 func NewCtx(cat *catalog.Catalog, params map[string]datum.Value) *Ctx {
-	return &Ctx{Cat: cat, Params: params, rec: map[int]*recWorkTable{}}
+	return &Ctx{Cat: cat, Params: params, rec: map[int]*recWorkTable{}, sh: &shared{}}
+}
+
+// SetDOP sets the runtime degree of parallelism (see Ctx.dop).
+func (c *Ctx) SetDOP(n int) { c.dop = n }
+
+// DOP reports the runtime degree of parallelism.
+func (c *Ctx) DOP() int { return c.dop }
+
+// SetBatchSize overrides the batched path's rows-per-batch; n <= 1
+// disables batched draining (every operator falls back to Next).
+func (c *Ctx) SetBatchSize(n int) { c.batchSize = n }
+
+// defaultBatchSize is the rows-per-batch of the batched fast path:
+// large enough to amortize per-batch overhead, small enough to keep a
+// batch within a few cache lines of row headers.
+const defaultBatchSize = 64
+
+// batchLen is the effective batch size; 0 when batching is disabled.
+func (c *Ctx) batchLen() int {
+	switch {
+	case c.batchSize == 0:
+		return defaultBatchSize
+	case c.batchSize <= 1:
+		return 0
+	}
+	return c.batchSize
+}
+
+// SetParallelObs installs the parallel-execution telemetry hooks.
+func (c *Ctx) SetParallelObs(p *ParallelObs) { c.par = p }
+
+// child derives a worker context for one exchange worker: it shares
+// the catalog, parameters, cancellation, limits and — critically — the
+// shared atomic counter record, so all workers draw down one
+// statement-wide budget. Recursive work tables are per-worker (the
+// optimizer never parallelizes recursive subtrees, so the fresh map is
+// only defensive); correlation is inherited read-only.
+func (c *Ctx) child() *Ctx {
+	nc := *c
+	nc.rec = map[int]*recWorkTable{}
+	return &nc
 }
 
 // exprCtx adapts the execution context for expression evaluation; the
@@ -171,6 +222,14 @@ type Builder struct {
 	// instr, when set, wraps every built operator with the stats
 	// decorator (see Instrumented); nil on the DB's shared builder.
 	instr *Instrumentation
+	// morsel, when set, rebinds one SCAN plan node (by identity) to a
+	// morsel-claiming scan over a shared page dispenser. buildGather
+	// sets it on per-worker builder copies; the DB's shared builder
+	// never carries one.
+	morsel *morselBinding
+	// repart, when set, rebinds REPART plan nodes to a reader over one
+	// partition of a shared repartition pool (also per-worker state).
+	repart *repartBinding
 }
 
 // BuildFunc builds a Stream for a custom plan operator; inputs are the
@@ -202,7 +261,14 @@ func (b *Builder) Build(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) 
 func (b *Builder) buildNode(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
 	switch n.Op {
 	case plan.OpScan:
+		if b.morsel != nil && b.morsel.node == n {
+			return b.buildMorselScan(n, corr)
+		}
 		return b.buildScan(n, corr)
+	case plan.OpGather:
+		return b.buildGather(n, corr)
+	case plan.OpRepart:
+		return b.buildRepart(n, corr)
 	case plan.OpIndex:
 		return b.buildIndexScan(n, corr)
 	case plan.OpAccess:
@@ -286,6 +352,29 @@ func Run(ctx *Ctx, s Stream) (rows []datum.Row, err error) {
 	// accounting path); charging again here would double-bill the tuple.
 	counted := statsOf(s) != nil
 	var out []datum.Row
+	// Batched fast path: a batch-capable top operator hands over whole
+	// row slices, skipping one Next call (and its per-row bookkeeping)
+	// per tuple. The stats decorator is never batch-capable, so the
+	// instrumented path keeps exact per-Next timing.
+	if bs, ok := s.(BatchStream); ok && ctx.batchLen() > 0 {
+		for {
+			batch, ok, err := bs.NextBatch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range batch {
+				if !counted {
+					if err := ctx.countRow(nil); err != nil {
+						return nil, err
+					}
+				}
+				out = append(out, row)
+			}
+			if !ok {
+				return out, nil
+			}
+		}
+	}
 	for {
 		row, ok, err := s.Next(ctx)
 		if err != nil {

@@ -18,6 +18,8 @@ type scanOp struct {
 	rel   storage.Relation
 	preds []expr.Expr
 	it    storage.RowIterator
+	// buf is the reused row-pointer container of the batched path.
+	buf []datum.Row
 }
 
 func (b *Builder) buildScan(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -164,6 +166,8 @@ func (s *indexScanOp) Close(ctx *Ctx) error {
 
 type passThrough struct {
 	input Stream
+	// buf is the reused batch container when the input is tuple-only.
+	buf []datum.Row
 }
 
 func (b *Builder) buildAccess(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -183,6 +187,8 @@ func (p *passThrough) Close(ctx *Ctx) error { return p.input.Close(ctx) }
 type filterOp struct {
 	input Stream
 	preds []expr.Expr
+	// inBuf is the reused batch container when the input is tuple-only.
+	inBuf []datum.Row
 }
 
 func (b *Builder) buildFilter(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -225,6 +231,9 @@ func (f *filterOp) Close(ctx *Ctx) error { return f.input.Close(ctx) }
 type projectOp struct {
 	input Stream
 	exprs []expr.Expr
+	// inBuf/outBuf are the reused batch containers of the batched path.
+	inBuf  []datum.Row
+	outBuf []datum.Row
 }
 
 func (b *Builder) buildProject(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -269,6 +278,8 @@ type limitOp struct {
 	input Stream
 	nExpr expr.Expr
 	left  int64
+	// inBuf is the reused batch container when the input is tuple-only.
+	inBuf []datum.Row
 }
 
 func (b *Builder) buildLimit(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -305,6 +316,11 @@ func (l *limitOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		return nil, false, err
 	}
 	l.left--
+	if l.left <= 0 {
+		// Quota filled: tell the rest of the statement no more rows are
+		// needed, so parallel scan workers stop draining their morsels.
+		ctx.signalDone()
+	}
 	return row, true, nil
 }
 
@@ -376,20 +392,37 @@ func (s *sortOp) Open(ctx *Ctx) error {
 		return err
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range s.keys {
-			c := datum.SortCompare(rows[i][k.Slot], rows[j][k.Slot])
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return sortRowLess(s.keys, rows[i], rows[j])
 	})
 	s.rows, s.pos = rows, 0
 	return nil
+}
+
+// sortRowLess is the total order shared by SORT and the GATHER sorted
+// merge: the declared keys first, then every remaining slot as a
+// tiebreak. The tiebreak makes the order a function of row content
+// alone, so a DOP=4 merge of per-worker sorted runs reproduces exactly
+// the DOP=1 ordering even among equal-key rows.
+func sortRowLess(keys []plan.SortKey, a, b datum.Row) bool {
+	for _, k := range keys {
+		c := datum.SortCompare(a[k.Slot], b[k.Slot])
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		if c := datum.SortCompare(a[i], b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
 }
 
 func (s *sortOp) Next(ctx *Ctx) (datum.Row, bool, error) {

@@ -1,0 +1,997 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/datum"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// This file implements intra-query parallelism: exchange operators
+// (GATHER and hash REPARTition) over morsel-granular parallel table
+// scans. A GATHER plan node carries one child subtree; the builder
+// clones the subtree once per worker, replacing the designated scan
+// leaf with a morsel-claiming scan over a shared page dispenser, and
+// the gather operator runs the clones on worker goroutines that merge
+// through a bounded channel. At runtime DOP <= 1 (the fault-injection
+// and DML fallback) the same operator runs its workers sequentially on
+// the caller's goroutine — same plan, no concurrency.
+
+// ParallelObs carries the obs-layer hooks for parallel execution; any
+// field may be nil. Methods are nil-receiver-safe so operators can call
+// them unconditionally.
+type ParallelObs struct {
+	// ParallelStatement fires once per exchange that actually goes
+	// parallel (spine insertion produces at most one per statement).
+	ParallelStatement func()
+	// WorkerStart/WorkerDone bracket each worker goroutine's life.
+	WorkerStart, WorkerDone func()
+	// Batch observes the row count of each merged exchange batch.
+	Batch func(rows int)
+	// Backpressure fires when a worker found the exchange channel full
+	// and had to block.
+	Backpressure func()
+}
+
+func (p *ParallelObs) statement() {
+	if p != nil && p.ParallelStatement != nil {
+		p.ParallelStatement()
+	}
+}
+
+func (p *ParallelObs) workerStart() {
+	if p != nil && p.WorkerStart != nil {
+		p.WorkerStart()
+	}
+}
+
+func (p *ParallelObs) workerDone() {
+	if p != nil && p.WorkerDone != nil {
+		p.WorkerDone()
+	}
+}
+
+func (p *ParallelObs) batch(rows int) {
+	if p != nil && p.Batch != nil {
+		p.Batch(rows)
+	}
+}
+
+func (p *ParallelObs) backpressure() {
+	if p != nil && p.Backpressure != nil {
+		p.Backpressure()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Morsel dispenser
+
+// morselSource hands out disjoint page ranges ("morsels") of one stored
+// table to competing scan workers. Claiming is a CAS loop on the next
+// unclaimed page, so work distribution is dynamic: a worker that drew
+// cheap pages simply claims more.
+type morselSource struct {
+	rel   storage.Relation
+	prs   storage.PageRangeScanner
+	chunk int64
+	next  atomic.Int64
+}
+
+// newMorselSource returns a dispenser over rel, or nil when rel cannot
+// scan page ranges (a fault-wrapped or extension relation): the caller
+// then falls back to one serial worker.
+func newMorselSource(rel storage.Relation, dop int) *morselSource {
+	prs, ok := rel.(storage.PageRangeScanner)
+	if !ok {
+		return nil
+	}
+	pages := rel.PageCount()
+	// Aim for several morsels per worker so dynamic claiming can
+	// rebalance, but never less than one page per morsel.
+	chunk := pages / int64(dop*4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &morselSource{rel: rel, prs: prs, chunk: chunk}
+}
+
+func (m *morselSource) reset() { m.next.Store(0) }
+
+func (m *morselSource) claim() (lo, hi int64, ok bool) {
+	pages := m.rel.PageCount()
+	for {
+		lo = m.next.Load()
+		if lo >= pages {
+			return 0, 0, false
+		}
+		hi = lo + m.chunk
+		if hi > pages {
+			hi = pages
+		}
+		if m.next.CompareAndSwap(lo, hi) {
+			return lo, hi, true
+		}
+	}
+}
+
+// morselBinding tells a worker's builder copy which SCAN plan node to
+// build as a morsel-claiming scan.
+type morselBinding struct {
+	node *plan.Node
+	src  *morselSource
+}
+
+// morselScanOp is scanOp's parallel twin: instead of one full-table
+// iterator it repeatedly claims a page-range morsel from the shared
+// dispenser and scans it, until the dispenser runs dry or the
+// statement signals early termination.
+type morselScanOp struct {
+	src   *morselSource
+	preds []expr.Expr
+	it    storage.RowIterator
+	buf   []datum.Row
+}
+
+func (b *Builder) buildMorselScan(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	env := envFromCols(n.Cols, corr)
+	preds, err := env.bindAll(n.Preds)
+	if err != nil {
+		return nil, err
+	}
+	return &morselScanOp{src: b.morsel.src, preds: preds}, nil
+}
+
+func (s *morselScanOp) Open(ctx *Ctx) error {
+	s.it = nil
+	return nil
+}
+
+func (s *morselScanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	for {
+		if s.it == nil {
+			if ctx.doneSignaled() {
+				return nil, false, nil
+			}
+			lo, hi, ok := s.src.claim()
+			if !ok {
+				return nil, false, nil
+			}
+			s.it = s.src.prs.ScanPages(lo, hi)
+		}
+		row, _, ok := s.it.Next()
+		if !ok {
+			err := storage.IterErr(s.it)
+			s.it.Close()
+			s.it = nil
+			if err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		if err := ctx.tick(); err != nil {
+			return nil, false, err
+		}
+		match, err := evalPreds(ctx, s.preds, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if match {
+			return row, true, nil
+		}
+	}
+}
+
+// NextBatch implements BatchStream over morsels, using the storage
+// layer's arena batch reads when available.
+func (s *morselScanOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
+	n := ctx.batchLen()
+	if n <= 0 {
+		n = defaultBatchSize
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]datum.Row, n)
+	}
+	buf := s.buf[:n]
+	for {
+		if s.it == nil {
+			if ctx.doneSignaled() {
+				return nil, false, nil
+			}
+			lo, hi, ok := s.src.claim()
+			if !ok {
+				return nil, false, nil
+			}
+			s.it = s.src.prs.ScanPages(lo, hi)
+		}
+		bsc, fast := s.it.(storage.BatchScanner)
+		if !fast {
+			// Fall back to the tuple loop for this morsel's iterator.
+			out := buf[:0]
+			for len(out) < n {
+				row, ok, err := s.Next(ctx)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					return out, false, nil
+				}
+				out = append(out, row)
+			}
+			return out, true, nil
+		}
+		k := bsc.NextRows(buf)
+		if k == 0 {
+			err := storage.IterErr(s.it)
+			s.it.Close()
+			s.it = nil
+			if err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		out := buf[:0]
+		for _, row := range buf[:k] {
+			if err := ctx.tick(); err != nil {
+				return nil, false, err
+			}
+			match, err := evalPreds(ctx, s.preds, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if match {
+				out = append(out, row)
+			}
+		}
+		if len(out) > 0 {
+			return out, true, nil
+		}
+	}
+}
+
+func (s *morselScanOp) Close(ctx *Ctx) error {
+	if s.it != nil {
+		s.it.Close()
+		s.it = nil
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Hash repartitioning
+
+// repartBinding tells a worker's builder copy which partition of the
+// shared pool its REPART nodes read.
+type repartBinding struct {
+	pool *repartPool
+	part int
+}
+
+// repartPool redistributes the rows of one producer subtree across
+// partitions by key hash: DOP producer clones (sharing a morsel
+// dispenser at their scan leaf) each route every row they produce to
+// hash(key)%parts, and the worker owning partition i consumes exactly
+// the rows whose keys landed there — so grouping or deduplicating each
+// partition independently is globally correct.
+type repartPool struct {
+	producers []Stream
+	keys      []int
+	parts     int
+
+	mu      sync.Mutex
+	started bool
+	par     bool
+	// chans carries row batches per partition in parallel mode.
+	chans []chan []datum.Row
+	// bufs holds the fully materialized partitions in serial mode.
+	bufs [][]datum.Row
+	done chan struct{}
+	wg   sync.WaitGroup
+	err  error
+	mem  memCharge
+}
+
+func newRepartPool(producers []Stream, keys []int, parts int) *repartPool {
+	return &repartPool{producers: producers, keys: keys, parts: parts}
+}
+
+// start launches (or, serially, runs) the producers. It is called by
+// every partition reader's Open; the first call of a generation does
+// the work.
+func (p *repartPool) start(ctx *Ctx, par bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return nil
+	}
+	p.started = true
+	p.par = par
+	p.err = nil
+	if !par {
+		// Serial generation: materialize every partition now, on the
+		// caller's goroutine. The memory is charged like any other
+		// materializing operator's.
+		p.bufs = make([][]datum.Row, p.parts)
+		for _, ps := range p.producers {
+			rows, err := Run(ctx, ps)
+			if err != nil {
+				return err
+			}
+			for _, row := range rows {
+				i := int(datum.HashRow(row, p.keys) % uint64(p.parts))
+				p.bufs[i] = append(p.bufs[i], row)
+			}
+			if err := p.mem.add(ctx, rows...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	p.done = make(chan struct{})
+	p.chans = make([]chan []datum.Row, p.parts)
+	for i := range p.chans {
+		p.chans[i] = make(chan []datum.Row, len(p.producers))
+	}
+	p.wg.Add(len(p.producers))
+	for _, ps := range p.producers {
+		go func(ps Stream) {
+			defer p.wg.Done()
+			pctx := ctx.child()
+			pctx.par.workerStart()
+			defer pctx.par.workerDone()
+			if err := p.produce(pctx, ps); err != nil {
+				p.mu.Lock()
+				if p.err == nil {
+					p.err = err
+				}
+				p.mu.Unlock()
+				// Stop sibling producers and scan workers promptly.
+				ctx.signalDone()
+			}
+		}(ps)
+	}
+	// Close the partitions once every producer is finished.
+	go func() {
+		p.wg.Wait()
+		for _, ch := range p.chans {
+			close(ch)
+		}
+	}()
+	return nil
+}
+
+// produce drains one producer clone, routing rows into per-partition
+// outboxes flushed at batch granularity.
+func (p *repartPool) produce(ctx *Ctx, ps Stream) (err error) {
+	if err := ps.Open(ctx); err != nil {
+		return errors.Join(err, ps.Close(ctx))
+	}
+	defer func() { err = errors.Join(err, ps.Close(ctx)) }()
+	n := ctx.batchLen()
+	if n <= 0 {
+		n = defaultBatchSize
+	}
+	out := make([][]datum.Row, p.parts)
+	flush := func(i int) bool {
+		if len(out[i]) == 0 {
+			return true
+		}
+		b := out[i]
+		out[i] = nil
+		select {
+		case p.chans[i] <- b:
+			return true
+		default:
+			ctx.par.backpressure()
+		}
+		select {
+		case p.chans[i] <- b:
+			return true
+		case <-p.done:
+			return false
+		}
+	}
+	var buf []datum.Row
+	for {
+		if ctx.doneSignaled() {
+			// Early termination (LIMIT satisfied or sibling failure):
+			// stop producing; readers see their channels close.
+			return nil
+		}
+		batch, more, berr := nextBatchFrom(ctx, ps, &buf)
+		if berr != nil {
+			return berr
+		}
+		for _, row := range batch {
+			i := int(datum.HashRow(row, p.keys) % uint64(p.parts))
+			out[i] = append(out[i], row)
+			if len(out[i]) >= n && !flush(i) {
+				return nil
+			}
+		}
+		if !more {
+			for i := range out {
+				if !flush(i) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// stop tears down a generation: unblocks and waits out producers, then
+// resets so the next Open can start fresh (exchange subtrees must stay
+// re-runnable like every other operator).
+func (p *repartPool) stop(ctx *Ctx) error {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return nil
+	}
+	p.started = false
+	par := p.par
+	done := p.done
+	chans := p.chans
+	p.mu.Unlock()
+	if par {
+		if done != nil {
+			close(done)
+		}
+		p.wg.Wait()
+		for _, ch := range chans {
+			for range ch {
+			}
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.chans, p.bufs, p.done = nil, nil, nil
+	p.mem.release(ctx)
+	err := p.err
+	p.err = nil
+	return err
+}
+
+// failure reports a producer error observed so far.
+func (p *repartPool) failure() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// repartReaderOp is the consuming half of REPART: the worker-side
+// stream over one partition.
+type repartReaderOp struct {
+	pool *repartPool
+	part int
+
+	pending []datum.Row
+	pi      int
+	pos     int
+}
+
+func (b *Builder) buildRepart(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	if b.repart == nil {
+		// Built outside a gather (shared plan subtree or hand-made
+		// plan): hash partitioning into one stream is the identity, so
+		// degrade to a pass-through over the producer subtree.
+		in, err := b.Build(n.Inputs[0], corr)
+		if err != nil {
+			return nil, err
+		}
+		return &passThrough{input: in}, nil
+	}
+	return &repartReaderOp{pool: b.repart.pool, part: b.repart.part}, nil
+}
+
+func (r *repartReaderOp) Open(ctx *Ctx) error {
+	r.pending, r.pi, r.pos = nil, 0, 0
+	// First reader of the generation starts the pool; the rest join.
+	return r.pool.start(ctx, ctx.DOP() > 1)
+}
+
+func (r *repartReaderOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if r.pool.par {
+		for {
+			if r.pi < len(r.pending) {
+				row := r.pending[r.pi]
+				r.pi++
+				return row, true, nil
+			}
+			batch, ok := <-r.pool.chans[r.part]
+			if !ok {
+				if err := r.pool.failure(); err != nil {
+					return nil, false, err
+				}
+				return nil, false, nil
+			}
+			r.pending, r.pi = batch, 0
+		}
+	}
+	buf := r.pool.bufs[r.part]
+	if r.pos >= len(buf) {
+		return nil, false, nil
+	}
+	row := buf[r.pos]
+	r.pos++
+	return row, true, nil
+}
+
+func (r *repartReaderOp) Close(ctx *Ctx) error {
+	r.pending = nil
+	r.pool.mu.Lock()
+	active := r.pool.started && r.pool.par && r.pool.chans != nil
+	var ch chan []datum.Row
+	if active {
+		ch = r.pool.chans[r.part]
+	}
+	r.pool.mu.Unlock()
+	if ch != nil {
+		// This reader may be closing early (its worker failed or LIMIT
+		// was satisfied) while producers still hold batches for its
+		// partition; drain in the background so no producer blocks
+		// forever on a full channel nobody reads — that would deadlock
+		// the exchange's worker join. The goroutine exits when the
+		// producers finish (the pool's closer closes the channel).
+		go func() {
+			for range ch {
+			}
+		}()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// GATHER
+
+// workerRowsReporter is implemented by exchange operators that can
+// break their row count down by worker; the stats decorator harvests it
+// at Close for EXPLAIN ANALYZE.
+type workerRowsReporter interface {
+	WorkerRowCounts() []int64
+}
+
+// gatherOp merges the outputs of its worker subtree clones. Unordered
+// gather forwards batches through one bounded channel as workers
+// produce them; ordered gather (merge keys set) lets each worker finish
+// its sorted run and then merges the runs with the same total-order
+// comparator SORT uses, reproducing the serial ordering exactly.
+type gatherOp struct {
+	workers []Stream
+	src     *morselSource
+	pool    *repartPool
+	merge   []plan.SortKey
+
+	// Runtime state, reset every Open.
+	parallel   bool
+	cur        int
+	curOpen    bool
+	batches    chan []datum.Row
+	done       chan struct{}
+	wg         sync.WaitGroup
+	workerRows []int64
+	failedMu   sync.Mutex
+	failed     error
+	delivered  bool
+	pending    []datum.Row
+	pi         int
+	outBuf     []datum.Row
+	// Ordered mode: one finished sorted run per worker plus a cursor.
+	runs    [][]datum.Row
+	runPos  []int
+	openErr []error
+}
+
+func (g *gatherOp) Open(ctx *Ctx) error {
+	g.cur, g.curOpen, g.pending, g.pi = 0, false, nil, 0
+	g.runs, g.runPos = nil, nil
+	g.failed, g.delivered = nil, false
+	g.workerRows = make([]int64, len(g.workers))
+	if g.src != nil {
+		g.src.reset()
+	}
+	g.parallel = ctx.DOP() > 1 && len(g.workers) > 1
+	if g.pool != nil {
+		// Serial generations materialize partitions up front; parallel
+		// generations start producer goroutines on first reader Open
+		// (inside the workers). Starting here keeps the serial error
+		// path synchronous.
+		if !g.parallel {
+			if err := g.pool.start(ctx, false); err != nil {
+				return err
+			}
+		}
+	}
+	if !g.parallel {
+		return nil // inline mode: workers stream sequentially from Next
+	}
+	ctx.par.statement()
+	g.done = make(chan struct{})
+	g.batches = make(chan []datum.Row, len(g.workers))
+	if g.merge != nil {
+		// Allocated before the workers spawn: they append into their
+		// private runs[i] slot concurrently.
+		g.runs = make([][]datum.Row, len(g.workers))
+		g.runPos = make([]int, len(g.workers))
+	}
+	g.wg.Add(len(g.workers))
+	for i, w := range g.workers {
+		go func(i int, w Stream) {
+			defer g.wg.Done()
+			wctx := ctx.child()
+			wctx.par.workerStart()
+			defer wctx.par.workerDone()
+			if err := g.runWorker(wctx, i, w); err != nil {
+				g.failedMu.Lock()
+				if g.failed == nil {
+					g.failed = err
+				}
+				g.failedMu.Unlock()
+				// Ask siblings (and any repart producers) to wind down.
+				wctx.signalDone()
+			}
+		}(i, w)
+	}
+	if g.merge == nil {
+		go func() {
+			g.wg.Wait()
+			close(g.batches)
+		}()
+		return nil
+	}
+	// Ordered gather is a barrier: every worker finishes its sorted run
+	// before merging starts.
+	g.wg.Wait()
+	close(g.batches) // unused in ordered mode; close for symmetry
+	g.failedMu.Lock()
+	err := g.failed
+	g.delivered = err != nil
+	g.failedMu.Unlock()
+	return err
+}
+
+// runWorker opens one worker clone, drains it batchwise into the merge
+// channel (unordered) or its private run (ordered), and closes it.
+func (g *gatherOp) runWorker(ctx *Ctx, i int, w Stream) (err error) {
+	if err := w.Open(ctx); err != nil {
+		return errors.Join(err, w.Close(ctx))
+	}
+	defer func() { err = errors.Join(err, w.Close(ctx)) }()
+	var buf []datum.Row
+	for {
+		batch, more, berr := nextBatchFrom(ctx, w, &buf)
+		if berr != nil {
+			return berr
+		}
+		if len(batch) > 0 {
+			atomic.AddInt64(&g.workerRows[i], int64(len(batch)))
+			ctx.par.batch(len(batch))
+			if g.merge != nil {
+				for _, row := range batch {
+					g.runs[i] = append(g.runs[i], row)
+				}
+			} else {
+				// The channel takes ownership, so hand over a fresh
+				// container (rows themselves are retainable by contract).
+				out := make([]datum.Row, len(batch))
+				copy(out, batch)
+				select {
+				case g.batches <- out:
+				default:
+					ctx.par.backpressure()
+					select {
+					case g.batches <- out:
+					case <-g.done:
+						return nil
+					}
+				}
+			}
+		}
+		if !more {
+			return nil
+		}
+		if ctx.doneSignaled() && g.merge == nil {
+			// No more rows needed (LIMIT satisfied or a sibling failed);
+			// stop draining. Ordered workers finish their run: the merge
+			// needs complete runs to stay deterministic.
+			return nil
+		}
+	}
+}
+
+func (g *gatherOp) Next(ctx *Ctx) (datum.Row, bool, error) {
+	if !g.parallel {
+		return g.nextInline(ctx)
+	}
+	if g.merge != nil {
+		return g.nextMerge()
+	}
+	for {
+		if g.pi < len(g.pending) {
+			row := g.pending[g.pi]
+			g.pi++
+			return row, true, nil
+		}
+		batch, ok := <-g.batches
+		if !ok {
+			g.failedMu.Lock()
+			err := g.failed
+			if err != nil {
+				if g.delivered {
+					err = nil // already surfaced once
+				}
+				g.delivered = true
+			}
+			g.failedMu.Unlock()
+			return nil, false, err
+		}
+		g.pending, g.pi = batch, 0
+	}
+}
+
+// NextBatch lets unordered parallel gather hand merged batches onward
+// without re-tupling them; inline and ordered modes batch up their
+// tuple stream.
+func (g *gatherOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
+	if !g.parallel || g.merge != nil {
+		n := ctx.batchLen()
+		if n <= 0 {
+			n = defaultBatchSize
+		}
+		if cap(g.outBuf) < n {
+			g.outBuf = make([]datum.Row, 0, n)
+		}
+		out := g.outBuf[:0]
+		for len(out) < n {
+			row, ok, err := g.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return out, false, nil
+			}
+			out = append(out, row)
+		}
+		return out, true, nil
+	}
+	if g.pi < len(g.pending) {
+		rest := g.pending[g.pi:]
+		g.pi = len(g.pending)
+		return rest, true, nil
+	}
+	batch, ok := <-g.batches
+	if !ok {
+		g.failedMu.Lock()
+		err := g.failed
+		if err != nil {
+			if g.delivered {
+				err = nil
+			}
+			g.delivered = true
+		}
+		g.failedMu.Unlock()
+		return nil, false, err
+	}
+	return batch, true, nil
+}
+
+// nextInline streams the workers one after another on the caller's
+// goroutine: with a morsel dispenser the first worker claims every
+// morsel and the rest come up empty, so the result is exactly the
+// serial execution of the plan.
+func (g *gatherOp) nextInline(ctx *Ctx) (datum.Row, bool, error) {
+	for g.cur < len(g.workers) {
+		w := g.workers[g.cur]
+		if !g.curOpen {
+			if err := w.Open(ctx); err != nil {
+				return nil, false, err
+			}
+			g.curOpen = true
+		}
+		row, ok, err := w.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			atomic.AddInt64(&g.workerRows[g.cur], 1)
+			return row, true, nil
+		}
+		// The finished worker stays open until gather's Close (closing
+		// here and again at Close would double-close it); cur records
+		// how many leading workers Close must release.
+		g.cur++
+		g.curOpen = false
+	}
+	return nil, false, nil
+}
+
+// nextMerge performs the k-way sorted merge over finished runs using
+// the same total-order comparator SORT uses.
+func (g *gatherOp) nextMerge() (datum.Row, bool, error) {
+	best := -1
+	for i := range g.runs {
+		if g.runPos[i] >= len(g.runs[i]) {
+			continue
+		}
+		if best < 0 || sortRowLess(g.merge, g.runs[i][g.runPos[i]], g.runs[best][g.runPos[best]]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	row := g.runs[best][g.runPos[best]]
+	g.runPos[best]++
+	return row, true, nil
+}
+
+func (g *gatherOp) Close(ctx *Ctx) (err error) {
+	if g.parallel {
+		if g.done != nil {
+			close(g.done)
+			g.done = nil
+		}
+		g.wg.Wait()
+		if g.batches != nil {
+			for range g.batches {
+			}
+			g.batches = nil
+		}
+		g.failedMu.Lock()
+		if g.failed != nil && !g.delivered {
+			err = g.failed
+			g.delivered = true
+		}
+		g.failedMu.Unlock()
+	} else {
+		// Inline mode opened workers on this goroutine; close the ones
+		// that were opened (Close on a never-opened stream is safe, but
+		// the open ones must be closed exactly once each).
+		n := g.cur
+		if g.curOpen {
+			n++
+		}
+		for i := 0; i < n && i < len(g.workers); i++ {
+			err = errors.Join(err, g.workers[i].Close(ctx))
+		}
+		g.cur, g.curOpen = 0, false
+	}
+	if g.pool != nil {
+		err = errors.Join(err, g.pool.stop(ctx))
+	}
+	g.pending, g.runs, g.runPos = nil, nil, nil
+	g.parallel = false
+	return err
+}
+
+// WorkerRowCounts implements workerRowsReporter.
+func (g *gatherOp) WorkerRowCounts() []int64 {
+	out := make([]int64, len(g.workerRows))
+	for i := range g.workerRows {
+		out[i] = atomic.LoadInt64(&g.workerRows[i])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Building exchanges
+
+// morselLeafOf walks the probe-side spine of a subtree to the SCAN
+// whose table the morsel dispenser will split: single-input operators
+// descend through their input, joins through their LEFT (probe/outer)
+// input — the build side is replicated per worker, which is correct
+// for every join kind including outer joins.
+func morselLeafOf(n *plan.Node) *plan.Node {
+	for n != nil {
+		switch n.Op {
+		case plan.OpScan:
+			return n
+		case plan.OpFilter, plan.OpProject, plan.OpAccess, plan.OpSort, plan.OpTemp,
+			plan.OpNLJoin, plan.OpHSJoin, plan.OpSMJoin:
+			if len(n.Inputs) == 0 {
+				return nil
+			}
+			n = n.Inputs[0]
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// repartOf finds a REPART node on the single-input spine of the
+// gather's child subtree.
+func repartOf(n *plan.Node) *plan.Node {
+	for n != nil {
+		if n.Op == plan.OpRepart {
+			return n
+		}
+		if len(n.Inputs) != 1 {
+			return nil
+		}
+		n = n.Inputs[0]
+	}
+	return nil
+}
+
+// buildGather builds the exchange: per-worker clones of the child
+// subtree wired to a shared morsel dispenser (and, for repartitioned
+// plans, a shared repartition pool).
+func (b *Builder) buildGather(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
+	if len(n.Inputs) != 1 {
+		return nil, fmt.Errorf("exec: GATHER needs exactly one input, has %d", len(n.Inputs))
+	}
+	child := n.Inputs[0]
+	dop := n.DOP
+	if dop < 1 {
+		dop = 1
+	}
+	rep := repartOf(child)
+	var scanRoot *plan.Node // subtree whose scan leaf gets morselized
+	if rep != nil {
+		scanRoot = rep.Inputs[0]
+	} else {
+		scanRoot = child
+	}
+	leaf := morselLeafOf(scanRoot)
+	var src *morselSource
+	if leaf != nil && leaf.Table != nil {
+		src = newMorselSource(leaf.Table.Rel, dop)
+	}
+	if src == nil {
+		// The leaf cannot be split (extension or fault-wrapped storage):
+		// degrade to one worker, which gatherOp always runs inline.
+		dop = 1
+	}
+
+	var pool *repartPool
+	if rep != nil {
+		producers := make([]Stream, 0, dop)
+		for i := 0; i < dop; i++ {
+			pb := *b
+			pb.repart = nil
+			if src != nil {
+				pb.morsel = &morselBinding{node: leaf, src: src}
+			}
+			ps, err := pb.Build(rep.Inputs[0], corr)
+			if err != nil {
+				return nil, err
+			}
+			producers = append(producers, ps)
+			if src == nil {
+				break // unsplittable: a single producer sees every row
+			}
+		}
+		pool = newRepartPool(producers, rep.GroupCols, dop)
+	}
+
+	workers := make([]Stream, 0, dop)
+	for i := 0; i < dop; i++ {
+		wb := *b
+		if pool != nil {
+			wb.repart = &repartBinding{pool: pool, part: i}
+			wb.morsel = nil
+		} else if src != nil {
+			wb.morsel = &morselBinding{node: leaf, src: src}
+		}
+		ws, err := wb.Build(child, corr)
+		if err != nil {
+			return nil, err
+		}
+		workers = append(workers, ws)
+		if pool == nil && src == nil {
+			break
+		}
+	}
+
+	var merge []plan.SortKey
+	if len(n.SortKeys) > 0 {
+		merge = n.SortKeys
+	}
+	return &gatherOp{workers: workers, src: src, pool: pool, merge: merge}, nil
+}

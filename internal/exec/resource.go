@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datum"
@@ -15,6 +16,11 @@ import (
 // per tuple and a real check every tickInterval tuples — and charge
 // materialized state (sort runs, hash tables, temps, group state,
 // recursive work tables) against the memory budget via Reserve.
+//
+// The counters live in a shared record referenced by every Ctx of the
+// statement (the parent and the per-worker children an exchange
+// operator spawns) and are atomic, so parallel workers draw down one
+// statement-wide budget without racing.
 
 // Limits are per-statement execution budgets; zero values are
 // unlimited.
@@ -58,6 +64,22 @@ func (e *ResourceError) Error() string {
 // test a mask.
 const tickInterval = 256
 
+// shared is the statement-wide counter record. Every Ctx of one
+// statement — the root and the children handed to exchange workers —
+// points at the same instance, so the row/work budget, the memory
+// budget, and the early-termination flag are statement-global and safe
+// under concurrent access.
+type shared struct {
+	// ticks counts tuple boundaries crossed (the row/work budget).
+	ticks atomic.Int64
+	// memUsed is the estimated bytes of materialized operator state.
+	memUsed atomic.Int64
+	// done is the "no more rows needed" signal: LIMIT sets it once its
+	// quota is filled so parallel scan workers stop draining their
+	// morsels. It is advisory — serial operators simply never look.
+	done atomic.Bool
+}
+
 // Arm installs the cancellation context and starts the statement clock;
 // the deadline derives from Limits.Timeout. Call once before Open.
 func (c *Ctx) Arm(goCtx context.Context, limits Limits) {
@@ -72,16 +94,18 @@ func (c *Ctx) Arm(goCtx context.Context, limits Limits) {
 // Limits reports the armed budgets.
 func (c *Ctx) Limits() Limits { return c.limits }
 
-// tick counts one tuple boundary. The hot path is one increment and a
-// mask test (it must stay small enough to inline); every tickInterval
-// calls the slow path enforces the row budget, the deadline and
-// cancellation, so budgets are enforced to within tickInterval tuples.
+// tick counts one tuple boundary. The hot path is one atomic increment
+// and a mask test (it must stay small enough to inline); every
+// tickInterval calls the slow path enforces the row budget, the
+// deadline and cancellation, so budgets are enforced to within
+// tickInterval tuples statement-wide, no matter how many workers share
+// the counter.
 func (c *Ctx) tick() error {
-	c.ticks++
-	if c.ticks&(tickInterval-1) != 0 {
+	t := c.sh.ticks.Add(1)
+	if t&(tickInterval-1) != 0 {
 		return nil
 	}
-	return c.tickSlow()
+	return c.tickSlow(t)
 }
 
 // countRow accounts one produced tuple crossing an observed boundary.
@@ -90,20 +114,21 @@ func (c *Ctx) tick() error {
 // producing operator is instrumented, one increment on its row counter
 // — so MaxRows accounting and EXPLAIN ANALYZE row counts can never
 // disagree about what counts as a row. A budget-rejected tuple is not
-// recorded as produced.
+// recorded as produced. The stats increment is atomic because exchange
+// workers share one OpStats per plan node.
 func (c *Ctx) countRow(st *obs.OpStats) error {
 	if err := c.tick(); err != nil {
 		return err
 	}
 	if st != nil {
-		st.Rows++
+		atomic.AddInt64(&st.Rows, 1)
 	}
 	return nil
 }
 
-func (c *Ctx) tickSlow() error {
-	if c.limits.MaxRows > 0 && c.ticks > c.limits.MaxRows {
-		return &ResourceError{Budget: "rows", Limit: c.limits.MaxRows, Used: c.ticks}
+func (c *Ctx) tickSlow(ticks int64) error {
+	if c.limits.MaxRows > 0 && ticks > c.limits.MaxRows {
+		return &ResourceError{Budget: "rows", Limit: c.limits.MaxRows, Used: ticks}
 	}
 	return c.checkCancel()
 }
@@ -126,26 +151,43 @@ func (c *Ctx) checkCancel() error {
 	return nil
 }
 
+// signalDone raises the statement-wide "no more rows needed" flag.
+// LIMIT calls it when its quota fills; exchange workers poll
+// doneSignaled between batches and stop early. It is not an error:
+// execution that observes the flag winds down cleanly.
+func (c *Ctx) signalDone() { c.sh.done.Store(true) }
+
+// doneSignaled reports whether some operator declared the statement's
+// result complete.
+func (c *Ctx) doneSignaled() bool { return c.sh.done.Load() }
+
 // Reserve charges an operator's materialized state against the memory
 // budget; Release returns it when the state is freed.
 func (c *Ctx) Reserve(bytes int64) error {
-	c.memUsed += bytes
-	if c.limits.MaxMem > 0 && c.memUsed > c.limits.MaxMem {
-		return &ResourceError{Budget: "mem", Limit: c.limits.MaxMem, Used: c.memUsed}
+	m := c.sh.memUsed.Add(bytes)
+	if c.limits.MaxMem > 0 && m > c.limits.MaxMem {
+		return &ResourceError{Budget: "mem", Limit: c.limits.MaxMem, Used: m}
 	}
 	return nil
 }
 
 // Release returns previously reserved bytes.
 func (c *Ctx) Release(bytes int64) {
-	c.memUsed -= bytes
-	if c.memUsed < 0 {
-		c.memUsed = 0
+	if c.sh.memUsed.Add(-bytes) < 0 {
+		// Unbalanced release; clamp so later Reserves are not undersold.
+		// A concurrent Reserve may legitimately push the value positive
+		// between the check and the store, so only swap from negative.
+		for {
+			cur := c.sh.memUsed.Load()
+			if cur >= 0 || c.sh.memUsed.CompareAndSwap(cur, 0) {
+				return
+			}
+		}
 	}
 }
 
 // MemUsed reports the bytes currently charged to the statement.
-func (c *Ctx) MemUsed() int64 { return c.memUsed }
+func (c *Ctx) MemUsed() int64 { return c.sh.memUsed.Load() }
 
 // memCharge tracks one operator's reservation so Open/Close pairs stay
 // balanced even when Open re-materializes.

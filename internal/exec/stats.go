@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datum"
@@ -91,8 +92,12 @@ type cacheStats interface {
 func (s *statsOp) Open(ctx *Ctx) error {
 	start := time.Now()
 	err := s.inner.Open(ctx)
-	s.st.Opens++
-	s.st.OpenNanos += time.Since(start).Nanoseconds()
+	// All counter updates are atomic: exchange workers run clones of a
+	// plan subtree concurrently, and clones of one plan node share one
+	// OpStats record (counters merge — the node's totals stay
+	// cumulative and monotone across workers).
+	atomic.AddInt64(&s.st.Opens, 1)
+	atomic.AddInt64(&s.st.OpenNanos, time.Since(start).Nanoseconds())
 	s.sampleMem(ctx)
 	return err
 }
@@ -100,8 +105,8 @@ func (s *statsOp) Open(ctx *Ctx) error {
 func (s *statsOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	start := time.Now()
 	row, ok, err := s.inner.Next(ctx)
-	s.st.Nexts++
-	s.st.NextNanos += time.Since(start).Nanoseconds()
+	atomic.AddInt64(&s.st.Nexts, 1)
+	atomic.AddInt64(&s.st.NextNanos, time.Since(start).Nanoseconds())
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -118,19 +123,31 @@ func (s *statsOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 func (s *statsOp) Close(ctx *Ctx) error {
 	start := time.Now()
 	err := s.inner.Close(ctx)
-	s.st.Closes++
-	s.st.CloseNanos += time.Since(start).Nanoseconds()
+	atomic.AddInt64(&s.st.Closes, 1)
+	atomic.AddInt64(&s.st.CloseNanos, time.Since(start).Nanoseconds())
 	if cs, ok := s.inner.(cacheStats); ok {
-		// Totals are statement-cumulative; assignment (not +=) keeps a
+		// Totals are statement-cumulative; storing (not adding) keeps a
 		// double Close from double counting.
-		s.st.CacheHits, s.st.CacheMisses = cs.CacheStats()
+		hits, misses := cs.CacheStats()
+		atomic.StoreInt64(&s.st.CacheHits, hits)
+		atomic.StoreInt64(&s.st.CacheMisses, misses)
+	}
+	if wr, ok := s.inner.(workerRowsReporter); ok {
+		// Statement-cumulative, stored not added (same reason as above);
+		// safe unsynchronized because the exchange's Close joins its
+		// workers before returning.
+		s.st.WorkerRows = wr.WorkerRowCounts()
 	}
 	return err
 }
 
 func (s *statsOp) sampleMem(ctx *Ctx) {
-	if m := ctx.memUsed; m > s.st.MemHighWater {
-		s.st.MemHighWater = m
+	m := ctx.MemUsed()
+	for {
+		cur := atomic.LoadInt64(&s.st.MemHighWater)
+		if m <= cur || atomic.CompareAndSwapInt64(&s.st.MemHighWater, cur, m) {
+			return
+		}
 	}
 }
 
@@ -194,6 +211,12 @@ func operatorKind(s Stream) string {
 		return "insertOp"
 	case *updateDeleteOp:
 		return "updateDeleteOp"
+	case *gatherOp:
+		return "gatherOp"
+	case *morselScanOp:
+		return "morselScanOp"
+	case *repartReaderOp:
+		return "repartReaderOp"
 	case *statsOp:
 		return "statsOp"
 	}
@@ -232,6 +255,16 @@ func (in *Instrumentation) Annotate(n *plan.Node) string {
 		st.MemHighWater)
 	if st.CacheHits+st.CacheMisses > 0 {
 		out += fmt.Sprintf(" cache=%d/%d", st.CacheHits, st.CacheHits+st.CacheMisses)
+	}
+	if wr := st.WorkerRows; len(wr) > 0 {
+		out += " workers=["
+		for i, r := range wr {
+			if i > 0 {
+				out += " "
+			}
+			out += fmt.Sprintf("%d", r)
+		}
+		out += "]"
 	}
 	return out + ")"
 }

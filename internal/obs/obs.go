@@ -140,6 +140,12 @@ type OpStats struct {
 	// CacheHits/CacheMisses are subquery-cache statistics, nonzero only
 	// for operators that evaluate subplans on demand.
 	CacheHits, CacheMisses int64
+
+	// WorkerRows breaks Rows down by exchange worker, set only for
+	// exchange operators. It is harvested at the exchange's Close —
+	// after every worker goroutine has joined — so unlike the counters
+	// above it is written from a single goroutine.
+	WorkerRows []int64
 }
 
 // TotalNanos is the operator's cumulative wall time, children included.

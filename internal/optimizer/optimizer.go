@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/datum"
@@ -44,6 +45,11 @@ type Optimizer struct {
 	// trace receives STAR expansion counts for the current compilation;
 	// nil when the caller is not tracing.
 	trace *obs.Trace
+
+	// dop and parThreshold configure the parallelism pass (parallel.go);
+	// atomic so SetParallelism can race with compilation.
+	dop          atomic.Int32
+	parThreshold atomic.Int64
 }
 
 // New returns an optimizer over the catalog with the built-in STAR
@@ -112,6 +118,7 @@ func (o *Optimizer) OptimizeTraced(g *qgm.Graph, tr *obs.Trace) (*plan.Compiled,
 			Props:     root.Props,
 		}
 	}
+	root = o.insertExchanges(root)
 	out := &plan.Compiled{Root: root, Graph: g}
 	visible := g.Top.Head[:len(g.Top.Head)-g.HiddenOrderCols]
 	for _, hc := range visible {

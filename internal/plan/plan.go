@@ -42,6 +42,8 @@ const (
 	OpRecRef   = "RECREF"   // reference to the enclosing recursive table
 	OpChoose   = "CHOOSE"   // runtime alternative selection (section 5)
 	OpLimit    = "LIMIT"
+	OpGather   = "GATHER" // exchange: merge DOP parallel clones of the input subtree
+	OpRepart   = "REPART" // exchange: hash-repartition the input across DOP workers
 	OpInsert   = "INSERT"
 	OpUpdate   = "UPDATE"
 	OpDelete   = "DELETE"
@@ -174,6 +176,12 @@ type Node struct {
 	// Limit row count expression.
 	LimitExpr expr.Expr
 
+	// DOP is the degree of parallelism of a GATHER exchange: how many
+	// worker clones of the input subtree run concurrently. GATHER also
+	// reuses SortKeys as its merge keys (order-preserving gather), and
+	// REPART reuses GroupCols as its hash partitioning key.
+	DOP int
+
 	// TargetCols are the column ordinals written by INSERT/UPDATE.
 	TargetCols []int
 
@@ -231,14 +239,27 @@ func (n *Node) render(b *strings.Builder, depth int, annot func(*Node) string) {
 	if n.JoinPred != nil {
 		fmt.Fprintf(b, " on [%s]", n.JoinPred)
 	}
-	if len(n.SortKeys) > 0 && n.Op == OpSort {
-		b.WriteString(" by")
+	if len(n.SortKeys) > 0 && (n.Op == OpSort || n.Op == OpGather) {
+		if n.Op == OpGather {
+			b.WriteString(" merge")
+		} else {
+			b.WriteString(" by")
+		}
 		for _, k := range n.SortKeys {
 			dir := ""
 			if k.Desc {
 				dir = " desc"
 			}
 			fmt.Fprintf(b, " #%d%s", k.Slot, dir)
+		}
+	}
+	if n.Op == OpGather && n.DOP > 0 {
+		fmt.Fprintf(b, " dop=%d", n.DOP)
+	}
+	if n.Op == OpRepart && len(n.GroupCols) > 0 {
+		b.WriteString(" on")
+		for _, s := range n.GroupCols {
+			fmt.Fprintf(b, " #%d", s)
 		}
 	}
 	if n.Props.Rows > 0 {

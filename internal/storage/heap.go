@@ -160,7 +160,12 @@ func (h *heapRelation) Fetch(rid RID) (datum.Row, bool) {
 }
 
 func (h *heapRelation) Scan() RowIterator {
-	return &heapIterator{rel: h}
+	return &heapIterator{rel: h, end: -1}
+}
+
+// ScanPages implements PageRangeScanner.
+func (h *heapRelation) ScanPages(lo, hi int64) RowIterator {
+	return &heapIterator{rel: h, page: int(lo), end: int(hi)}
 }
 
 func (h *heapRelation) RowCount() int64 {
@@ -187,12 +192,21 @@ type heapIterator struct {
 	page   int
 	slot   int
 	opened bool
+	// end bounds the scan to pages [start, end); -1 means unbounded.
+	end int
+}
+
+func (it *heapIterator) pastEnd(pages int) int {
+	if it.end >= 0 && it.end < pages {
+		return it.end
+	}
+	return pages
 }
 
 func (it *heapIterator) Next() (datum.Row, RID, bool) {
 	it.rel.mu.RLock()
 	defer it.rel.mu.RUnlock()
-	for it.page < len(it.rel.pages) {
+	for it.page < it.pastEnd(len(it.rel.pages)) {
 		pg := it.rel.pages[it.page]
 		if it.slot == 0 {
 			it.rel.stats.ReadPage() // first touch of this page
@@ -208,6 +222,42 @@ func (it *heapIterator) Next() (datum.Row, RID, bool) {
 		it.slot = 0
 	}
 	return nil, RID{}, false
+}
+
+// NextRows implements BatchScanner: it fills dst with up to len(dst)
+// records, materializing all of their values in one shared arena so the
+// whole batch costs two allocations rather than one per row. Page reads
+// are counted exactly as tuple iteration counts them.
+func (it *heapIterator) NextRows(dst []datum.Row) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	it.rel.mu.RLock()
+	defer it.rel.mu.RUnlock()
+	arena := make([]datum.Value, 0, len(dst)*it.rel.numCols)
+	n := 0
+	for n < len(dst) && it.page < it.pastEnd(len(it.rel.pages)) {
+		pg := it.rel.pages[it.page]
+		if it.slot == 0 {
+			it.rel.stats.ReadPage()
+		}
+		for n < len(dst) && it.slot < len(pg.rows) {
+			s := it.slot
+			it.slot++
+			if pg.rows[s] == nil {
+				continue
+			}
+			start := len(arena)
+			arena = append(arena, pg.rows[s]...)
+			dst[n] = datum.Row(arena[start:len(arena):len(arena)])
+			n++
+		}
+		if it.slot >= len(pg.rows) {
+			it.page++
+			it.slot = 0
+		}
+	}
+	return n
 }
 
 func (it *heapIterator) Close() {}
@@ -352,7 +402,12 @@ func (f *fixedRelation) Fetch(rid RID) (datum.Row, bool) {
 }
 
 func (f *fixedRelation) Scan() RowIterator {
-	return &fixedIterator{rel: f}
+	return &fixedIterator{rel: f, end: -1}
+}
+
+// ScanPages implements PageRangeScanner.
+func (f *fixedRelation) ScanPages(lo, hi int64) RowIterator {
+	return &fixedIterator{rel: f, i: int(lo) * f.rowsPerPage, end: int(hi)}
 }
 
 func (f *fixedRelation) RowCount() int64 {
@@ -377,12 +432,24 @@ func (f *fixedRelation) Truncate() {
 type fixedIterator struct {
 	rel *fixedRelation
 	i   int
+	// end bounds the scan to rows of pages [_, end); -1 means unbounded.
+	end int
+}
+
+func (it *fixedIterator) stop(total int) int {
+	if it.end < 0 {
+		return total
+	}
+	if s := it.end * it.rel.rowsPerPage; s < total {
+		return s
+	}
+	return total
 }
 
 func (it *fixedIterator) Next() (datum.Row, RID, bool) {
 	it.rel.mu.RLock()
 	defer it.rel.mu.RUnlock()
-	for it.i < len(it.rel.rows) {
+	for it.i < it.stop(len(it.rel.rows)) {
 		i := it.i
 		it.i++
 		if i%it.rel.rowsPerPage == 0 {
@@ -394,6 +461,32 @@ func (it *fixedIterator) Next() (datum.Row, RID, bool) {
 		}
 	}
 	return nil, RID{}, false
+}
+
+// NextRows implements BatchScanner (see heapIterator.NextRows).
+func (it *fixedIterator) NextRows(dst []datum.Row) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	it.rel.mu.RLock()
+	defer it.rel.mu.RUnlock()
+	arena := make([]datum.Value, 0, len(dst)*it.rel.numCols)
+	n := 0
+	for n < len(dst) && it.i < it.stop(len(it.rel.rows)) {
+		i := it.i
+		it.i++
+		if i%it.rel.rowsPerPage == 0 {
+			it.rel.stats.ReadPage()
+		}
+		if it.rel.rows[i] == nil {
+			continue
+		}
+		start := len(arena)
+		arena = append(arena, it.rel.rows[i]...)
+		dst[n] = datum.Row(arena[start:len(arena):len(arena)])
+		n++
+	}
+	return n
 }
 
 func (it *fixedIterator) Close() {}

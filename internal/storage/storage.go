@@ -99,6 +99,26 @@ type RowIterator interface {
 	Close()
 }
 
+// BatchScanner is an optional RowIterator capability: fill dst with up
+// to len(dst) records in one call, returning how many were produced.
+// Zero means exhaustion (a batch scanner never returns a zero count
+// with records remaining). The rows handed out are caller-retainable —
+// built-in implementations materialize each batch in a single shared
+// arena, so a batch costs O(1) allocations instead of one clone per
+// row. Page-read accounting is identical to tuple iteration.
+type BatchScanner interface {
+	NextRows(dst []datum.Row) int
+}
+
+// PageRangeScanner is an optional Relation capability: scan only pages
+// [lo, hi) of the relation. Exchange operators use it to split one
+// table scan into disjoint morsels claimed dynamically by parallel
+// workers; the union of the per-range scans over a partition of
+// [0, PageCount()) is exactly Scan().
+type PageRangeScanner interface {
+	ScanPages(lo, hi int64) RowIterator
+}
+
 // Relation is a handle to a stored table, the unit a storage manager
 // manages. All built-in and DBC storage managers produce Relations.
 type Relation interface {

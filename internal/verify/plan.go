@@ -15,6 +15,7 @@ var exactInputs = map[string]int{
 	plan.OpScan: 0, plan.OpIndex: 0, plan.OpValues: 0, plan.OpTableFn: 0, plan.OpRecRef: 0,
 	plan.OpFilter: 1, plan.OpProject: 1, plan.OpSort: 1, plan.OpDistinct: 1,
 	plan.OpGroup: 1, plan.OpTemp: 1, plan.OpLimit: 1, plan.OpAccess: 1,
+	plan.OpGather: 1, plan.OpRepart: 1,
 	plan.OpInsert: 1, plan.OpUpdate: 1, plan.OpDelete: 1,
 	plan.OpNLJoin: 2, plan.OpSMJoin: 2, plan.OpHSJoin: 2, plan.OpSubq: 2,
 }

@@ -256,6 +256,7 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 	}
 	ctx := exec.NewCtx(db.cat, params)
 	ctx.Arm(goCtx, limits)
+	db.armParallel(ctx)
 	t0 = time.Now()
 	rows, err := exec.Run(ctx, stream)
 	tr.AddPhase(obs.PhaseExec, time.Since(t0))

@@ -1,0 +1,478 @@
+package starburst
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// This file tests intra-query parallelism end to end: plan shape
+// (exchange insertion and its cost gate), result equivalence between
+// serial and parallel execution over the random query corpus, exact
+// ordering for ORDER BY, early termination for LIMIT, the fault /
+// cancellation / budget matrix under concurrent workers, and the
+// parallel observability surface. The whole file runs under -race in
+// CI, which is half the point.
+
+// genParallelDB is genDB grown past the optimizer's page gate: the
+// equivalence corpus tables get enough rows to span multiple simulated
+// pages so exchanges are actually inserted (with the threshold lowered
+// to 1).
+func genParallelDB(t testing.TB, seed int64) *DB {
+	t.Helper()
+	db := genDB(t, seed)
+	rng := rand.New(rand.NewSource(seed * 31))
+	val := func(limit int) string {
+		if rng.Intn(8) == 0 {
+			return "NULL"
+		}
+		return fmt.Sprintf("%d", rng.Intn(limit))
+	}
+	str := func() string {
+		if rng.Intn(8) == 0 {
+			return "NULL"
+		}
+		return fmt.Sprintf("'s%d'", rng.Intn(4))
+	}
+	for i := 0; i < 280; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO ta VALUES (%s, %s, %s)", val(10), val(20), str()))
+	}
+	for i := 0; i < 200; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO tb VALUES (%s, %s)", val(10), val(20)))
+	}
+	for i := 0; i < 140; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO tc VALUES (%s, %s)", val(10), str()))
+	}
+	mustExec(t, db, "ANALYZE ta")
+	mustExec(t, db, "ANALYZE tb")
+	mustExec(t, db, "ANALYZE tc")
+	db.SetParallelThreshold(1)
+	return db
+}
+
+// runAtDOP runs one query at the given DOP and returns the result.
+func runAtDOP(t *testing.T, db *DB, dop int, q string) *Result {
+	t.Helper()
+	db.SetParallelism(dop)
+	res, err := db.Exec(q, nil)
+	if err != nil {
+		t.Fatalf("dop=%d: %s: %v", dop, q, err)
+	}
+	return res
+}
+
+// explainText renders EXPLAIN output as one string.
+func explainText(t *testing.T, db *DB, q string) string {
+	t.Helper()
+	res, err := db.Exec("EXPLAIN "+q, nil)
+	if err != nil {
+		t.Fatalf("EXPLAIN %s: %v", q, err)
+	}
+	var b strings.Builder
+	for _, r := range res.Rows {
+		b.WriteString(r[0].String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestParallelPlanShape checks exchange insertion and its gates.
+func TestParallelPlanShape(t *testing.T) {
+	db := genParallelDB(t, 7)
+
+	db.SetParallelism(4)
+	plan := explainText(t, db, "SELECT x.k, x.v FROM ta x WHERE x.v < 10")
+	if !strings.Contains(plan, "GATHER") {
+		t.Fatalf("parallel-eligible scan got no GATHER:\n%s", plan)
+	}
+	if !strings.Contains(plan, "dop=4") {
+		t.Fatalf("GATHER does not render dop:\n%s", plan)
+	}
+	if n := strings.Count(plan, "GATHER"); n != 1 {
+		t.Fatalf("want exactly 1 GATHER, got %d:\n%s", n, plan)
+	}
+
+	// ORDER BY: the gather must carry merge keys (order-preserving).
+	plan = explainText(t, db, "SELECT x.k, x.v FROM ta x ORDER BY x.k")
+	if !strings.Contains(plan, "GATHER merge") {
+		t.Fatalf("ordered gather missing merge keys:\n%s", plan)
+	}
+	if !strings.Contains(plan, "SORT") {
+		t.Fatalf("parallel ORDER BY lost its SORT:\n%s", plan)
+	}
+
+	// GROUP BY: repartition below the per-worker GROUP.
+	plan = explainText(t, db, "SELECT k, COUNT(*) FROM ta GROUP BY k")
+	if !strings.Contains(plan, "GATHER") || !strings.Contains(plan, "REPART") {
+		t.Fatalf("parallel GROUP BY missing GATHER/REPART:\n%s", plan)
+	}
+
+	// DML must never parallelize.
+	plan = explainText(t, db, "UPDATE ta SET v = 0 WHERE k = 1")
+	if strings.Contains(plan, "GATHER") {
+		t.Fatalf("DML plan got an exchange:\n%s", plan)
+	}
+
+	// Correlated subqueries capture serial executor state: no exchange.
+	plan = explainText(t, db, "SELECT x.k FROM ta x WHERE EXISTS (SELECT 1 FROM tb WHERE tb.k = x.k)")
+	if strings.Contains(plan, "GATHER") {
+		t.Fatalf("subquery plan got an exchange:\n%s", plan)
+	}
+
+	// DOP=1 inserts nothing.
+	db.SetParallelism(1)
+	plan = explainText(t, db, "SELECT x.k, x.v FROM ta x WHERE x.v < 10")
+	if strings.Contains(plan, "GATHER") {
+		t.Fatalf("DOP=1 plan got an exchange:\n%s", plan)
+	}
+
+	// Small tables stay under the cardinality threshold.
+	db.SetParallelism(4)
+	db.SetParallelThreshold(0) // default 512 again
+	plan = explainText(t, db, "SELECT x.k FROM tc x")
+	if strings.Contains(plan, "GATHER") {
+		t.Fatalf("sub-threshold scan got an exchange:\n%s", plan)
+	}
+	db.SetParallelThreshold(1)
+}
+
+// TestParallelEquivalenceCorpus runs the random equivalence corpus at
+// DOP=1 and DOP=4 and requires identical result sets.
+func TestParallelEquivalenceCorpus(t *testing.T) {
+	db := genParallelDB(t, 11)
+	gen := &queryGen{rng: rand.New(rand.NewSource(23))}
+	sawParallel := false
+	for i := 0; i < 60; i++ {
+		q := gen.query()
+		if i%7 == 3 {
+			q = gen.lateralQuery()
+		}
+		serial := runAtDOP(t, db, 1, q)
+		par := runAtDOP(t, db, 4, q)
+		if canonical(serial) != canonical(par) {
+			t.Fatalf("DOP=4 diverged on %s\nserial: %s\nparallel: %s",
+				q, canonical(serial), canonical(par))
+		}
+		if strings.Contains(explainText(t, db, q), "GATHER") {
+			sawParallel = true
+		}
+	}
+	if !sawParallel {
+		t.Fatal("corpus never produced a parallel plan; test is vacuous")
+	}
+}
+
+// TestParallelAggregates covers the repartitioned operators: GROUP BY,
+// scalar aggregates, and DISTINCT.
+func TestParallelAggregates(t *testing.T) {
+	db := genParallelDB(t, 13)
+	queries := []string{
+		"SELECT k, COUNT(*), SUM(v) FROM ta GROUP BY k",
+		"SELECT k, MIN(v), MAX(v) FROM tb GROUP BY k",
+		"SELECT COUNT(*) FROM ta",
+		"SELECT SUM(v), COUNT(v) FROM ta WHERE k IS NOT NULL",
+		"SELECT DISTINCT k FROM ta",
+		"SELECT DISTINCT k, v FROM tb",
+		"SELECT x.k, COUNT(*) FROM ta x, tb y WHERE x.k = y.k GROUP BY x.k",
+	}
+	for _, q := range queries {
+		serial := runAtDOP(t, db, 1, q)
+		par := runAtDOP(t, db, 4, q)
+		if canonical(serial) != canonical(par) {
+			t.Errorf("DOP=4 diverged on %s\nserial: %s\nparallel: %s",
+				q, canonical(serial), canonical(par))
+		}
+	}
+}
+
+// TestParallelOrderByExactOrder requires parallel ORDER BY to
+// reproduce the serial ordering row for row, not just the same set:
+// the gather's sorted merge must be deterministic even for duplicate
+// keys (full-row tiebreak).
+func TestParallelOrderByExactOrder(t *testing.T) {
+	db := genParallelDB(t, 17)
+	queries := []string{
+		"SELECT x.k, x.v FROM ta x ORDER BY x.k",
+		"SELECT x.k, x.v, x.s FROM ta x ORDER BY x.k DESC, x.v",
+		"SELECT x.k, y.v FROM ta x, tb y WHERE x.k = y.k ORDER BY x.k, y.v DESC",
+		"SELECT x.v FROM ta x WHERE x.v < 15 ORDER BY x.v",
+	}
+	for _, q := range queries {
+		serial := runAtDOP(t, db, 1, q)
+		par := runAtDOP(t, db, 4, q)
+		if len(serial.Rows) != len(par.Rows) {
+			t.Fatalf("%s: row count %d vs %d", q, len(serial.Rows), len(par.Rows))
+		}
+		for i := range serial.Rows {
+			if datum.RowKey(serial.Rows[i]) != datum.RowKey(par.Rows[i]) {
+				t.Fatalf("%s: row %d differs: %v vs %v", q, i, serial.Rows[i], par.Rows[i])
+			}
+		}
+	}
+}
+
+// TestParallelLimit checks LIMIT semantics and early termination above
+// an exchange: exact row counts, and exact rows for ORDER BY + LIMIT.
+func TestParallelLimit(t *testing.T) {
+	db := genParallelDB(t, 19)
+	db.SetParallelism(4)
+
+	res, err := db.Exec("SELECT x.k FROM ta x LIMIT 7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("LIMIT 7 returned %d rows", len(res.Rows))
+	}
+
+	serial := runAtDOP(t, db, 1, "SELECT x.k, x.v FROM ta x ORDER BY x.k, x.v LIMIT 11")
+	par := runAtDOP(t, db, 4, "SELECT x.k, x.v FROM ta x ORDER BY x.k, x.v LIMIT 11")
+	if len(par.Rows) != len(serial.Rows) {
+		t.Fatalf("ORDER BY LIMIT: %d vs %d rows", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		if datum.RowKey(serial.Rows[i]) != datum.RowKey(par.Rows[i]) {
+			t.Fatalf("ORDER BY LIMIT row %d differs", i)
+		}
+	}
+}
+
+// TestParallelBatchedEquivalence toggles the batched row path off and
+// on: results (and order, for ORDER BY) must be identical.
+func TestParallelBatchedEquivalence(t *testing.T) {
+	db := genParallelDB(t, 29)
+	gen := &queryGen{rng: rand.New(rand.NewSource(31))}
+	for _, dop := range []int{1, 4} {
+		db.SetParallelism(dop)
+		for i := 0; i < 20; i++ {
+			q := gen.query()
+			db.SetBatchSize(1) // tuple-at-a-time
+			tup, err := db.Exec(q, nil)
+			if err != nil {
+				t.Fatalf("tuple dop=%d: %s: %v", dop, q, err)
+			}
+			db.SetBatchSize(0) // default batching
+			bat, err := db.Exec(q, nil)
+			if err != nil {
+				t.Fatalf("batched dop=%d: %s: %v", dop, q, err)
+			}
+			if canonical(tup) != canonical(bat) {
+				t.Fatalf("batched diverged (dop=%d) on %s", dop, q)
+			}
+		}
+	}
+	db.SetBatchSize(0)
+}
+
+// parallelEligibleQuery is used throughout the fault matrix: a
+// scan-join the optimizer parallelizes on genParallelDB.
+const parallelEligibleQuery = "SELECT x.k, x.v, y.v FROM ta x, tb y WHERE x.k = y.k AND x.v < 18"
+
+// TestParallelFaultMatrix drives parallel plans through the PR-2
+// robustness matrix: clean, faulted, cancelled, and budget-tripped.
+func TestParallelFaultMatrix(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		db := genParallelDB(t, 37)
+		serial := runAtDOP(t, db, 1, parallelEligibleQuery)
+		par := runAtDOP(t, db, 4, parallelEligibleQuery)
+		if canonical(serial) != canonical(par) {
+			t.Fatal("clean parallel run diverged")
+		}
+	})
+
+	t.Run("faulted-forces-serial", func(t *testing.T) {
+		db := genParallelDB(t, 41)
+		db.SetParallelism(4)
+		want := canonical(runAtDOP(t, db, 4, parallelEligibleQuery))
+
+		// With an injector attached, execution is forced serial — fault
+		// schedules count operations deterministically — but compiled
+		// plans still carry the exchange, exercising its inline mode.
+		db.InjectFaults(&Fault{Table: "ta", Op: FaultScan, After: 50, Err: "boom"})
+		if _, err := db.Exec(parallelEligibleQuery, nil); err == nil {
+			t.Fatal("faulted scan did not surface an error")
+		}
+		db.ClearFaults()
+		// Injector still attached (cleared): still forced serial; the
+		// inline exchange must produce the full result.
+		res, err := db.Exec(parallelEligibleQuery, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canonical(res) != want {
+			t.Fatal("inline (forced-serial) exchange diverged")
+		}
+		db.DetachFaults()
+		res, err = db.Exec(parallelEligibleQuery, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canonical(res) != want {
+			t.Fatal("post-fault parallel run diverged")
+		}
+	})
+
+	t.Run("cancelled", func(t *testing.T) {
+		db := genParallelDB(t, 43)
+		db.SetParallelism(4)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := db.ExecContext(ctx, parallelEligibleQuery, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if g := db.Metrics().Gauge(MetricParallelWorkers).Value(); g != 0 {
+			t.Fatalf("cancelled statement leaked %d workers", g)
+		}
+		// The DB stays usable.
+		if _, err := db.Exec(parallelEligibleQuery, nil); err != nil {
+			t.Fatalf("statement after cancellation: %v", err)
+		}
+	})
+
+	t.Run("budget-tripped", func(t *testing.T) {
+		db := genParallelDB(t, 47)
+		db.SetParallelism(4)
+		db.SetLimits(Limits{MaxRows: 64})
+		_, err := db.Exec(parallelEligibleQuery, nil)
+		var rerr *ResourceError
+		if !errors.As(err, &rerr) || rerr.Budget != "rows" {
+			t.Fatalf("want rows ResourceError, got %v", err)
+		}
+		if g := db.Metrics().Gauge(MetricParallelWorkers).Value(); g != 0 {
+			t.Fatalf("budget-tripped statement leaked %d workers", g)
+		}
+		db.SetLimits(Limits{})
+		if _, err := db.Exec(parallelEligibleQuery, nil); err != nil {
+			t.Fatalf("statement after budget trip: %v", err)
+		}
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		db := genParallelDB(t, 53)
+		db.SetParallelism(4)
+		db.SetLimits(Limits{Timeout: time.Nanosecond})
+		_, err := db.Exec(parallelEligibleQuery, nil)
+		var rerr *ResourceError
+		if !errors.As(err, &rerr) || rerr.Budget != "time" {
+			t.Fatalf("want time ResourceError, got %v", err)
+		}
+		db.SetLimits(Limits{})
+		if g := db.Metrics().Gauge(MetricParallelWorkers).Value(); g != 0 {
+			t.Fatalf("timed-out statement leaked %d workers", g)
+		}
+	})
+}
+
+// TestParallelObservability covers the metrics and the EXPLAIN ANALYZE
+// rendering of parallel execution.
+func TestParallelObservability(t *testing.T) {
+	db := genParallelDB(t, 59)
+	db.SetParallelism(4)
+	m := db.Metrics()
+
+	before := m.Counter(MetricParallelStatements).Value()
+	for i := 0; i < 3; i++ {
+		if _, err := db.Exec(parallelEligibleQuery, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Counter(MetricParallelStatements).Value(); got < before+3 {
+		t.Fatalf("parallel statements counter %d, want >= %d", got, before+3)
+	}
+	if g := m.Gauge(MetricParallelWorkers).Value(); g != 0 {
+		t.Fatalf("worker gauge %d after statements finished, want 0", g)
+	}
+	if m.Histogram(MetricExchangeBatchRows, exchangeBatchBuckets).Count() == 0 {
+		t.Fatal("exchange batch histogram never observed")
+	}
+
+	res, err := db.Exec("EXPLAIN ANALYZE "+parallelEligibleQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	for _, r := range res.Rows {
+		text.WriteString(r[0].String())
+		text.WriteString("\n")
+	}
+	out := text.String()
+	if !strings.Contains(out, "GATHER") {
+		t.Fatalf("EXPLAIN ANALYZE lost the exchange:\n%s", out)
+	}
+	if !strings.Contains(out, "workers=[") {
+		t.Fatalf("EXPLAIN ANALYZE has no per-worker row counts:\n%s", out)
+	}
+}
+
+// runInstrumentedParallel mirrors runInstrumented (observe_test.go) but
+// also arms the statement with the DB's parallelism knobs, so exchange
+// operators actually spawn workers under the shared Instrumentation.
+func runInstrumentedParallel(db *DB, instr *exec.Instrumentation, compiled *plan.Compiled,
+	params map[string]Value, goCtx context.Context) ([]Row, error) {
+	s, err := db.builder.Instrumented(instr).Build(compiled.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewCtx(db.cat, params)
+	ctx.Arm(goCtx, db.limits)
+	db.armParallel(ctx)
+	return exec.Run(ctx, s)
+}
+
+// TestParallelStatsCumulative reruns one prepared parallel statement
+// against a single shared Instrumentation and checks that every plan
+// node's counters stay cumulative-monotone across executions (the PR-3
+// invariant, now under worker concurrency) — including across a failed
+// leg, where workers are cancelled mid-flight.
+func TestParallelStatsCumulative(t *testing.T) {
+	db := genParallelDB(t, 61)
+	db.SetParallelism(4)
+
+	compiled := preparedPlan(parallelEligibleQuery)(t, db)
+	if n := plan.CollectOps(compiled.Root)[plan.OpGather]; n != 1 {
+		t.Fatalf("prepared plan has %d GATHER nodes, want 1", n)
+	}
+
+	instr := exec.NewInstrumentation()
+	var prev map[*plan.Node]obs.OpStats
+	var wantKeys []string
+	for i := 0; i < 3; i++ {
+		rows, err := runInstrumentedParallel(db, instr, compiled, nil, context.Background())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				wantKeys = append(wantKeys, datum.RowKey(datum.Row(r)))
+			}
+		} else if len(rows) != len(wantKeys) {
+			t.Fatalf("run %d: got %d rows, want %d", i, len(rows), len(wantKeys))
+		}
+		prev = checkStatsInvariants(t, instr, compiled.Root, prev)
+	}
+
+	// Failure leg: a pre-cancelled context kills the workers mid-open,
+	// but the harvested counters must still only move forward.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := runInstrumentedParallel(db, instr, compiled, nil, cancelled); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	prev = checkStatsInvariants(t, instr, compiled.Root, prev)
+
+	// And a clean run after the failure keeps accumulating.
+	if _, err := runInstrumentedParallel(db, instr, compiled, nil, context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	checkStatsInvariants(t, instr, compiled.Root, prev)
+}

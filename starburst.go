@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -147,6 +148,10 @@ type DB struct {
 	limits exec.Limits
 	// faults is the attached fault injector, nil until InjectFaults.
 	faults *storage.FaultInjector
+	// dop and batchSize configure parallel/batched execution (see
+	// SetParallelism and SetBatchSize in parallel.go).
+	dop       atomic.Int32
+	batchSize atomic.Int32
 
 	// obsState holds the observability knobs: metrics registry, phase
 	// tracing, slow-query log (see observe.go).
