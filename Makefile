@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check faults bench bench-compare obs
+.PHONY: all build test vet lint race check faults bench bench-compare obs api
 
 all: check
 
@@ -19,9 +19,17 @@ race:
 # lint runs the project-specific static checker (see cmd/starburst-lint
 # and the README): qgm mutation discipline, complete rewrite.Rule
 # literals, no raw datum.Value comparison, no naked panic in the
-# execution engine.
+# execution engine, and no public entry point bypassing the
+# context-first statement core.
 lint:
 	$(GO) run ./cmd/starburst-lint ./...
+
+# api diffs the exported API surface against the api.txt golden; after
+# a deliberate API change regenerate with
+#   UPDATE_API=1 $(GO) test ./ -run TestPublicAPIGolden
+# and review the api.txt diff.
+api:
+	$(GO) test ./ -count=1 -run TestPublicAPIGolden
 
 # faults runs the robustness gate: the fault matrix (every QES operator
 # over a failing store), exhaustive DML atomicity, and a fuzz smoke over
@@ -39,17 +47,18 @@ obs:
 	$(GO) test ./cmd/starburst -count=1
 	$(GO) test ./internal/obs -count=1
 
-# bench records the Figure-1 phase and parallel-execution benchmarks as
-# JSON for the perf trajectory across PRs.
+# bench records the Figure-1 phase, parallel-execution and plan-cache
+# benchmarks as JSON for the perf trajectory across PRs.
 bench:
-	BENCH_JSON=BENCH_PR4.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+	BENCH_JSON=BENCH_PR5.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
 
-# bench-compare regenerates BENCH_PR4.json and diffs it against the
-# PR-3 baseline, failing on a >10% serial regression of the end-to-end
-# paper query, a parallel speedup below 2x, or a batched-path alloc
-# saving below 25%.
+# bench-compare regenerates BENCH_PR5.json and diffs it against the
+# PR-4 baseline, failing on a >10% serial regression of the end-to-end
+# paper query, a parallel speedup below 2x, a batched-path alloc
+# saving below 25%, or a plan-cache hit speedup below 5x.
 bench-compare: bench
-	$(GO) run ./cmd/benchcmp BENCH_PR3.json BENCH_PR4.json
+	$(GO) run ./cmd/benchcmp BENCH_PR4.json BENCH_PR5.json
 
-# check is the full gate CI runs: vet, build, race-enabled tests, lint.
-check: vet build race lint
+# check is the full gate CI runs: vet, build, race-enabled tests, lint,
+# and the exported-API golden diff.
+check: vet build race lint api

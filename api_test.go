@@ -1,0 +1,277 @@
+package starburst
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The exported API surface is a contract: the context-first core, the
+// Session/option redesign and the driver shim all promised a specific
+// shape, and an accidental new entry point (or a vanished one) should
+// fail CI, not surface in a user's build. This test renders every
+// exported declaration of the package to a canonical one-line form and
+// diffs the result against the api.txt golden.
+//
+// After a deliberate API change, regenerate with:
+//
+//	UPDATE_API=1 go test ./ -run TestPublicAPIGolden
+//
+// and review the api.txt diff like any other code change.
+
+const apiGoldenFile = "api.txt"
+
+func TestPublicAPIGolden(t *testing.T) {
+	got := renderPublicAPI(t)
+	if os.Getenv("UPDATE_API") != "" {
+		if err := os.WriteFile(apiGoldenFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", apiGoldenFile, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(apiGoldenFile)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_API=1 go test ./ -run TestPublicAPIGolden)", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotSet := splitLines(got)
+	wantSet := splitLines(want)
+	var report strings.Builder
+	for _, l := range diffLines(wantSet, gotSet) {
+		fmt.Fprintf(&report, "  -%s\n", l)
+	}
+	for _, l := range diffLines(gotSet, wantSet) {
+		fmt.Fprintf(&report, "  +%s\n", l)
+	}
+	t.Fatalf("exported API surface drifted from %s:\n%s"+
+		"if the change is intentional, regenerate with UPDATE_API=1 go test ./ -run TestPublicAPIGolden",
+		apiGoldenFile, report.String())
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// diffLines returns the lines of a that are missing from b, in order.
+func diffLines(a, b []string) []string {
+	have := make(map[string]bool, len(b))
+	for _, l := range b {
+		have[l] = true
+	}
+	var out []string
+	for _, l := range a {
+		if !have[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// renderPublicAPI parses every non-test Go file in the package
+// directory and renders the exported declarations, one per line,
+// sorted. Types are rendered from source (so they read as written:
+// "context.Context", not a fully-qualified types.Type), and parameter
+// names are dropped — renaming a parameter is not an API change.
+func renderPublicAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			lines = append(lines, renderDecl(fset, decl)...)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func renderDecl(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv, ok := recvString(fset, d.Recv)
+			if !ok {
+				return nil // method on an unexported type
+			}
+			return []string{fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, signature(fset, d.Type))}
+		}
+		return []string{fmt.Sprintf("func %s%s", d.Name.Name, signature(fset, d.Type))}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					out = append(out, renderType(fset, s)...)
+				}
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						out = append(out, fmt.Sprintf("%s %s", kw, n.Name))
+					}
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// recvString renders a method receiver type ("*DB", "Session"),
+// reporting false when the receiver's base type is unexported.
+func recvString(fset *token.FileSet, recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	typ := recv.List[0].Type
+	base := typ
+	if star, ok := base.(*ast.StarExpr); ok {
+		base = star.X
+	}
+	// Generic receivers would appear as IndexExpr; the package has none.
+	id, ok := base.(*ast.Ident)
+	if !ok || !id.IsExported() {
+		return "", false
+	}
+	return exprString(fset, typ), true
+}
+
+// signature renders a FuncType as "(T1, T2) (R1, R2)" with parameter
+// names elided.
+func signature(fset *token.FileSet, ft *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(fieldTypes(fset, ft.Params))
+	b.WriteString(")")
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		rs := fieldTypes(fset, ft.Results)
+		if len(ft.Results.List) == 1 && len(ft.Results.List[0].Names) == 0 {
+			b.WriteString(" " + rs)
+		} else {
+			b.WriteString(" (" + rs + ")")
+		}
+	}
+	return b.String()
+}
+
+func fieldTypes(fset *token.FileSet, fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		ts := exprString(fset, f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, ts)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// renderType renders an exported type: its kind line plus one line per
+// exported struct field or interface method. Unexported fields are the
+// implementation's business and stay out of the golden.
+func renderType(fset *token.FileSet, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{fmt.Sprintf("type %s struct", name)}
+		for _, f := range t.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				ts := exprString(fset, f.Type)
+				if ast.IsExported(lastName(ts)) {
+					out = append(out, fmt.Sprintf("field %s.%s %s", name, lastName(ts), ts))
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					out = append(out, fmt.Sprintf("field %s.%s %s", name, fn.Name, exprString(fset, f.Type)))
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{fmt.Sprintf("type %s interface", name)}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				out = append(out, fmt.Sprintf("method %s.%s (embedded)", name, exprString(fset, m.Type)))
+				continue
+			}
+			ft, ok := m.Type.(*ast.FuncType)
+			if !ok {
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					out = append(out, fmt.Sprintf("method %s.%s%s", name, mn.Name, signature(fset, ft)))
+				}
+			}
+		}
+		return out
+	default:
+		eq := ""
+		if s.Assign.IsValid() {
+			eq = "= "
+		}
+		return []string{fmt.Sprintf("type %s %s%s", name, eq, exprString(fset, s.Type))}
+	}
+}
+
+// lastName returns the final identifier of a (possibly qualified,
+// possibly pointered) type expression string.
+func lastName(s string) string {
+	s = strings.TrimPrefix(s, "*")
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%T>", e)
+	}
+	return buf.String()
+}

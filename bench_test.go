@@ -19,9 +19,9 @@ import (
 
 // benchDB builds a synthetic quotations/inventory database with the
 // given sizes.
-func benchDB(b *testing.B, nQuot, nInv int) *DB {
+func benchDB(b *testing.B, nQuot, nInv int, opts ...Option) *DB {
 	b.Helper()
-	db := Open()
+	db := Open(opts...)
 	mustExec(b, db, `CREATE TABLE quotations (partno INT, price FLOAT, order_qty INT, suppno INT)`)
 	mustExec(b, db, `CREATE TABLE inventory (partno INT, onhand_qty INT, type STRING)`)
 	rng := rand.New(rand.NewSource(1))
@@ -774,4 +774,53 @@ func BenchmarkPredicateReplication(b *testing.B) {
 	}
 	b.Run("rewrite=off", func(b *testing.B) { run(b, true) })
 	b.Run("rewrite=on(replicated)", func(b *testing.B) { run(b, false) })
+}
+
+// ---------------------------------------------------------------------
+// PR-5: plan-cache amortization. The workload is a 6-way join chain
+// over near-empty tables: join enumeration makes compilation (parse +
+// translate + rewrite + optimize) dominate the cold path, while a
+// cache hit skips all of it and pays only execution plus one LRU
+// lookup. The bench-compare gate requires the hit path to be at least
+// 5x faster than the cold path.
+
+func planCacheBenchDB(b *testing.B, opts ...Option) (*DB, string) {
+	b.Helper()
+	const n = 6
+	db := Open(opts...)
+	for i := 0; i < n; i++ {
+		mustExec(b, db, fmt.Sprintf("CREATE TABLE t%d (k INT, v INT)", i))
+		for r := 0; r < 4; r++ {
+			mustExec(b, db, fmt.Sprintf("INSERT INTO t%d VALUES (%d, %d)", i, r, r*i))
+		}
+		mustExec(b, db, fmt.Sprintf("ANALYZE t%d", i))
+	}
+	return db, chainQuery(n)
+}
+
+func BenchmarkPlanCacheColdCompile(b *testing.B) {
+	db, q := planCacheBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanCacheHit(b *testing.B) {
+	db, q := planCacheBenchDB(b, WithPlanCache(64))
+	if _, err := db.Exec(q, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := db.PlanCacheStats(); s.Hits < int64(b.N) {
+		b.Fatalf("hit path missed the cache: %+v", s)
+	}
 }

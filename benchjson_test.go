@@ -6,11 +6,11 @@ import (
 	"testing"
 )
 
-// TestEmitBenchJSON records the Figure-1 phase and parallel-execution
-// benchmarks as JSON so successive PRs can track the performance
-// trajectory (`make bench` writes BENCH_PR4.json; `make bench-compare`
-// gates it against the PR-3 baseline). Skipped unless BENCH_JSON names
-// the output file.
+// TestEmitBenchJSON records the Figure-1 phase, parallel-execution and
+// plan-cache benchmarks as JSON so successive PRs can track the
+// performance trajectory (`make bench` writes BENCH_PR5.json; `make
+// bench-compare` gates it against the PR-4 baseline). Skipped unless
+// BENCH_JSON names the output file.
 func TestEmitBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_JSON")
 	if path == "" {
@@ -36,6 +36,10 @@ func TestEmitBenchJSON(t *testing.T) {
 		{"ParallelScanDOP4", BenchmarkParallelScanDOP4},
 		{"ScanFilterProjectTuple", BenchmarkScanFilterProjectTuple},
 		{"ScanFilterProjectBatched", BenchmarkScanFilterProjectBatched},
+		// PR-5 plan cache: cold compile-every-time vs served-from-cache
+		// on a compile-dominated 6-way join chain.
+		{"PlanCacheColdCompile", BenchmarkPlanCacheColdCompile},
+		{"PlanCacheHit", BenchmarkPlanCacheHit},
 	}
 	out := map[string]map[string]int64{}
 	for _, bm := range benches {

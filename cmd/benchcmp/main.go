@@ -8,7 +8,10 @@
 //   - parallel speedup: ParallelScanDOP4 must run in at most half the
 //     ns/op of ParallelScanDOP1 (≥2x on the I/O-bound scan);
 //   - batching pays: ScanFilterProjectBatched must allocate at most
-//     75% of ScanFilterProjectTuple's allocs/op.
+//     75% of ScanFilterProjectTuple's allocs/op;
+//   - cache pays: PlanCacheHit must run in at most a fifth of
+//     PlanCacheColdCompile's ns/op (≥5x on a compile-dominated
+//     statement).
 //
 // Every benchmark present in both files is printed as a diff table;
 // only the gates above fail the run.
@@ -107,8 +110,16 @@ func main() {
 		fail("batched path saves <25%% allocs: %d vs %d allocs/op", ab, at)
 	}
 
+	cold, hit := new["PlanCacheColdCompile"]["ns_per_op"], new["PlanCacheHit"]["ns_per_op"]
+	switch {
+	case cold == 0 || hit == 0:
+		fail("PlanCacheColdCompile/Hit missing from %s", os.Args[2])
+	case float64(hit) > 0.2*float64(cold):
+		fail("plan-cache speedup below 5x: hit %dns vs cold %dns", hit, cold)
+	}
+
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("ok: serial within 10%, parallel ≥2x, batched allocs ≤75%")
+	fmt.Println("ok: serial within 10%, parallel ≥2x, batched allocs ≤75%, cache hit ≥5x")
 }

@@ -169,6 +169,7 @@ func (l *loader) LintDir(dir, importPath string) ([]Finding, error) {
 	}
 	c.obsBypass(pkg, files)
 	c.ctxSharedMutation(files)
+	c.apiBypass(files)
 	sort.Slice(c.findings, func(i, j int) bool {
 		a, b := c.findings[i].Pos, c.findings[j].Pos
 		if a.Filename != b.Filename {
@@ -594,6 +595,57 @@ func funcLabel(fd *ast.FuncDecl) string {
 		return id.Name + "." + fd.Name.Name
 	}
 	return fd.Name.Name
+}
+
+// apiBypassCores are the unexported statement cores of the public API:
+// the only functions in the module root package allowed to call
+// sql.Parse. Every exported entry point (DB.Query, DB.Exec, Session.*,
+// the database/sql driver, prepared statements) must funnel through
+// them, because they are where the concurrency contract (stmtMu), the
+// plan cache, settings snapshots and the *QueryError wrapping live. A
+// new exported method that parses for itself silently skips all four.
+var apiBypassCores = map[string]bool{
+	"DB.query":   true,
+	"DB.prepare": true,
+}
+
+// apiBypass verifies, inside the module root package, that sql.Parse is
+// only called from the blessed unexported cores.
+func (c *checks) apiBypass(files []*ast.File) {
+	if c.importPath != c.modPath {
+		return
+	}
+	sqlPath := c.modPath + "/internal/sql"
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if apiBypassCores[funcLabel(fd)] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				se, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := c.info.Uses[se.Sel]
+				if obj == nil || obj.Name() != "Parse" ||
+					obj.Pkg() == nil || obj.Pkg().Path() != sqlPath {
+					return true
+				}
+				c.report(call.Pos(), "api-bypass",
+					"%s calls sql.Parse outside the context-first core; route statements through (*DB).query or (*DB).prepare so the concurrency contract, plan cache, settings snapshot and QueryError wrapping all apply",
+					funcLabel(fd))
+				return true
+			})
+		}
+	}
 }
 
 // dmlDirectMutate flags calls to catalog.Catalog's Insert, Update or

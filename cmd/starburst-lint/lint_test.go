@@ -386,6 +386,48 @@ func reads(ctx *Ctx) int64 {
 		}
 	})
 
+	t.Run("api-bypass", func(t *testing.T) {
+		src := `package x
+
+import "repro/internal/sql"
+
+type DB struct{}
+
+// The blessed cores may parse.
+func (db *DB) query(q string) (sql.Statement, error)   { return sql.Parse(q) }
+func (db *DB) prepare(q string) (sql.Statement, error) { return sql.Parse(q) }
+
+// An exported entry point parsing for itself bypasses the core: flagged.
+func (db *DB) RunDirect(q string) error {
+	_, err := sql.Parse(q)
+	return err
+}
+
+// So does any other helper in the root package: flagged.
+func sideDoor(q string) {
+	sql.Parse(q)
+}
+`
+		// In the module root package, exactly the two bypasses are flagged...
+		dir := writeFixture(t, src)
+		findings, err := l.LintDir(dir, "repro")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countCheck(findings, "api-bypass"); got != 2 {
+			t.Fatalf("want 2 api-bypass findings, got %d: %v", got, findings)
+		}
+		// ...outside the root package the check does not apply.
+		dir2 := writeFixture(t, src)
+		findings, err = l.LintDir(dir2, "repro/x8")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Fatalf("api-bypass outside the root package must not fire, got %v", findings)
+		}
+	})
+
 	t.Run("repository is clean", func(t *testing.T) {
 		if testing.Short() {
 			t.Skip("type-checks the whole module")

@@ -25,6 +25,11 @@
 //     parallelizes) may write non-atomic statement-wide Ctx fields;
 //     operators reachable from an exchange must go through the atomic
 //     shared record, since workers run on Ctx copies.
+//   - api-bypass: in the root package, only the unexported statement
+//     cores ((*DB).query, (*DB).prepare) may call sql.Parse; every
+//     public entry point must route through them so the concurrency
+//     contract, the plan cache, the settings snapshot and QueryError
+//     wrapping all apply.
 //
 // Usage:
 //

@@ -13,7 +13,8 @@
 // statement and shows the plan annotated with actual per-operator row
 // counts, timings and memory; "\d" lists tables and views; "\io" shows
 // simulated I/O counters; "\timing" toggles elapsed-time reporting;
-// "\metrics" dumps the DB metrics registry; "\q" quits.
+// "\metrics" dumps the DB metrics registry; "\cache" shows plan-cache
+// statistics; "\q" quits.
 package main
 
 import (
@@ -37,9 +38,10 @@ func main() {
 	maxRows := flag.Int64("max-rows", 0, "per-statement tuple-processing budget (0 = none)")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	dop := flag.Int("dop", 1, "degree of parallelism for eligible queries (1 = serial)")
+	planCache := flag.Int("plan-cache", 0, "enable the shared plan cache with this many entries (0 = off)")
 	flag.Parse()
 
-	db := starburst.Open()
+	db := starburst.Open(starburst.WithPlanCache(*planCache))
 	db.SetAudit(*audit)
 	db.SetLimits(starburst.Limits{Timeout: *timeout, MaxRows: *maxRows})
 	db.SetParallelism(*dop)
@@ -100,7 +102,7 @@ func (sh *shell) runScript(script string) error {
 
 func (sh *shell) repl(in io.Reader) {
 	fmt.Fprintln(sh.out, "Starburst reproduction shell — Hydrogen statements end with ';'")
-	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \q (quit)`)
+	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \cache  \q (quit)`)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -155,6 +157,14 @@ func (sh *shell) command(cmd string) (quit bool) {
 		if _, err := sh.db.Metrics().WriteTo(sh.out); err != nil {
 			fmt.Fprintln(sh.out, "error:", err)
 		}
+	case `\cache`:
+		s := sh.db.PlanCacheStats()
+		if s.Capacity == 0 {
+			fmt.Fprintln(sh.out, "plan cache is off (start with -plan-cache N)")
+			break
+		}
+		fmt.Fprintf(sh.out, "plan cache: %d/%d entries, %d hits, %d misses, %d evictions, %d invalidations\n",
+			s.Size, s.Capacity, s.Hits, s.Misses, s.Evictions, s.Invalidations)
 	default:
 		fmt.Fprintln(sh.out, "unknown command", cmd)
 	}

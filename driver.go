@@ -1,0 +1,293 @@
+package starburst
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/datum"
+)
+
+// This file is the database/sql bridge: a minimal driver registered
+// under the name "starburst", so standard-library callers can reach a
+// DB through the interface every Go database client already speaks:
+//
+//	sdb, _ := sql.Open("starburst", "demo")
+//	sdb.Exec(`CREATE TABLE t (a INT)`)
+//	rows, _ := sdb.Query(`SELECT a FROM t WHERE a > :p1`, 7)
+//
+// The DSN names a database: RegisterDSN binds a name to an existing
+// *DB (sharing its catalog, extensions and plan cache with native
+// callers); an unregistered name creates a fresh DB on first open and
+// memoizes it, so every connection in the pool reaches the same
+// instance. Each driver connection wraps its own Session.
+//
+// Parameters: sql.Named("x", v) binds :x; positional arguments bind
+// :p1, :p2, ... in order. Transactions are not supported — statements
+// are individually atomic (statement-level atomicity, PR 3).
+
+// DriverName is the name this package registers with database/sql.
+const DriverName = "starburst"
+
+// Driver is the database/sql/driver implementation.
+type Driver struct{}
+
+func init() { sql.Register(DriverName, Driver{}) }
+
+var (
+	dsnMu  sync.Mutex
+	dsnDBs = map[string]*DB{}
+)
+
+// RegisterDSN binds a DSN name to an existing DB, so database/sql
+// connections share it with native API callers. Registering again
+// replaces the binding; already-open connections keep their sessions.
+func RegisterDSN(name string, db *DB) {
+	dsnMu.Lock()
+	defer dsnMu.Unlock()
+	dsnDBs[name] = db
+}
+
+// dbForDSN resolves a DSN, creating and memoizing a fresh DB for names
+// never registered — sql.Open("starburst", "anything") just works, and
+// every pooled connection under one name shares one DB.
+func dbForDSN(dsn string) *DB {
+	dsnMu.Lock()
+	defer dsnMu.Unlock()
+	db, ok := dsnDBs[dsn]
+	if !ok {
+		db = Open()
+		dsnDBs[dsn] = db
+	}
+	return db
+}
+
+// Open implements driver.Driver; database/sql calls it once per pooled
+// connection.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	return &sqlConn{sess: dbForDSN(dsn).NewSession()}, nil
+}
+
+// sqlConn is one pooled connection: a Session on the shared DB.
+type sqlConn struct {
+	sess *Session
+}
+
+var errClosed = errors.New("starburst: driver connection is closed")
+
+// Prepare implements driver.Conn.
+func (c *sqlConn) Prepare(query string) (driver.Stmt, error) {
+	if c.sess == nil {
+		return nil, errClosed
+	}
+	st, err := c.sess.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlStmt{st: st}, nil
+}
+
+// Close implements driver.Conn.
+func (c *sqlConn) Close() error {
+	c.sess = nil
+	return nil
+}
+
+// Begin implements driver.Conn. Transactions are not part of the
+// reproduction; statements are individually atomic.
+func (c *sqlConn) Begin() (driver.Tx, error) {
+	return nil, errors.New("starburst: transactions are not supported")
+}
+
+// QueryContext implements driver.QueryerContext, so un-prepared
+// queries (including EXPLAIN) skip the prepare round trip.
+func (c *sqlConn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	res, err := c.run(ctx, query, args)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlRows{res: res}, nil
+}
+
+// ExecContext implements driver.ExecerContext; DDL and DML statements
+// land here, bypassing Prepare (which compiles DML only).
+func (c *sqlConn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	res, err := c.run(ctx, query, args)
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{affected: res.Affected}, nil
+}
+
+func (c *sqlConn) run(ctx context.Context, query string, args []driver.NamedValue) (*Result, error) {
+	if c.sess == nil {
+		return nil, errClosed
+	}
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return c.sess.Query(ctx, query, params)
+}
+
+// sqlStmt adapts a prepared Stmt to driver.Stmt.
+type sqlStmt struct {
+	st *Stmt
+}
+
+// Close implements driver.Stmt; compiled plans carry no resources.
+func (s *sqlStmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt; -1 skips the placeholder count
+// check (named parameters make the count text-dependent).
+func (s *sqlStmt) NumInput() int { return -1 }
+
+// Exec implements driver.Stmt.
+func (s *sqlStmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.ExecContext(context.Background(), positional(args))
+}
+
+// Query implements driver.Stmt.
+func (s *sqlStmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.QueryContext(context.Background(), positional(args))
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *sqlStmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	res, err := s.run(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{affected: res.Affected}, nil
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *sqlStmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	res, err := s.run(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlRows{res: res}, nil
+}
+
+func (s *sqlStmt) run(ctx context.Context, args []driver.NamedValue) (*Result, error) {
+	params, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.st.Query(ctx, params)
+}
+
+// positional rebuilds NamedValues from legacy ordinal-only args.
+func positional(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, v := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return out
+}
+
+// bindArgs converts driver arguments to host-variable bindings:
+// sql.Named values keep their names, positional values become p1, p2,
+// ... matching :p1-style references in the statement text.
+func bindArgs(args []driver.NamedValue) (map[string]Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	params := make(map[string]Value, len(args))
+	for _, a := range args {
+		v, err := toDatum(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("p%d", a.Ordinal)
+		}
+		params[name] = v
+	}
+	return params, nil
+}
+
+// toDatum converts one driver.Value (already normalized by
+// database/sql to the driver-value types) to a datum.
+func toDatum(v driver.Value) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Null, nil
+	case bool:
+		return NewBool(x), nil
+	case int64:
+		return NewInt(x), nil
+	case float64:
+		return NewFloat(x), nil
+	case string:
+		return NewString(x), nil
+	case []byte:
+		return NewString(string(x)), nil
+	}
+	return Null, fmt.Errorf("starburst: unsupported driver argument type %T", v)
+}
+
+// fromDatum converts a result datum to a driver.Value.
+func fromDatum(v Value) driver.Value {
+	switch v.Type() {
+	case datum.TNull:
+		return nil
+	case datum.TBool:
+		return v.Bool()
+	case datum.TInt:
+		return v.Int()
+	case datum.TFloat:
+		return v.Float()
+	case datum.TString:
+		return v.Str()
+	}
+	// Externally defined types surface through their string rendering.
+	return v.String()
+}
+
+// sqlRows adapts a materialized Result to driver.Rows.
+type sqlRows struct {
+	res *Result
+	i   int
+}
+
+// Columns implements driver.Rows.
+func (r *sqlRows) Columns() []string { return r.res.Columns }
+
+// Close implements driver.Rows.
+func (r *sqlRows) Close() error {
+	r.i = len(r.res.Rows)
+	return nil
+}
+
+// Next implements driver.Rows.
+func (r *sqlRows) Next(dest []driver.Value) error {
+	if r.i >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.i]
+	r.i++
+	for j := range dest {
+		dest[j] = fromDatum(row[j])
+	}
+	return nil
+}
+
+// sqlResult implements driver.Result.
+type sqlResult struct {
+	affected int64
+}
+
+// LastInsertId implements driver.Result; the dialect has no rowids.
+func (sqlResult) LastInsertId() (int64, error) {
+	return 0, errors.New("starburst: LastInsertId is not supported")
+}
+
+// RowsAffected implements driver.Result.
+func (r sqlResult) RowsAffected() (int64, error) { return r.affected, nil }

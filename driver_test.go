@@ -1,0 +1,166 @@
+package starburst
+
+import (
+	gosql "database/sql"
+	"errors"
+	"testing"
+)
+
+// Smoke test for the database/sql bridge: Query, Exec, prepared
+// statements, named and positional parameters, NULLs, and DSN sharing
+// with the native API.
+
+func TestDriverEndToEnd(t *testing.T) {
+	native := Open(WithPlanCache(16))
+	RegisterDSN("driver-e2e", native)
+	sdb, err := gosql.Open(DriverName, "driver-e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+
+	if _, err := sdb.Exec(`CREATE TABLE parts (partno INT, name STRING, weight FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range []string{
+		`INSERT INTO parts VALUES (1, 'bolt', 0.1)`,
+		`INSERT INTO parts VALUES (2, 'nut', 0.05)`,
+		`INSERT INTO parts VALUES (3, 'gear', 2.5)`,
+	} {
+		res, err := sdb.Exec(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := res.RowsAffected(); n != 1 {
+			t.Fatalf("%s: want 1 row affected, got %d", ins, n)
+		}
+	}
+
+	// Positional args bind :p1, :p2, ...
+	rows, err := sdb.Query(`SELECT name, weight FROM parts WHERE partno >= :p1 ORDER BY partno`, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for rows.Next() {
+		var name string
+		var weight float64
+		if err := rows.Scan(&name, &weight); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, name)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "nut" || got[1] != "gear" {
+		t.Fatalf("positional query returned %v", got)
+	}
+
+	// Named args bind sql.Named.
+	var cnt int64
+	if err := sdb.QueryRow(`SELECT COUNT(*) FROM parts WHERE weight < :w`,
+		gosql.Named("w", 1.0)).Scan(&cnt); err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 2 {
+		t.Fatalf("named query: want 2, got %d", cnt)
+	}
+
+	// Prepared statements run repeatedly with fresh bindings.
+	st, err := sdb.Prepare(`SELECT partno FROM parts WHERE name = :p1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for name, want := range map[string]int64{"bolt": 1, "gear": 3} {
+		var pn int64
+		if err := st.QueryRow(name).Scan(&pn); err != nil {
+			t.Fatal(err)
+		}
+		if pn != want {
+			t.Fatalf("prepared %s: want %d, got %d", name, want, pn)
+		}
+	}
+
+	// Prepared Exec path (parameters need column context for typing, so
+	// the DML here binds them in predicates).
+	if _, err := sdb.Exec(`INSERT INTO parts VALUES (4, 'washer', 0.02)`); err != nil {
+		t.Fatal(err)
+	}
+	del, err := sdb.Prepare(`DELETE FROM parts WHERE name = :p1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer del.Close()
+	res, err := del.Exec("washer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("prepared delete: want 1 affected, got %d", n)
+	}
+
+	// NULL round trip.
+	if _, err := sdb.Exec(`INSERT INTO parts (partno) VALUES (5)`); err != nil {
+		// Dialect may not support column lists; insert explicit NULLs.
+		if _, err := sdb.Exec(`INSERT INTO parts VALUES (5, NULL, NULL)`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var name gosql.NullString
+	if err := sdb.QueryRow(`SELECT name FROM parts WHERE partno = 5`).Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name.Valid {
+		t.Fatalf("want NULL name, got %q", name.String)
+	}
+
+	// The DSN shares one DB with native callers.
+	nres, err := native.Exec(`SELECT COUNT(*) FROM parts`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Rows[0][0].Int() != 4 {
+		t.Fatalf("native view of driver writes: want 4 rows, got %v", nres.Rows[0][0])
+	}
+
+	// Driver errors still satisfy the QueryError contract.
+	_, err = sdb.Exec(`SELEC broken`)
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("driver error does not wrap *QueryError: %v", err)
+	}
+
+	// Transactions are explicitly unsupported.
+	if _, err := sdb.Begin(); err == nil {
+		t.Fatal("Begin must fail: transactions are unsupported")
+	}
+}
+
+func TestDriverAutoDSN(t *testing.T) {
+	sdb, err := gosql.Open(DriverName, "driver-auto-fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	if _, err := sdb.Exec(`CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdb.Exec(`INSERT INTO t VALUES (7)`); err != nil {
+		t.Fatal(err)
+	}
+	// A second pool under the same DSN sees the same database.
+	sdb2, err := gosql.Open(DriverName, "driver-auto-fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb2.Close()
+	var a int64
+	if err := sdb2.QueryRow(`SELECT a FROM t`).Scan(&a); err != nil {
+		t.Fatal(err)
+	}
+	if a != 7 {
+		t.Fatalf("want 7, got %d", a)
+	}
+}

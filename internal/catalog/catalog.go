@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/datum"
 	"repro/internal/expr"
@@ -99,7 +100,24 @@ type Catalog struct {
 	// faults, when non-nil, decorates new relations and attachments as
 	// they are created (see AttachFaults).
 	faults *storage.FaultInjector
+
+	// version counts schema and statistics generations: every DDL
+	// statement kind (CREATE/DROP TABLE, VIEW, INDEX), every statistics
+	// update (Analyze) and every storage re-decoration (fault
+	// attachment) bumps it. Plan caches key their entries on the version
+	// they compiled against and lazily evict entries whose generation no
+	// longer matches.
+	version atomic.Int64
 }
+
+// Version reports the current schema/statistics generation.
+func (c *Catalog) Version() int64 { return c.version.Load() }
+
+// BumpVersion advances the schema generation, invalidating any plan
+// compiled against earlier generations. Catalog mutators call it
+// internally; it is exported for extensions that mutate storage out of
+// band (e.g. a storage manager whose contents change externally).
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // New returns an empty catalog with built-in registries.
 func New() *Catalog {
@@ -150,6 +168,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, smName string) (*Table
 	t.Stats.ColMin = make([]datum.Value, len(cols))
 	t.Stats.ColMax = make([]datum.Value, len(cols))
 	c.tables[k] = t
+	c.BumpVersion()
 	return t, nil
 }
 
@@ -161,6 +180,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: no table %s", name)
 	}
 	delete(c.tables, key(name))
+	c.BumpVersion()
 	return nil
 }
 
@@ -196,6 +216,7 @@ func (c *Catalog) CreateView(name string, colNames []string, text string) error 
 		return fmt.Errorf("catalog: %s already exists as a table", name)
 	}
 	c.views[k] = &View{Name: strings.ToUpper(name), ColNames: colNames, Text: text}
+	c.BumpVersion()
 	return nil
 }
 
@@ -207,6 +228,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("catalog: no view %s", name)
 	}
 	delete(c.views, key(name))
+	c.BumpVersion()
 	return nil
 }
 
@@ -295,6 +317,7 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method 
 		}
 	}
 	t.Indexes = append(t.Indexes, ix)
+	c.BumpVersion()
 	return ix, nil
 }
 
@@ -309,6 +332,7 @@ func (c *Catalog) DropIndex(tableName, name string) error {
 	for i, ix := range t.Indexes {
 		if strings.EqualFold(ix.Name, name) {
 			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+			c.BumpVersion()
 			return nil
 		}
 	}
@@ -441,4 +465,5 @@ func (c *Catalog) Analyze(t *Table) {
 		t.Stats.ColMin[i] = mins[i]
 		t.Stats.ColMax[i] = maxs[i]
 	}
+	c.BumpVersion()
 }

@@ -209,6 +209,7 @@ func (c *Catalog) AttachFaults(fi *storage.FaultInjector) {
 			ix.At = fi.WrapAttachment(t.Name, ix.At)
 		}
 	}
+	c.BumpVersion()
 }
 
 // DetachFaults removes fault decoration everywhere it was attached.
@@ -232,4 +233,5 @@ func (c *Catalog) DetachFaults() {
 			ix.At = storage.UnwrapAttachment(ix.At)
 		}
 	}
+	c.BumpVersion()
 }

@@ -1,0 +1,77 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/storage"
+)
+
+// The catalog version is the plan cache's invalidation clock: every
+// data-definition change and every statistics update must move it, or a
+// stale plan would keep executing against a changed schema.
+func TestVersionBumpsOnEveryDDLKind(t *testing.T) {
+	c := New()
+	last := c.Version()
+	step := func(op string) {
+		t.Helper()
+		if v := c.Version(); v <= last {
+			t.Fatalf("%s did not bump the catalog version (still %d)", op, v)
+		} else {
+			last = v
+		}
+	}
+
+	if _, err := c.CreateTable("T", []Column{{Name: "ID", Type: datum.TInt}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	step("CreateTable")
+	if _, err := c.CreateIndex("t_id", "T", []string{"ID"}, "", false); err != nil {
+		t.Fatal(err)
+	}
+	step("CreateIndex")
+	if err := c.CreateView("V", nil, "SELECT id FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	step("CreateView")
+	tbl, _ := c.Table("T")
+	c.Analyze(tbl)
+	step("Analyze")
+	if err := c.DropIndex("T", "t_id"); err != nil {
+		t.Fatal(err)
+	}
+	step("DropIndex")
+	if err := c.DropView("V"); err != nil {
+		t.Fatal(err)
+	}
+	step("DropView")
+	if err := c.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	step("DropTable")
+
+	fi := storage.NewFaultInjector()
+	c.AttachFaults(fi)
+	step("AttachFaults")
+	c.DetachFaults()
+	step("DetachFaults")
+}
+
+// Failed DDL must not bump the version: nothing changed, so cached
+// plans stay valid.
+func TestVersionStableOnFailedDDL(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("T", []Column{{Name: "ID", Type: datum.TInt}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := c.Version()
+	if _, err := c.CreateTable("T", []Column{{Name: "ID", Type: datum.TInt}}, ""); err == nil {
+		t.Fatal("duplicate CreateTable must fail")
+	}
+	if err := c.DropTable("NOPE"); err == nil {
+		t.Fatal("DropTable of missing table must fail")
+	}
+	if got := c.Version(); got != v {
+		t.Fatalf("failed DDL moved the version: %d -> %d", v, got)
+	}
+}

@@ -58,6 +58,9 @@ type Trace struct {
 	SubqHits, SubqMisses int64
 	// Rollbacks counts undo-log rollbacks performed by the statement.
 	Rollbacks int64
+	// PlanCacheHit records that the statement reused a compiled plan
+	// from the shared plan cache (the compile phases were skipped).
+	PlanCacheHit bool
 }
 
 // NewTrace returns an empty trace.

@@ -50,6 +50,24 @@ type Optimizer struct {
 	// atomic so SetParallelism can race with compilation.
 	dop          atomic.Int32
 	parThreshold atomic.Int64
+
+	// cfg is the per-compilation override of the parallelism knobs,
+	// valid only while mu is held (OptimizeConfig sets it, the deferred
+	// reset clears it). It lets concurrent sessions compile with
+	// different degrees of parallelism without racing on the
+	// optimizer-wide atomics.
+	cfg Config
+}
+
+// Config overrides the optimizer-wide parallelism knobs for a single
+// compilation. Zero fields fall back to the optimizer-wide settings.
+type Config struct {
+	// DOP is the degree of parallelism to plan for; 0 uses the
+	// optimizer-wide SetParallelism value, 1 forces a serial plan.
+	DOP int
+	// ParallelThreshold is the minimum estimated scan cardinality for
+	// exchange insertion; 0 uses the optimizer-wide setting.
+	ParallelThreshold int64
 }
 
 // New returns an optimizer over the catalog with the built-in STAR
@@ -63,6 +81,18 @@ func New(cat *catalog.Catalog) *Optimizer {
 // Generator exposes the STAR array for DBC extension.
 func (o *Optimizer) Generator() *Generator { return o.gen }
 
+// Fingerprint summarizes every optimizer-wide setting that can change
+// which plan is chosen for a given QGM: the search-space switches, audit
+// mode, rank pruning, and the STAR-array generation. Plan caches fold it
+// (together with per-session settings such as the degree of
+// parallelism) into their keys, so two compilations share a cache entry
+// only when they would have produced the same plan.
+func (o *Optimizer) Fingerprint() string {
+	return fmt.Sprintf("bushy=%t,cart=%t,audit=%t,maxrank=%d,stars=%d,thr=%d",
+		o.AllowBushy, o.AllowCartesian, o.Audit, o.gen.MaxRank, o.gen.Generation(),
+		o.parThreshold.Load())
+}
+
 // Optimize compiles a rewritten QGM graph into a query evaluation plan.
 func (o *Optimizer) Optimize(g *qgm.Graph) (*plan.Compiled, error) {
 	return o.OptimizeTraced(g, nil)
@@ -71,10 +101,18 @@ func (o *Optimizer) Optimize(g *qgm.Graph) (*plan.Compiled, error) {
 // OptimizeTraced is Optimize recording per-STAR expansion counts into
 // tr (nil-safe: a nil trace records nothing).
 func (o *Optimizer) OptimizeTraced(g *qgm.Graph, tr *obs.Trace) (*plan.Compiled, error) {
+	return o.OptimizeConfig(g, tr, Config{})
+}
+
+// OptimizeConfig is OptimizeTraced under a per-compilation Config:
+// session-scoped parallelism settings apply to this compilation only,
+// leaving the optimizer-wide knobs untouched.
+func (o *Optimizer) OptimizeConfig(g *qgm.Graph, tr *obs.Trace, cfg Config) (*plan.Compiled, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.trace = tr
-	defer func() { o.trace = nil }()
+	o.cfg = cfg
+	defer func() { o.trace = nil; o.cfg = Config{} }()
 	o.graph = g
 	o.memo = map[*qgm.Box]*plan.Node{}
 	o.inProgress = map[*qgm.Box]bool{}

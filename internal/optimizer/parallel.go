@@ -59,10 +59,23 @@ func (o *Optimizer) SetParallelThreshold(n int64) {
 }
 
 func (o *Optimizer) parallelThreshold() int64 {
+	if t := o.cfg.ParallelThreshold; t > 0 {
+		return t
+	}
 	if t := o.parThreshold.Load(); t > 0 {
 		return t
 	}
 	return defaultParallelThreshold
+}
+
+// effectiveDOP is the degree of parallelism this compilation plans for:
+// the per-compilation Config when set, the optimizer-wide knob
+// otherwise. Called with mu held (cfg is per-compilation state).
+func (o *Optimizer) effectiveDOP() int {
+	if o.cfg.DOP > 0 {
+		return o.cfg.DOP
+	}
+	return o.Parallelism()
 }
 
 // insertExchanges walks the root spine of a chosen plan and inserts at
@@ -70,7 +83,7 @@ func (o *Optimizer) parallelThreshold() int64 {
 // subplans — guarantees the gather is opened exactly once per
 // statement, so its worker pool cannot be respawned per outer tuple.
 func (o *Optimizer) insertExchanges(root *plan.Node) *plan.Node {
-	dop := o.Parallelism()
+	dop := o.effectiveDOP()
 	if dop <= 1 {
 		return root
 	}

@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -87,7 +88,14 @@ type Generator struct {
 	MaxRank int
 	// Strategy orders alternative evaluation.
 	Strategy SearchStrategy
+	// generation counts STAR-array mutations; plan caches fold it into
+	// their settings fingerprint so plans chosen under an earlier STAR
+	// array are never reused after a DBC adds or removes alternatives.
+	generation atomic.Int64
 }
+
+// Generation reports how many times the STAR array has been mutated.
+func (g *Generator) Generation() int64 { return g.generation.Load() }
 
 // NewGenerator returns a generator with the given STAR array.
 func NewGenerator(stars []*STAR) *Generator {
@@ -109,6 +117,7 @@ func (g *Generator) AddAlternative(star string, alt *Alternative) {
 		g.stars[star] = s
 	}
 	s.Alternatives = append(s.Alternatives, alt)
+	g.generation.Add(1)
 }
 
 // RemoveAlternative deletes a named alternative.
@@ -120,6 +129,7 @@ func (g *Generator) RemoveAlternative(star, name string) bool {
 	for i, a := range s.Alternatives {
 		if a.Name == name {
 			s.Alternatives = append(s.Alternatives[:i], s.Alternatives[i+1:]...)
+			g.generation.Add(1)
 			return true
 		}
 	}

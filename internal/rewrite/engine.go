@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/qgm"
 )
@@ -104,7 +105,14 @@ type Options struct {
 // engine; DBC extensions register additional rules into it.
 type Engine struct {
 	rules []*Rule
+	// generation counts rule-set mutations; plan caches fold it into
+	// their settings fingerprint so plans compiled under an earlier
+	// rule set are never reused after a DBC registers a new rule.
+	generation atomic.Int64
 }
+
+// Generation reports how many times the rule set has been mutated.
+func (e *Engine) Generation() int64 { return e.generation.Load() }
 
 // NewEngine returns an engine with no rules. Use NewDefaultEngine for
 // the base system's rule set.
@@ -129,6 +137,7 @@ func (e *Engine) Register(r *Rule) error {
 		return fmt.Errorf("rewrite: rule needs Name, Condition and Action")
 	}
 	e.rules = append(e.rules, r)
+	e.generation.Add(1)
 	return nil
 }
 

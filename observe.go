@@ -112,9 +112,8 @@ func (db *DB) slowLogger() *slog.Logger {
 	return slog.Default()
 }
 
-// traceWanted reports whether statements should collect a phase trace,
-// and instrumentWanted whether they should run with per-operator stats.
-func (db *DB) traceWanted() bool      { return db.tracing.Load() || db.slowNanos.Load() > 0 }
+// instrumentWanted reports whether statements should run with
+// per-operator stats (needed by the armed slow-query log).
 func (db *DB) instrumentWanted() bool { return db.slowNanos.Load() > 0 }
 
 // stmtKind classifies a statement for the statements-by-kind counter.
@@ -221,16 +220,18 @@ func (db *DB) recordCtx(ctx *exec.Ctx, tr *obs.Trace) {
 	}
 }
 
-// runObserved is run plus observability: it optionally times the build
-// and execute phases into tr and, when instrument is set (EXPLAIN
-// ANALYZE, armed slow log), builds the plan through the per-operator
-// stats decorator.
+// runObserved is the execution core plus observability: it optionally
+// times the build and execute phases into tr and, when instrument is
+// set (EXPLAIN ANALYZE, armed slow log), builds the plan through the
+// per-operator stats decorator. The settings snapshot supplies the
+// budgets and parallelism knobs, so concurrent sessions execute under
+// their own configuration.
 func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params map[string]Value,
-	tr *obs.Trace, instrument bool) (*Result, *exec.Instrumentation, error) {
+	tr *obs.Trace, instrument bool, set settings) (*Result, *exec.Instrumentation, error) {
 	if goCtx == nil {
 		goCtx = context.Background()
 	}
-	limits := db.limits
+	limits := set.limits
 	if limits.Timeout > 0 {
 		var cancel context.CancelFunc
 		goCtx, cancel = context.WithTimeout(goCtx, limits.Timeout)
@@ -256,7 +257,7 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 	}
 	ctx := exec.NewCtx(db.cat, params)
 	ctx.Arm(goCtx, limits)
-	db.armParallel(ctx)
+	db.armParallel(ctx, set)
 	t0 = time.Now()
 	rows, err := exec.Run(ctx, stream)
 	tr.AddPhase(obs.PhaseExec, time.Since(t0))
@@ -276,14 +277,14 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 // counts, timings, memory high-water marks and cache hit ratios, plus
 // the phase-timing summary. DML side effects are applied as usual.
 func (db *DB) explainAnalyze(goCtx context.Context, inner sql.Statement, phase *string,
-	params map[string]Value, tr *obs.Trace, o *observation) (*Result, error) {
-	compiled, err := db.compile(inner, phase, tr)
+	params map[string]Value, tr *obs.Trace, o *observation, set settings) (*Result, error) {
+	compiled, err := db.compile(inner, phase, tr, set)
 	if err != nil {
 		return nil, err
 	}
 	o.root = compiled.Root
 	*phase = "exec"
-	res, instr, err := db.runObserved(goCtx, compiled, params, tr, true)
+	res, instr, err := db.runObserved(goCtx, compiled, params, tr, true, set)
 	o.instr = instr
 	if err != nil {
 		return nil, err

@@ -99,7 +99,7 @@ func runInstrumented(db *DB, instr *exec.Instrumentation, compiled *plan.Compile
 		return nil, err
 	}
 	ctx := exec.NewCtx(db.cat, params)
-	ctx.Arm(goCtx, db.limits)
+	ctx.Arm(goCtx, db.GetLimits())
 	return exec.Run(ctx, s)
 }
 

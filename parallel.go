@@ -67,12 +67,13 @@ func (db *DB) SetParallelThreshold(n int64) { db.opt.SetParallelThreshold(n) }
 func (db *DB) SetBatchSize(n int) { db.batchSize.Store(int32(n)) }
 
 // effectiveDOP is the DOP a statement actually runs with: the
-// configured value, forced to 1 while a fault injector is attached.
-func (db *DB) effectiveDOP() int {
+// snapshotted session value, forced to 1 while a fault injector is
+// attached.
+func (db *DB) effectiveDOP(set settings) int {
 	if db.faults != nil {
 		return 1
 	}
-	return db.Parallelism()
+	return set.dop
 }
 
 // parallelObs builds the exec-layer observability hooks backed by this
@@ -90,10 +91,10 @@ func (db *DB) parallelObs() *exec.ParallelObs {
 	}
 }
 
-// armParallel configures one statement's execution context from the
-// DB's parallelism and batching knobs.
-func (db *DB) armParallel(ctx *exec.Ctx) {
-	ctx.SetDOP(db.effectiveDOP())
-	ctx.SetBatchSize(int(db.batchSize.Load()))
+// armParallel configures one statement's execution context from its
+// settings snapshot.
+func (db *DB) armParallel(ctx *exec.Ctx, set settings) {
+	ctx.SetDOP(db.effectiveDOP(set))
+	ctx.SetBatchSize(set.batchSize)
 	ctx.SetParallelObs(db.parallelObs())
 }

@@ -424,8 +424,8 @@ func runInstrumentedParallel(db *DB, instr *exec.Instrumentation, compiled *plan
 		return nil, err
 	}
 	ctx := exec.NewCtx(db.cat, params)
-	ctx.Arm(goCtx, db.limits)
-	db.armParallel(ctx)
+	ctx.Arm(goCtx, db.GetLimits())
+	db.armParallel(ctx, db.snapshot())
 	return exec.Run(ctx, s)
 }
 

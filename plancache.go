@@ -1,0 +1,228 @@
+package starburst
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// This file is the shared plan cache: a bounded LRU of compiled plans
+// keyed by normalized statement text plus a fingerprint of every
+// setting that influences plan choice. The paper stresses that a
+// compiled plan is a reusable artifact — "the result of the compilation
+// stage can be stored for future use" (section 3) — and every
+// industrial descendant of Starburst leans on plan reuse to amortize
+// compile cost under concurrent load.
+//
+// Correctness rests on two properties:
+//
+//   - entries are generation-stamped: each entry records the catalog
+//     version it compiled against, and every DDL statement kind and
+//     every statistics update bumps that version, so a lookup that
+//     finds a stale entry evicts it lazily and reports a miss;
+//   - *plan.Compiled values are immutable after compilation: the
+//     executor builds a fresh operator tree from the shared plan per
+//     execution and never writes through it, so any number of sessions
+//     can execute one cached entry concurrently.
+
+// Plan-cache metric names (see DB.Metrics).
+const (
+	// MetricPlanCacheHits counts statements served from the plan cache.
+	MetricPlanCacheHits = "starburst_plan_cache_hits_total"
+	// MetricPlanCacheMisses counts lookups that had to compile.
+	MetricPlanCacheMisses = "starburst_plan_cache_misses_total"
+	// MetricPlanCacheEvictions counts entries dropped by the LRU bound.
+	MetricPlanCacheEvictions = "starburst_plan_cache_evictions_total"
+	// MetricPlanCacheInvalidations counts entries dropped because the
+	// catalog generation moved (DDL or statistics update).
+	MetricPlanCacheInvalidations = "starburst_plan_cache_invalidations_total"
+	// MetricPlanCacheSize gauges the number of live cached plans.
+	MetricPlanCacheSize = "starburst_plan_cache_size"
+)
+
+// PlanCacheStats is a point-in-time snapshot of plan-cache behaviour
+// (also exported through the metrics registry).
+type PlanCacheStats struct {
+	Hits, Misses, Evictions, Invalidations int64
+	// Size is the current entry count; Capacity the LRU bound.
+	Size, Capacity int
+}
+
+// cacheEntry is one cached compilation.
+type cacheEntry struct {
+	key      string
+	compiled *plan.Compiled
+	// kind is the statement classification ("SELECT", "INSERT", ...)
+	// recorded so cache hits keep the per-kind statement metrics right
+	// without re-parsing.
+	kind string
+	// gen is the catalog version the plan compiled against.
+	gen int64
+}
+
+// planCache is the shared, bounded LRU. All methods are safe for
+// concurrent use; the cache never blocks execution — the lock covers
+// map/list surgery only.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	byKey   map[string]*list.Element
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	stats   PlanCacheStats
+	metrics struct {
+		hits, misses, evictions, invalidations *obs.Counter
+	}
+}
+
+// newPlanCache returns a cache bounded to capacity entries, wired to
+// the given metrics registry.
+func newPlanCache(capacity int, m *obs.Registry) *planCache {
+	c := &planCache{
+		cap:   capacity,
+		byKey: map[string]*list.Element{},
+		lru:   list.New(),
+	}
+	c.stats.Capacity = capacity
+	c.metrics.hits = m.Counter(MetricPlanCacheHits)
+	c.metrics.misses = m.Counter(MetricPlanCacheMisses)
+	c.metrics.evictions = m.Counter(MetricPlanCacheEvictions)
+	c.metrics.invalidations = m.Counter(MetricPlanCacheInvalidations)
+	m.GaugeFunc(MetricPlanCacheSize, func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.lru.Len())
+	})
+	return c
+}
+
+// get returns the cached compilation for key if one exists and its
+// generation matches the current catalog version. A stale entry is
+// evicted lazily (counted as an invalidation) and reported as absent.
+// Misses are not counted here: a lookup can precede parsing, so only
+// the caller knows whether the statement was cacheable at all — it
+// counts the miss via miss() when it compiles one.
+func (c *planCache) get(key string, curGen int64) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != curGen {
+		c.removeLocked(el)
+		c.stats.Invalidations++
+		c.metrics.invalidations.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	c.metrics.hits.Inc()
+	return e, true
+}
+
+// miss records that a cacheable statement had to compile.
+func (c *planCache) miss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	c.metrics.misses.Inc()
+}
+
+// put inserts a freshly compiled entry, evicting from the LRU tail when
+// the bound is exceeded. A concurrent insert under the same key wins by
+// last-writer; both plans are equivalent (same text, same fingerprint,
+// same generation), so which survives is immaterial.
+func (c *planCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[e.key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		c.removeLocked(c.lru.Back())
+		c.stats.Evictions++
+		c.metrics.evictions.Inc()
+	}
+}
+
+func (c *planCache) removeLocked(el *list.Element) {
+	delete(c.byKey, el.Value.(*cacheEntry).key)
+	c.lru.Remove(el)
+}
+
+// reset empties the cache and zeroes the stats snapshot (the
+// cumulative registry counters keep running); tests use it to measure
+// from a clean slate after setup traffic.
+func (c *planCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byKey = map[string]*list.Element{}
+	c.lru.Init()
+	c.stats = PlanCacheStats{Capacity: c.cap}
+}
+
+// snapshot returns current cache statistics.
+func (c *planCache) snapshot() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.lru.Len()
+	return s
+}
+
+// PlanCacheStats reports plan-cache behaviour; the zero value when the
+// cache is disabled (see WithPlanCache).
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	if db.cache == nil {
+		return PlanCacheStats{}
+	}
+	return db.cache.snapshot()
+}
+
+// normalizeSQL canonicalizes statement text for cache keying: outside
+// string literals, runs of whitespace collapse to one space and letters
+// fold to upper case (the dialect is case-insensitive there); inside
+// literals the text is preserved byte for byte. Two spellings of the
+// same statement therefore share a cache entry, while statements
+// differing only inside a literal still get distinct keys.
+func normalizeSQL(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inStr := false
+	space := false
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if inStr {
+			b.WriteByte(ch)
+			if ch == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case ch == '\'':
+			inStr = true
+			space = false
+			b.WriteByte(ch)
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			space = true
+		default:
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			if 'a' <= ch && ch <= 'z' {
+				ch -= 'a' - 'A'
+			}
+			b.WriteByte(ch)
+		}
+	}
+	return b.String()
+}

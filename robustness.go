@@ -2,6 +2,7 @@ package starburst
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"strings"
@@ -42,35 +43,68 @@ const (
 	FaultIxSearch = storage.FaultIxSearch
 )
 
-// QueryError reports a panic captured at the statement boundary: the
-// compilation/execution phase it escaped from, the QES operator it can
-// be attributed to (when one is on the stack), the panic value, and the
-// stack at the point of the panic.
+// QueryError is the uniform error type of the public API: every error
+// a statement entry point returns — parse failures, semantic errors,
+// DDL conflicts, exhausted budgets, injected faults, and panics caught
+// at the statement boundary — is (or wraps into) a *QueryError naming
+// the phase it came from. Typed causes stay reachable through
+// errors.As/errors.Is: ResourceError, FaultError, AuditError,
+// context.Canceled and friends unwrap through it.
 type QueryError struct {
-	// Phase is where the panic escaped: parse, rewrite, optimize, exec.
+	// Phase is where the error escaped: parse, rewrite, optimize, exec,
+	// or ddl.
 	Phase string
+	// Err is the underlying error for ordinary (non-panic) failures.
+	Err error
 	// Operator is the failing QES operator type (e.g. "scanOp"), empty
-	// when the panic did not originate under an operator.
+	// when the error did not originate under an operator. Set only for
+	// captured panics.
 	Operator string
-	// Value is the recovered panic value.
+	// Value is the recovered panic value; nil for ordinary errors.
 	Value any
-	// Stack is the goroutine stack captured at recovery.
+	// Stack is the goroutine stack captured at recovery; nil for
+	// ordinary errors.
 	Stack []byte
 }
 
 func (e *QueryError) Error() string {
+	if e.Err != nil {
+		// Pass the underlying message through verbatim: the phase is
+		// structured data, not message decoration.
+		return e.Err.Error()
+	}
 	if e.Operator != "" {
 		return fmt.Sprintf("starburst: panic during %s (operator %s): %v", e.Phase, e.Operator, e.Value)
 	}
 	return fmt.Sprintf("starburst: panic during %s: %v", e.Phase, e.Value)
 }
 
-// Unwrap exposes the panic value when it was an error.
+// Unwrap exposes the underlying error (or the panic value when it was
+// an error), keeping errors.As/errors.Is chains intact.
 func (e *QueryError) Unwrap() error {
+	if e.Err != nil {
+		return e.Err
+	}
 	if err, ok := e.Value.(error); ok {
 		return err
 	}
 	return nil
+}
+
+// wrapQueryError folds a plain error into a *QueryError carrying the
+// phase it escaped from; errors that already are (or wrap) a
+// *QueryError pass through unchanged. The statement entry points defer
+// it after the recover barrier, making *QueryError the single error
+// type of the public API.
+func wrapQueryError(phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return err
+	}
+	return &QueryError{Phase: phase, Err: err}
 }
 
 // recoverQueryError is the single recover barrier: statement entry
@@ -100,19 +134,29 @@ func operatorFromStack(stack []byte) string {
 	return ""
 }
 
-// SetLimits installs per-statement execution budgets applied to every
-// subsequent Exec/ExecContext/Stmt.Run on this DB; the zero Limits
-// removes them.
-func (db *DB) SetLimits(l Limits) { db.limits = l }
+// SetLimits installs the default per-statement execution budgets
+// applied to every subsequent statement on this DB (sessions snapshot
+// them at creation and may override); the zero Limits removes them.
+func (db *DB) SetLimits(l Limits) {
+	if l == (Limits{}) {
+		db.limits.Store(nil)
+		return
+	}
+	db.limits.Store(&l)
+}
 
-// GetLimits reports the current per-statement budgets.
-func (db *DB) GetLimits() Limits { return db.limits }
+// GetLimits reports the current default per-statement budgets.
+func (db *DB) GetLimits() Limits {
+	if l := db.limits.Load(); l != nil {
+		return *l
+	}
+	return Limits{}
+}
 
-// ExecContext is Exec under a context: cancelling ctx aborts the
-// statement at the next tuple boundary, and aborts injected fault
-// latency immediately.
+// ExecContext is Query under another name, kept so existing callers
+// keep compiling; new code should call Query.
 func (db *DB) ExecContext(ctx context.Context, query string, params map[string]Value) (*Result, error) {
-	return db.exec(ctx, query, params)
+	return db.Query(ctx, query, params)
 }
 
 // ---------------------------------------------------------------------
@@ -124,6 +168,11 @@ func (db *DB) ExecContext(ctx context.Context, query string, params map[string]V
 // path a DBC uses), and existing tables and indexes are wrapped in
 // place. Deterministic: the (After+1)th matching operation fails.
 func (db *DB) InjectFaults(faults ...*Fault) {
+	// Attaching rewraps live storage objects in place — exclusive
+	// ownership, like DDL (the attach also bumps the catalog version,
+	// invalidating cached plans compiled over unwrapped storage).
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	if db.faults == nil {
 		db.faults = storage.NewFaultInjector()
 		db.cat.AttachFaults(db.faults)
@@ -143,6 +192,8 @@ func (db *DB) ClearFaults() {
 
 // DetachFaults removes fault decoration entirely.
 func (db *DB) DetachFaults() {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
 	if db.faults != nil {
 		db.cat.DetachFaults()
 		db.faults = nil

@@ -1,0 +1,228 @@
+package starburst
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/rewrite"
+)
+
+// This file is the session layer of the public API. A DB is shared,
+// long-lived state — catalog, rule sets, plan cache, metrics. A Session
+// is a cheap per-client handle carrying the tuning knobs that used to
+// live only on the DB: degree of parallelism, batch size, per-statement
+// budgets, tracing, rewrite configuration. Each statement snapshots its
+// session's settings once at entry, so concurrent sessions never race
+// on shared knobs and a setting change mid-statement cannot tear.
+
+// settings is the per-statement snapshot of every knob that influences
+// how one statement compiles and runs. It is taken once at statement
+// entry and threaded by value through compile and execution.
+type settings struct {
+	// limits are the execution budgets (rows, memory, time).
+	limits Limits
+	// dop is the degree of parallelism the optimizer plans for.
+	dop int
+	// batchSize tunes batched execution; 0 is the executor default.
+	batchSize int
+	// tracing attaches a phase trace to the statement's Result.
+	tracing bool
+	// skipRewrite bypasses the query rewrite phase.
+	skipRewrite bool
+	// rewrite configures the rewrite engine when it runs.
+	rewrite rewrite.Options
+}
+
+// snapshot captures the DB-wide defaults as one statement's settings.
+func (db *DB) snapshot() settings {
+	return settings{
+		limits:      db.GetLimits(),
+		dop:         db.Parallelism(),
+		batchSize:   int(db.batchSize.Load()),
+		tracing:     db.tracing.Load(),
+		skipRewrite: db.SkipRewrite,
+		rewrite:     db.Rewrite,
+	}
+}
+
+// fingerprint renders every setting that can change which plan the
+// compiler produces for a given statement text: the session's degree of
+// parallelism, the rewrite configuration (including the rule-set
+// generation), and the optimizer-wide switches and STAR-array
+// generation. Statements compiled under different fingerprints never
+// share a plan-cache entry; see plancache.go.
+func (db *DB) fingerprint(set settings) string {
+	rw := "off"
+	if !set.skipRewrite {
+		r := set.rewrite
+		rw = fmt.Sprintf("st%v,so%v,b%d,cls[%s],seed%d,val%t,aud%t,gen%d",
+			r.Strategy, r.Search, r.Budget, strings.Join(r.Classes, "+"),
+			r.Seed, r.Validate, r.Audit, db.rewriter.Generation())
+	}
+	return fmt.Sprintf("dop=%d|rw=%s|opt=%s", set.dop, rw, db.opt.Fingerprint())
+}
+
+// cacheKey keys the plan cache: normalized statement text plus the
+// settings fingerprint, separated by a byte that cannot appear in SQL.
+func (db *DB) cacheKey(query string, set settings) string {
+	return normalizeSQL(query) + "\x00" + db.fingerprint(set)
+}
+
+// Session is an independent client handle on a shared DB. Sessions are
+// cheap to create, safe for use from one goroutine at a time, and
+// isolated from each other: a setting changed on one session affects
+// that session alone, while DDL, data, extensions and the plan cache
+// remain shared through the DB. Any number of sessions may execute
+// statements concurrently; see the concurrency contract on DB.Query.
+type Session struct {
+	db *DB
+
+	mu  sync.Mutex
+	set settings
+}
+
+// NewSession opens a session initialized with the DB's current default
+// settings.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, set: db.snapshot()}
+}
+
+// DB returns the shared database this session is a handle on.
+func (s *Session) DB() *DB { return s.db }
+
+// snapshot returns this session's settings for one statement.
+func (s *Session) snapshot() settings {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set
+}
+
+// Query parses, compiles and executes one statement under this
+// session's settings. It is the session-level twin of DB.Query.
+func (s *Session) Query(ctx context.Context, query string, params map[string]Value) (*Result, error) {
+	return s.db.query(ctx, query, params, s.snapshot())
+}
+
+// Exec is Query without a context, kept for symmetry with DB.Exec.
+func (s *Session) Exec(query string, params map[string]Value) (*Result, error) {
+	return s.db.query(context.Background(), query, params, s.snapshot())
+}
+
+// Prepare compiles a DML statement for repeated execution; the
+// returned Stmt re-snapshots this session's settings on every run.
+func (s *Session) Prepare(query string) (*Stmt, error) {
+	return s.db.prepare(query, s.snapshot)
+}
+
+// SetParallelism sets this session's degree of parallelism; n <= 1
+// plans serial execution. Other sessions and the DB default are
+// unaffected.
+func (s *Session) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.set.dop = n
+	s.mu.Unlock()
+}
+
+// Parallelism reports this session's degree of parallelism.
+func (s *Session) Parallelism() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.dop
+}
+
+// SetBatchSize tunes this session's batched execution path; n <= 1
+// disables batching, 0 restores the executor default.
+func (s *Session) SetBatchSize(n int) {
+	s.mu.Lock()
+	s.set.batchSize = n
+	s.mu.Unlock()
+}
+
+// SetLimits installs this session's per-statement execution budgets;
+// the zero Limits removes them.
+func (s *Session) SetLimits(l Limits) {
+	s.mu.Lock()
+	s.set.limits = l
+	s.mu.Unlock()
+}
+
+// GetLimits reports this session's per-statement budgets.
+func (s *Session) GetLimits() Limits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.limits
+}
+
+// SetTracing arms per-statement phase tracing for this session.
+func (s *Session) SetTracing(on bool) {
+	s.mu.Lock()
+	s.set.tracing = on
+	s.mu.Unlock()
+}
+
+// Tracing reports whether this session collects phase traces.
+func (s *Session) Tracing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.tracing
+}
+
+// SetSkipRewrite bypasses the query rewrite phase for this session.
+func (s *Session) SetSkipRewrite(skip bool) {
+	s.mu.Lock()
+	s.set.skipRewrite = skip
+	s.mu.Unlock()
+}
+
+// SetRewriteOptions configures the rewrite engine for this session.
+func (s *Session) SetRewriteOptions(o RewriteOptions) {
+	s.mu.Lock()
+	s.set.rewrite = o
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Functional options for Open
+
+// Option configures a DB at Open time.
+type Option func(*DB)
+
+// WithParallelism sets the DB-wide default degree of parallelism (see
+// SetParallelism).
+func WithParallelism(n int) Option {
+	return func(db *DB) { db.SetParallelism(n) }
+}
+
+// WithBatchSize sets the DB-wide default execution batch size (see
+// SetBatchSize).
+func WithBatchSize(n int) Option {
+	return func(db *DB) { db.SetBatchSize(n) }
+}
+
+// WithLimits sets the DB-wide default per-statement budgets (see
+// SetLimits).
+func WithLimits(l Limits) Option {
+	return func(db *DB) { db.SetLimits(l) }
+}
+
+// WithPlanCache enables the shared plan cache, bounded to capacity
+// compiled statements; capacity <= 0 leaves the cache disabled. See
+// plancache.go for keying and invalidation.
+func WithPlanCache(capacity int) Option {
+	return func(db *DB) {
+		if capacity > 0 {
+			db.cache = newPlanCache(capacity, db.metrics)
+		}
+	}
+}
+
+// WithAudit opens the DB with self-checking compilation armed (see
+// SetAudit).
+func WithAudit(on bool) Option {
+	return func(db *DB) { db.SetAudit(on) }
+}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -138,14 +139,30 @@ type Result struct {
 // DB is one Starburst database instance: catalog plus the four
 // compilation/execution components of Figure 1, each independently
 // extensible.
+//
+// Concurrency contract: a DB is safe for concurrent use. Queries and
+// DML run concurrently with each other under a shared (read) lock on
+// the statement mutex; DDL and statistics updates take it exclusively,
+// so a data-definition statement observes no in-flight statements and
+// vice versa. Per-client tuning belongs on a Session (see NewSession);
+// the DB-level setters adjust the defaults new snapshots inherit.
 type DB struct {
 	cat      *catalog.Catalog
 	rewriter *rewrite.Engine
 	opt      *optimizer.Optimizer
 	builder  *exec.Builder
 
-	// limits are the per-statement execution budgets (see SetLimits).
-	limits exec.Limits
+	// stmtMu is the DB-wide statement lock: queries/DML hold it shared,
+	// DDL (and fault attachment, which rewraps storage in place) holds
+	// it exclusively. The catalog version cannot move while a shared
+	// holder is between plan-cache lookup and execution.
+	stmtMu sync.RWMutex
+	// cache is the shared plan cache, nil unless WithPlanCache.
+	cache *planCache
+
+	// limits holds the default per-statement execution budgets (see
+	// SetLimits); nil means unlimited.
+	limits atomic.Pointer[exec.Limits]
 	// faults is the attached fault injector, nil until InjectFaults.
 	faults *storage.FaultInjector
 	// dop and batchSize configure parallel/batched execution (see
@@ -176,8 +193,15 @@ func (db *DB) SetAudit(on bool) {
 	db.opt.Audit = on
 }
 
-// Open creates an empty in-memory database with the base rule sets.
-func Open() *DB {
+// Open creates an empty in-memory database with the base rule sets,
+// configured by the given options, e.g.:
+//
+//	db := starburst.Open(
+//		starburst.WithParallelism(4),
+//		starburst.WithPlanCache(256),
+//		starburst.WithLimits(starburst.Limits{MaxRows: 1e6}),
+//	)
+func Open(opts ...Option) *DB {
 	cat := catalog.New()
 	db := &DB{
 		cat:      cat,
@@ -186,6 +210,9 @@ func Open() *DB {
 		builder:  exec.NewBuilder(cat),
 	}
 	db.metrics = obs.NewRegistry()
+	for _, opt := range opts {
+		opt(db)
+	}
 	return db
 }
 
@@ -260,27 +287,60 @@ func (db *DB) RegisterOperator(op string, f BuildFunc) { db.builder.RegisterOper
 // ---------------------------------------------------------------------
 // Statement execution (Figure 1)
 
-// Exec parses, compiles and executes one statement. Params bind host
-// language variables (":name" references).
-func (db *DB) Exec(query string, params map[string]Value) (*Result, error) {
-	return db.exec(context.Background(), query, params)
+// Query parses, compiles and executes one statement under ctx; it is
+// the context-first core every other execution entry point wraps.
+// Params bind host language variables (":name" references). Cancelling
+// ctx aborts the statement at the next tuple boundary. Errors are
+// reported as *QueryError.
+func (db *DB) Query(ctx context.Context, query string, params map[string]Value) (*Result, error) {
+	return db.query(ctx, query, params, db.snapshot())
 }
 
-// exec is the statement entry point shared by Exec and ExecContext; it
-// carries the panic barrier, the phase marker it reports, and the
-// observation record for metrics/tracing. Defer order matters: observe
-// is registered first so it runs last, after the recover barrier has
-// converted any panic into err.
-func (db *DB) exec(goCtx context.Context, query string, params map[string]Value) (res *Result, err error) {
+// Exec is Query under context.Background(), kept as the short form for
+// examples, tests and non-cancellable callers.
+func (db *DB) Exec(query string, params map[string]Value) (*Result, error) {
+	return db.query(context.Background(), query, params, db.snapshot())
+}
+
+// query is the single statement core: every public execution entry
+// point (DB.Query/Exec/ExecContext, Session.Query/Exec) lands here with
+// a settings snapshot. It carries the panic barrier, the error-wrapping
+// barrier, the phase marker, the observation record, the plan-cache
+// fast path, and the statement-lock discipline. Defer order matters:
+// observe is registered first so it runs last, after the recover
+// barrier has converted any panic into err and the wrap barrier has
+// folded plain errors into *QueryError.
+func (db *DB) query(goCtx context.Context, query string, params map[string]Value, set settings) (res *Result, err error) {
 	phase := "parse"
 	o := &observation{query: query, kind: "INVALID", start: time.Now()}
 	defer func() { db.observe(o, phase, err) }()
+	defer func() { err = wrapQueryError(phase, err) }()
 	defer recoverQueryError(&phase, &err)
 
 	var tr *obs.Trace
-	if db.traceWanted() {
+	if set.tracing || db.slowNanos.Load() > 0 {
 		tr = obs.NewTrace()
 	}
+
+	// Plan-cache fast path: a hit skips parse, rewrite and optimize
+	// entirely. The lookup and the execution share one read-lock hold,
+	// so the catalog version the entry was validated against cannot
+	// move before the plan runs.
+	if db.cache != nil {
+		key := db.cacheKey(query, set)
+		db.stmtMu.RLock()
+		if e, ok := db.cache.get(key, db.cat.Version()); ok {
+			defer db.stmtMu.RUnlock()
+			o.kind, o.root, o.trace = e.kind, e.compiled.Root, tr
+			if tr != nil {
+				tr.PlanCacheHit = true
+			}
+			phase = "exec"
+			return db.finishRun(goCtx, e.compiled, params, tr, o, set)
+		}
+		db.stmtMu.RUnlock()
+	}
+
 	t0 := time.Now()
 	stmt, err := sql.Parse(query)
 	tr.AddPhase(obs.PhaseParse, time.Since(t0))
@@ -290,14 +350,16 @@ func (db *DB) exec(goCtx context.Context, query string, params map[string]Value)
 	o.kind = stmtKind(stmt)
 	switch s := stmt.(type) {
 	case *sql.ExplainStmt:
+		db.stmtMu.RLock()
+		defer db.stmtMu.RUnlock()
 		if s.Analyze {
 			if tr == nil {
 				tr = obs.NewTrace() // ANALYZE always reports phase times
 			}
 			o.trace = tr
-			return db.explainAnalyze(goCtx, s.Stmt, &phase, params, tr, o)
+			return db.explainAnalyze(goCtx, s.Stmt, &phase, params, tr, o, set)
 		}
-		text, err := db.explain(s.Stmt, &phase)
+		text, err := db.explain(s.Stmt, &phase, set)
 		if err != nil {
 			return nil, err
 		}
@@ -308,22 +370,58 @@ func (db *DB) exec(goCtx context.Context, query string, params map[string]Value)
 		return res, nil
 	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.CreateViewStmt,
 		*sql.DropStmt, *sql.AnalyzeStmt:
+		// DDL owns the DB exclusively: no statement is in flight while
+		// the catalog changes, and the version bump inside the catalog
+		// invalidates affected plan-cache entries lazily.
+		phase = "ddl"
+		db.stmtMu.Lock()
+		defer db.stmtMu.Unlock()
 		return db.execDDL(stmt)
 	default:
 		_ = s
 	}
-	compiled, err := db.compile(stmt, &phase, tr)
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	compiled, err := db.compile(stmt, &phase, tr, set)
 	if err != nil {
 		return nil, err
 	}
+	if db.cache != nil && cacheableKind(o.kind) {
+		db.cache.miss()
+		db.cache.put(&cacheEntry{
+			key:      db.cacheKey(query, set),
+			compiled: compiled,
+			kind:     o.kind,
+			gen:      db.cat.Version(),
+		})
+	}
 	o.trace, o.root = tr, compiled.Root
 	phase = "exec"
-	res, instr, err := db.runObserved(goCtx, compiled, params, tr, false)
+	return db.finishRun(goCtx, compiled, params, tr, o, set)
+}
+
+// cacheableKind reports whether plans of this statement kind are worth
+// caching: exactly the kinds that compile through the optimizer and
+// re-execute unchanged under fresh parameter bindings.
+func cacheableKind(kind string) bool {
+	switch kind {
+	case "SELECT", "INSERT", "UPDATE", "DELETE":
+		return true
+	}
+	return false
+}
+
+// finishRun executes a compiled plan and finishes the statement: it
+// records instrumentation on the observation and attaches the trace to
+// the result when the session asked for one.
+func (db *DB) finishRun(goCtx context.Context, compiled *plan.Compiled, params map[string]Value,
+	tr *obs.Trace, o *observation, set settings) (*Result, error) {
+	res, instr, err := db.runObserved(goCtx, compiled, params, tr, false, set)
 	o.instr = instr
 	if err != nil {
 		return nil, err
 	}
-	if db.tracing.Load() {
+	if set.tracing {
 		res.Trace = tr
 	}
 	return res, nil
@@ -337,48 +435,81 @@ type Stmt struct {
 	compiled *plan.Compiled
 	query    string
 	kind     string
+	// snap re-reads the owning DB's or Session's settings per run, so a
+	// prepared statement follows later setting changes like an ad-hoc
+	// statement would.
+	snap func() settings
 }
 
-// Prepare compiles a DML statement for repeated execution.
-func (db *DB) Prepare(query string) (st *Stmt, err error) {
+// Prepare compiles a DML statement for repeated execution under the
+// DB's default settings; Session.Prepare is the session-scoped twin.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	return db.prepare(query, db.snapshot)
+}
+
+// prepare is the compilation core behind DB.Prepare and
+// Session.Prepare. It consults (and fills) the plan cache, so
+// re-preparing a statement another session already compiled is a cache
+// hit.
+func (db *DB) prepare(query string, snap func() settings) (st *Stmt, err error) {
+	set := snap()
 	phase := "parse"
+	defer func() { err = wrapQueryError(phase, err) }()
 	defer recoverQueryError(&phase, &err)
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := db.compile(stmt, &phase, nil)
+	kind := stmtKind(stmt)
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	var key string
+	if db.cache != nil && cacheableKind(kind) {
+		key = db.cacheKey(query, set)
+		if e, ok := db.cache.get(key, db.cat.Version()); ok {
+			return &Stmt{db: db, compiled: e.compiled, query: query, kind: kind, snap: snap}, nil
+		}
+	}
+	compiled, err := db.compile(stmt, &phase, nil, set)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, compiled: compiled, query: query, kind: stmtKind(stmt)}, nil
+	if key != "" {
+		db.cache.miss()
+		db.cache.put(&cacheEntry{key: key, compiled: compiled, kind: kind, gen: db.cat.Version()})
+	}
+	return &Stmt{db: db, compiled: compiled, query: query, kind: kind, snap: snap}, nil
+}
+
+// Query executes the prepared statement under ctx with the given
+// parameter bindings; it is the context-first core Run and RunContext
+// wrap. Settings are re-snapshotted from the preparing DB or Session on
+// every call.
+func (s *Stmt) Query(goCtx context.Context, params map[string]Value) (res *Result, err error) {
+	set := s.snap()
+	phase := "exec"
+	o := &observation{query: s.query, kind: s.kind, start: time.Now(), root: s.compiled.Root}
+	defer func() { s.db.observe(o, phase, err) }()
+	defer func() { err = wrapQueryError(phase, err) }()
+	defer recoverQueryError(&phase, &err)
+	var tr *obs.Trace
+	if set.tracing || s.db.slowNanos.Load() > 0 {
+		tr = obs.NewTrace()
+		o.trace = tr
+	}
+	s.db.stmtMu.RLock()
+	defer s.db.stmtMu.RUnlock()
+	return s.db.finishRun(goCtx, s.compiled, params, tr, o, set)
 }
 
 // Run executes a prepared statement with the given parameter bindings.
 func (s *Stmt) Run(params map[string]Value) (*Result, error) {
-	return s.RunContext(context.Background(), params)
+	return s.Query(context.Background(), params)
 }
 
 // RunContext is Run under a cancellation context.
-func (s *Stmt) RunContext(goCtx context.Context, params map[string]Value) (res *Result, err error) {
-	phase := "exec"
-	o := &observation{query: s.query, kind: s.kind, start: time.Now(), root: s.compiled.Root}
-	defer func() { s.db.observe(o, phase, err) }()
-	defer recoverQueryError(&phase, &err)
-	var tr *obs.Trace
-	if s.db.traceWanted() {
-		tr = obs.NewTrace()
-		o.trace = tr
-	}
-	res, instr, err := s.db.runObserved(goCtx, s.compiled, params, tr, false)
-	o.instr = instr
-	if err != nil {
-		return nil, err
-	}
-	if s.db.tracing.Load() {
-		res.Trace = tr
-	}
-	return res, nil
+func (s *Stmt) RunContext(goCtx context.Context, params map[string]Value) (*Result, error) {
+	return s.Query(goCtx, params)
 }
 
 // Plan renders the prepared statement's QEP.
@@ -388,17 +519,17 @@ func (s *Stmt) Plan() string { return s.compiled.Root.String() }
 // rewrite, plan optimization (and, inside the executor, plan
 // refinement). phase marks progress for the panic barrier; tr (nil-safe)
 // collects per-phase wall time and rule/STAR firing counts.
-func (db *DB) compile(stmt sql.Statement, phase *string, tr *obs.Trace) (*plan.Compiled, error) {
+func (db *DB) compile(stmt sql.Statement, phase *string, tr *obs.Trace, set settings) (*plan.Compiled, error) {
 	t0 := time.Now()
 	g, err := qgm.TranslateStatement(db.cat, stmt)
 	tr.AddPhase(obs.PhaseParse, time.Since(t0)) // semantic analysis counts as parsing
 	if err != nil {
 		return nil, err
 	}
-	if !db.SkipRewrite {
+	if !set.skipRewrite {
 		*phase = "rewrite"
 		t0 = time.Now()
-		trace, err := db.rewriter.Rewrite(g, db.Rewrite)
+		trace, err := db.rewriter.Rewrite(g, set.rewrite)
 		tr.AddPhase(obs.PhaseRewrite, time.Since(t0))
 		if err != nil {
 			return nil, err
@@ -411,23 +542,23 @@ func (db *DB) compile(stmt sql.Statement, phase *string, tr *obs.Trace) (*plan.C
 	}
 	*phase = "optimize"
 	t0 = time.Now()
-	compiled, err := db.opt.OptimizeTraced(g, tr)
+	compiled, err := db.opt.OptimizeConfig(g, tr, optimizer.Config{DOP: set.dop})
 	tr.AddPhase(obs.PhaseOptimize, time.Since(t0))
 	return compiled, err
 }
 
-// run refines and interprets a compiled plan under the DB's limits and
-// the caller's cancellation context (see runObserved in observe.go for
-// the full path; run is the untraced shorthand).
+// run refines and interprets a compiled plan under the DB's default
+// settings and the caller's cancellation context (see runObserved in
+// observe.go for the full path; run is the untraced shorthand).
 func (db *DB) run(goCtx context.Context, compiled *plan.Compiled, params map[string]Value) (*Result, error) {
-	res, _, err := db.runObserved(goCtx, compiled, params, nil, false)
+	res, _, err := db.runObserved(goCtx, compiled, params, nil, false, db.snapshot())
 	return res, err
 }
 
 // explain renders the compilation phases for EXPLAIN <stmt>: the QGM
 // after translation, the rewrite trace, the rewritten QGM, and the
 // chosen plan.
-func (db *DB) explain(stmt sql.Statement, phase *string) (string, error) {
+func (db *DB) explain(stmt sql.Statement, phase *string, set settings) (string, error) {
 	var b strings.Builder
 	g, err := qgm.TranslateStatement(db.cat, stmt)
 	if err != nil {
@@ -435,9 +566,9 @@ func (db *DB) explain(stmt sql.Statement, phase *string) (string, error) {
 	}
 	b.WriteString("=== QGM (after parsing & semantic analysis) ===\n")
 	b.WriteString(g.String())
-	if !db.SkipRewrite {
+	if !set.skipRewrite {
 		*phase = "rewrite"
-		trace, err := db.rewriter.Rewrite(g, db.Rewrite)
+		trace, err := db.rewriter.Rewrite(g, set.rewrite)
 		if err != nil {
 			return "", err
 		}
@@ -452,7 +583,7 @@ func (db *DB) explain(stmt sql.Statement, phase *string) (string, error) {
 		b.WriteString(g.String())
 	}
 	*phase = "optimize"
-	compiled, err := db.opt.Optimize(g)
+	compiled, err := db.opt.OptimizeConfig(g, nil, optimizer.Config{DOP: set.dop})
 	if err != nil {
 		return "", err
 	}
