@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check faults bench bench-compare obs api
+.PHONY: all build test vet lint lint-json fmt race check faults bench bench-compare obs api
 
 all: check
 
@@ -16,13 +16,31 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs the project-specific static checker (see cmd/starburst-lint
-# and the README): qgm mutation discipline, complete rewrite.Rule
-# literals, no raw datum.Value comparison, no naked panic in the
-# execution engine, and no public entry point bypassing the
-# context-first statement core.
+# lint runs the project-specific analyzer suite (see cmd/starburst-lint
+# and DESIGN.md "Static analysis") over every module package, then the
+# analyzer fixture self-tests. The suite covers the original rules (qgm
+# mutation discipline, complete rewrite.Rule literals, no raw
+# datum.Value comparison, no naked panic in the execution engine, DML
+# through the undo log, operatorKind registration, worker-safe Ctx
+# writes, the context-first statement core) plus the call-graph
+# concurrency contracts: lock-discipline over the starburst:locks
+# annotations, goroutine-hygiene (joined goroutines, select-guarded
+# sends), error-discard (Close/IterErr/Rollback propagation), and
+# budget-tick (row loops charge the execution budget). Findings are
+# suppressible only with a justified //lint:ignore.
 lint:
 	$(GO) run ./cmd/starburst-lint ./...
+	$(GO) test ./cmd/starburst-lint -count=1
+
+# lint-json emits the same diagnostics as a machine-readable JSON array
+# (module-root-relative paths, sorted by position).
+lint-json:
+	$(GO) run ./cmd/starburst-lint -json ./...
+
+# fmt fails if any tracked Go file drifts from gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # api diffs the exported API surface against the api.txt golden; after
 # a deliberate API change regenerate with
@@ -59,6 +77,7 @@ bench:
 bench-compare: bench
 	$(GO) run ./cmd/benchcmp BENCH_PR4.json BENCH_PR5.json
 
-# check is the full gate CI runs: vet, build, race-enabled tests, lint,
-# and the exported-API golden diff.
-check: vet build race lint api
+# check is the full gate CI runs: formatting, vet, build, race-enabled
+# tests, the lint suite (analyzers + fixture self-tests), and the
+# exported-API golden diff.
+check: fmt vet build race lint api

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// api-bypass verifies, inside the module root package, that sql.Parse
+// is only called from the blessed unexported statement cores. They are
+// where the concurrency contract (stmtMu), the plan cache, settings
+// snapshots and the *QueryError wrapping live; a new exported method
+// that parses for itself silently skips all four.
+var apiBypassAnalyzer = &analyzer{
+	name: "api-bypass",
+	doc:  "in the root package, only (*DB).query and (*DB).prepare may call sql.Parse",
+	run:  runAPIBypass,
+}
+
+// apiBypassCores are the unexported statement cores of the public API:
+// the only functions in the module root package allowed to call
+// sql.Parse.
+var apiBypassCores = map[string]bool{
+	"DB.query":   true,
+	"DB.prepare": true,
+}
+
+func runAPIBypass(p *pass) {
+	if p.importPath != p.modPath {
+		return
+	}
+	sqlPath := p.modPath + "/internal/sql"
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if apiBypassCores[funcLabel(fd)] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				se, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := p.info.Uses[se.Sel]
+				if obj == nil || obj.Name() != "Parse" ||
+					obj.Pkg() == nil || obj.Pkg().Path() != sqlPath {
+					return true
+				}
+				p.report(call.Pos(),
+					"%s calls sql.Parse outside the context-first core; route statements through (*DB).query or (*DB).prepare so the concurrency contract, plan cache, settings snapshot and QueryError wrapping all apply",
+					funcLabel(fd))
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// edge is one call-graph edge, positioned at the call (or reference)
+// site in the caller.
+type edge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// lockOp is one sync.Mutex/RWMutex acquisition found in a function
+// body, identified by the final field name of the receiver selector
+// (db.stmtMu.Lock() → field "stmtMu").
+type lockOp struct {
+	field  string
+	method string // Lock, RLock, TryLock, TryRLock
+	pos    token.Pos
+}
+
+// callGraph is the module-wide static call graph. Nodes are declared
+// module functions; edges cover direct calls, qualified calls, method
+// calls, function-value references, and — conservatively — interface
+// method calls expanded to every module type implementing the
+// interface. Calls through stored function fields (e.g. rewrite.Rule
+// actions) are invisible to it; analyzers that walk it are documented
+// as conservative on dynamic dispatch.
+type callGraph struct {
+	fset     *token.FileSet
+	out      map[*types.Func][]edge
+	decl     map[*types.Func]*ast.FuncDecl
+	acquires map[*types.Func][]lockOp
+	sends    map[*types.Func][]token.Pos
+
+	modPath  string
+	modTypes []*types.Named
+	ifaceMem map[*types.Interface][]*types.Func // expansion cache per interface identity
+}
+
+var mutexAcquireMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+// buildCallGraph constructs the graph over every unit plus every
+// module package the loader pulled in as a dependency, so annotations
+// and callees resolve across package boundaries.
+func buildCallGraph(l *loader, units []*unit) *callGraph {
+	g := &callGraph{
+		fset:     l.fset,
+		out:      make(map[*types.Func][]edge),
+		decl:     make(map[*types.Func]*ast.FuncDecl),
+		acquires: make(map[*types.Func][]lockOp),
+		sends:    make(map[*types.Func][]token.Pos),
+		modPath:  l.modPath,
+		ifaceMem: make(map[*types.Interface][]*types.Func),
+	}
+
+	// Files to index: cached module dependencies first, then explicit
+	// units (fixture units are not in the cache and must be indexed so
+	// their functions become graph nodes).
+	indexed := map[string][]*ast.File{}
+	for path, files := range l.files {
+		indexed[path] = files
+	}
+	for _, u := range units {
+		indexed[u.importPath] = u.files
+	}
+
+	// All module named types, for interface expansion. The per-scope
+	// order is deterministic (scope.Names sorts); cross-package order
+	// does not matter because the BFS visited set deduplicates.
+	collect := func(pkg *types.Package) {
+		if pkg == nil {
+			return
+		}
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				g.modTypes = append(g.modTypes, named)
+			}
+		}
+	}
+	seenPkg := map[*types.Package]bool{}
+	for _, u := range units {
+		if u.pkg != nil && !seenPkg[u.pkg] {
+			seenPkg[u.pkg] = true
+			collect(u.pkg)
+		}
+	}
+	for path, pkg := range l.cache {
+		if g.inModulePath(path) && !seenPkg[pkg] {
+			seenPkg[pkg] = true
+			collect(pkg)
+		}
+	}
+
+	for _, files := range indexed {
+		for _, f := range files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := l.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decl[fn] = fd
+				g.indexBody(fn, fd.Body, l.info)
+			}
+		}
+	}
+	return g
+}
+
+func (g *callGraph) inModulePath(path string) bool {
+	return path == g.modPath || strings.HasPrefix(path, g.modPath+"/")
+}
+
+func (g *callGraph) inModule(fn *types.Func) bool {
+	return fn.Pkg() != nil && g.inModulePath(fn.Pkg().Path())
+}
+
+func (g *callGraph) addEdge(from, to *types.Func, pos token.Pos) {
+	if to == nil || !g.inModule(to) {
+		return
+	}
+	g.out[from] = append(g.out[from], edge{callee: to, pos: pos})
+}
+
+// indexBody walks one function body (FuncLit bodies are attributed to
+// the enclosing declared function) and records call edges, mutex
+// acquisitions, and channel-send positions.
+func (g *callGraph) indexBody(fn *types.Func, body *ast.BlockStmt, info *types.Info) {
+	// Identifiers that are the head of a call expression; bare function
+	// references outside this set become conservative "ref" edges (the
+	// function value may be invoked later).
+	calleeHead := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			calleeHead[f] = true
+		case *ast.SelectorExpr:
+			calleeHead[f.Sel] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			g.indexCall(fn, n, info)
+		case *ast.SendStmt:
+			g.sends[fn] = append(g.sends[fn], n.Arrow)
+		case *ast.Ident:
+			if calleeHead[n] {
+				return true
+			}
+			if ref, ok := info.Uses[n].(*types.Func); ok {
+				g.addEdge(fn, ref, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// indexCall resolves one call expression into zero or more edges, and
+// records mutex acquisitions.
+func (g *callGraph) indexCall(fn *types.Func, call *ast.CallExpr, info *types.Info) {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if callee, ok := info.Uses[f].(*types.Func); ok {
+			g.addEdge(fn, callee, call.Pos())
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			m, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			if m.Pkg() != nil && m.Pkg().Path() == "sync" && mutexAcquireMethods[m.Name()] {
+				g.acquires[fn] = append(g.acquires[fn], lockOp{
+					field:  finalSelectorName(f.X),
+					method: m.Name(),
+					pos:    call.Pos(),
+				})
+				return
+			}
+			recv := sel.Recv()
+			for {
+				p, ok := recv.(*types.Pointer)
+				if !ok {
+					break
+				}
+				recv = p.Elem()
+			}
+			if iface, ok := recv.Underlying().(*types.Interface); ok {
+				for _, impl := range g.implementors(iface, m) {
+					g.addEdge(fn, impl, call.Pos())
+				}
+				return
+			}
+			g.addEdge(fn, m, call.Pos())
+			return
+		}
+		// Qualified call (pkg.Fn) or method expression.
+		if callee, ok := info.Uses[f.Sel].(*types.Func); ok {
+			g.addEdge(fn, callee, call.Pos())
+		}
+	}
+}
+
+// implementors returns, for an interface method call, the matching
+// concrete method on every module named type that implements the
+// interface — the conservative expansion of dynamic dispatch.
+func (g *callGraph) implementors(iface *types.Interface, m *types.Func) []*types.Func {
+	if iface.NumMethods() == 0 {
+		return nil
+	}
+	if cached, ok := g.ifaceMem[iface]; ok {
+		return g.matchMethod(cached, m)
+	}
+	var methods []*types.Func
+	for _, named := range g.modTypes {
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		var recv types.Type = named
+		if !types.Implements(named, iface) {
+			if !types.Implements(types.NewPointer(named), iface) {
+				continue
+			}
+			recv = types.NewPointer(named)
+		}
+		ms := types.NewMethodSet(recv)
+		for i := 0; i < ms.Len(); i++ {
+			if f, ok := ms.At(i).Obj().(*types.Func); ok {
+				methods = append(methods, f)
+			}
+		}
+	}
+	g.ifaceMem[iface] = methods
+	return g.matchMethod(methods, m)
+}
+
+func (g *callGraph) matchMethod(methods []*types.Func, m *types.Func) []*types.Func {
+	var out []*types.Func
+	for _, f := range methods {
+		if f.Name() == m.Name() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// finalSelectorName extracts the rightmost name of a selector chain:
+// db.stmtMu → "stmtMu", c.mu → "mu", mu → "mu".
+func finalSelectorName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}
+
+// reach runs a BFS from root and returns every reachable module
+// function with the position of the first edge that led to it and the
+// call path (root excluded). The traversal order is deterministic:
+// edge slices are appended in AST walk order.
+type reached struct {
+	fn   *types.Func
+	pos  token.Pos // call site of the first edge reaching fn
+	path []string  // function names from root to fn, inclusive of fn
+}
+
+func (g *callGraph) reach(root *types.Func) []reached {
+	visited := map[*types.Func]bool{root: true}
+	var out []reached
+	queue := []reached{{fn: root}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.out[cur.fn] {
+			if visited[e.callee] {
+				continue
+			}
+			visited[e.callee] = true
+			path := make([]string, len(cur.path), len(cur.path)+1)
+			copy(path, cur.path)
+			path = append(path, e.callee.Name())
+			r := reached{fn: e.callee, pos: e.pos, path: path}
+			out = append(out, r)
+			queue = append(queue, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// datum-compare flags == and != where either operand is a datum.Value.
+// Value is a struct with an `any` payload, so == can panic at runtime
+// on user-defined types, and it ignores SQL comparison semantics
+// (NULL, INT-vs-FLOAT promotion). Code must go through datum.Compare /
+// datum.Equal, which check types first. The datum package itself is
+// exempt — it implements those primitives.
+var datumCompareAnalyzer = &analyzer{
+	name: "datum-compare",
+	doc:  "no == or != on datum.Value; use datum.Compare / datum.Equal",
+	run:  runDatumCompare,
+}
+
+func runDatumCompare(p *pass) {
+	datumPath := p.modPath + "/internal/datum"
+	if p.importPath == datumPath {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, operand := range []ast.Expr{be.X, be.Y} {
+				tv, ok := p.info.Types[operand]
+				if !ok {
+					continue
+				}
+				named, ok := tv.Type.(*types.Named)
+				if !ok {
+					continue
+				}
+				obj := named.Obj()
+				if obj.Name() == "Value" && obj.Pkg() != nil && obj.Pkg().Path() == datumPath {
+					p.report(be.OpPos,
+						"datum.Value compared with %s; use datum.Compare or datum.Equal, which check the types first", be.Op)
+					break
+				}
+			}
+			return true
+		})
+	}
+}

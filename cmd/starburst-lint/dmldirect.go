@@ -1,0 +1,55 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// dml-direct-mutate flags calls to catalog.Catalog's Insert, Update or
+// Delete inside internal/exec. DML operators must mutate through the
+// undo-logged entry points (InsertLogged, UpdateLogged, DeleteLogged)
+// so a mid-statement error can roll the whole statement back; a direct
+// mutation silently escapes statement atomicity.
+var dmlDirectAnalyzer = &analyzer{
+	name: "dml-direct-mutate",
+	doc:  "no direct catalog.Insert/Update/Delete in internal/exec; DML goes through the undo-logged entry points",
+	run:  runDmlDirect,
+}
+
+func runDmlDirect(p *pass) {
+	if !p.inExec() {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			se, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := p.info.Selections[se]
+			if !ok || sel.Kind() != types.MethodVal {
+				return true
+			}
+			m := sel.Obj()
+			name := m.Name()
+			if name != "Insert" && name != "Update" && name != "Delete" {
+				return true
+			}
+			if m.Pkg() == nil || m.Pkg().Path() != p.modPath+"/internal/catalog" {
+				return true
+			}
+			named, ok := derefNamed(sel.Recv())
+			if !ok || named.Obj().Name() != "Catalog" {
+				return true
+			}
+			p.report(call.Pos(),
+				"direct catalog.%s in internal/exec bypasses statement atomicity; mutate through %sLogged with an UndoLog",
+				name, name)
+			return true
+		})
+	}
+}

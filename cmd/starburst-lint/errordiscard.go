@@ -1,0 +1,143 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// error-discard targets the leak-prone error set in internal/...: the
+// exact bug class PR 2 fixed by hand. Two rules:
+//
+//  1. no silently dropped error return from Close, IterErr, or
+//     undo-log Rollback — an ExprStmt/defer/go call whose error result
+//     vanishes, or a blank assignment `_ = x.Close()`;
+//  2. a function that advances a storage iterator (RowIterator.Next,
+//     EntryIterator.Next, BatchScanner.NextRows) must consult
+//     storage.IterErr — iterator errors surface only there, so a loop
+//     that never asks silently treats a faulted scan as clean EOF.
+//
+// internal/storage itself is exempt from rule 2: it implements the
+// iterators and their fault decorators.
+var errorDiscardAnalyzer = &analyzer{
+	name: "error-discard",
+	doc:  "in internal/...: no dropped errors from Close/IterErr/Rollback, and every storage-iterator consumer consults storage.IterErr",
+	run:  runErrorDiscard,
+}
+
+var leakProneNames = map[string]bool{"Close": true, "IterErr": true, "Rollback": true}
+
+func runErrorDiscard(p *pass) {
+	if !strings.HasPrefix(p.importPath, p.modPath+"/internal/") {
+		return
+	}
+	storagePath := p.modPath + "/internal/storage"
+	checkIter := p.importPath != storagePath && !strings.HasPrefix(p.importPath, storagePath+"/")
+
+	for _, f := range p.files {
+		// Rule 1: discarded results.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						call, _ = n.Rhs[0].(*ast.CallExpr)
+					}
+				}
+			}
+			if call == nil {
+				return true
+			}
+			if name, ok := leakProneResult(p, call); ok {
+				p.report(call.Pos(),
+					"%s returns an error that is silently discarded; the leak-prone set (Close, IterErr, undo-log Rollback) must be propagated — join it with the primary error if one is already in flight",
+					name)
+			}
+			return true
+		})
+
+		// Rule 2: iterator consumers must consult storage.IterErr.
+		if !checkIter {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var firstAdvance ast.Node
+			seesIterErr := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if firstAdvance == nil && advancesStorageIterator(p, n, storagePath) {
+						firstAdvance = n
+					}
+				case *ast.Ident:
+					if obj, ok := p.info.Uses[n].(*types.Func); ok &&
+						obj.Name() == "IterErr" && obj.Pkg() != nil && obj.Pkg().Path() == storagePath {
+						seesIterErr = true
+					}
+				}
+				return true
+			})
+			if firstAdvance != nil && !seesIterErr {
+				p.report(firstAdvance.Pos(),
+					"%s advances a storage iterator but never consults storage.IterErr; a faulted scan would read as a clean EOF — check IterErr at exhaustion and join it with the primary error",
+					funcLabel(fd))
+			}
+		}
+	}
+}
+
+// leakProneResult reports whether call invokes a leak-prone function
+// (by name) that returns an error.
+func leakProneResult(p *pass, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = p.info.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || !leakProneNames[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// advancesStorageIterator reports whether call is a Next/NextRows
+// method call resolved to the storage package's iterator interfaces.
+func advancesStorageIterator(p *pass, call *ast.CallExpr, storagePath string) bool {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := p.info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return false
+	}
+	m := sel.Obj()
+	if m.Name() != "Next" && m.Name() != "NextRows" {
+		return false
+	}
+	return m.Pkg() != nil && m.Pkg().Path() == storagePath
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exec-panic flags calls to the builtin panic inside internal/exec.
+// Execution operators run user queries; a malformed plan or datum must
+// surface as an error on the Stream, not crash the process.
+var execPanicAnalyzer = &analyzer{
+	name: "exec-panic",
+	doc:  "no naked panic in internal/exec; operators return errors through the Stream",
+	run:  runExecPanic,
+}
+
+func runExecPanic(p *pass) {
+	if !p.inExec() {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			p.report(call.Pos(),
+				"naked panic in internal/exec; execution operators must return errors through the Stream, not crash the process")
+			return true
+		})
+	}
+}

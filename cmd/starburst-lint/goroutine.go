@@ -1,0 +1,116 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroutine-hygiene encodes the PR-4 exchange shutdown rules for
+// internal/exec, previously prose in DESIGN.md:
+//
+//  1. every `go` statement must spawn a function literal whose body
+//     starts joining itself — a top-level `defer wg.Done()` on a
+//     sync.WaitGroup — so the spawner can wait for it;
+//  2. every channel send must sit inside a `select` that also has a
+//     default or receive case (done channel, context cancellation), so
+//     an abandoned reader can never wedge a worker on a send.
+//
+// Deliberately unjoined goroutines (e.g. a closer that runs after
+// wg.Wait and is therefore joined transitively) carry a //lint:ignore
+// with the reason.
+var goroutineHygieneAnalyzer = &analyzer{
+	name: "goroutine-hygiene",
+	doc:  "in internal/exec: every go statement joins via a WaitGroup, every channel send is select-guarded with a done/default case",
+	run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(p *pass) {
+	if !p.inExec() {
+		return
+	}
+	for _, f := range p.files {
+		guarded := guardedSends(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(p, n)
+			case *ast.SendStmt:
+				if !guarded[n] {
+					p.report(n.Arrow,
+						"unguarded channel send in internal/exec; sends must sit in a select with a done/default case so an abandoned reader cannot wedge the worker")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkGoStmt requires the spawned function to be a literal opening
+// with `defer wg.Done()` on a sync.WaitGroup.
+func checkGoStmt(p *pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		p.report(g.Pos(),
+			"go statement spawns a named function; spawn a literal opening with `defer wg.Done()` so the goroutine is provably joined")
+		return
+	}
+	for _, stmt := range lit.Body.List {
+		def, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		se, ok := ast.Unparen(def.Call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := p.info.Selections[se]
+		if !ok || sel.Kind() != types.MethodVal {
+			continue
+		}
+		m := sel.Obj()
+		if m.Name() == "Done" && m.Pkg() != nil && m.Pkg().Path() == "sync" {
+			return
+		}
+	}
+	p.report(g.Pos(),
+		"goroutine is not joined: the spawned literal has no top-level `defer wg.Done()`; every exec goroutine must be waited on (or carry a //lint:ignore with the reason it terminates)")
+}
+
+// guardedSends collects the SendStmt nodes that appear as a comm clause
+// of a select which also offers a way out: a default case or a receive
+// case (done channel / ctx.Done).
+func guardedSends(f *ast.File) map[*ast.SendStmt]bool {
+	out := map[*ast.SendStmt]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		escape := false
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case nil: // default:
+				escape = true
+			case *ast.ExprStmt, *ast.AssignStmt: // receive cases
+				_ = comm
+				escape = true
+			}
+		}
+		if !escape {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					out[send] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

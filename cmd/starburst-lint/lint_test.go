@@ -1,461 +1,247 @@
 package main
 
 import (
+	"bufio"
+	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
 
-// writeFixture drops src into a fresh temp directory and returns it.
-// Fixture packages import the real module packages; the loader resolves
-// those against the repository while the fixture itself is checked
-// under whatever import path the test supplies.
-func writeFixture(t *testing.T, src string) string {
+// Fixture packages live in testdata/src/<analyzer>/, one per analyzer,
+// each seeding a firing case, a clean case, and a //lint:ignore
+// suppression case. The first line of fixture.go declares the
+// simulated import path:
+//
+//	//lintfixture:path repro/internal/exec/fixgo
+//
+// Expected diagnostics are marked in-line:
+//
+//	ch <- 1 // want goroutine-hygiene "unguarded channel send"
+//
+// The harness asserts an exact match in both directions: every
+// diagnostic must hit a marker on its line (analyzer equal, quoted
+// string a substring of the message), and every marker must be hit. A
+// broken suppression therefore fails as an unmatched diagnostic, and a
+// stale directive fails as an unexpected lint-directive finding.
+
+var (
+	fixturePathRe = regexp.MustCompile(`^//lintfixture:path (\S+)$`)
+	wantMarkerRe  = regexp.MustCompile(`want ([-\w]+) "([^"]*)"`)
+)
+
+type marker struct {
+	file   string
+	line   int
+	rule   string
+	substr string
+	hits   int
+}
+
+// lintFixture type-checks one fixture dir under its declared import
+// path and returns the post-suppression diagnostics.
+func lintFixture(t *testing.T, l *loader, dir string) []Diagnostic {
 	t.Helper()
-	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return dir
+	u, err := l.loadUnit(abs, fixtureImportPath(t, abs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := []*unit{u}
+	return runAnalyzers(l, units, buildCallGraph(l, units))
 }
 
-func countCheck(findings []Finding, check string) int {
-	n := 0
-	for _, f := range findings {
-		if f.Check == check {
-			n++
+func fixtureImportPath(t *testing.T, dir string) string {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, "fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if sc.Scan() {
+		if m := fixturePathRe.FindStringSubmatch(sc.Text()); m != nil {
+			return m[1]
 		}
 	}
-	return n
+	t.Fatalf("%s: first line must be //lintfixture:path <import-path>", dir)
+	return ""
 }
 
-func TestLint(t *testing.T) {
+func collectMarkers(t *testing.T, dir string) []*marker {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*marker
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if !strings.Contains(line, "// want ") {
+				continue
+			}
+			for _, m := range wantMarkerRe.FindAllStringSubmatch(line, -1) {
+				out = append(out, &marker{file: abs, line: i + 1, rule: m[1], substr: m[2]})
+			}
+		}
+	}
+	return out
+}
+
+func TestFixtures(t *testing.T) {
 	modRoot, modPath, err := findModule(".")
 	if err != nil {
 		t.Fatal(err)
 	}
 	l := newLoader(modRoot, modPath)
-
-	t.Run("qgm-mutation", func(t *testing.T) {
-		dir := writeFixture(t, `package x
-
-import "repro/internal/qgm"
-
-func Bad(g *qgm.Graph, b, src *qgm.Box) {
-	b.Quants = append(b.Quants, src.Quants...) // flagged: splices the slice
-	g.Boxes = nil                              // flagged: drops the registry
-}
-
-func Fine(b, src *qgm.Box) {
-	b.AdoptQuants(src)     // the sanctioned way to move quantifiers
-	b.Quants[0].Input = src // mutates a quantifier, not the slice
-	_ = len(b.Quants)       // reads are always fine
-}
-`)
-		findings, err := l.LintDir(dir, "repro/x")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := countCheck(findings, "qgm-mutation"); got != 2 {
-			t.Fatalf("want 2 qgm-mutation findings, got %d: %v", got, findings)
-		}
-		if len(findings) != 2 {
-			t.Fatalf("unexpected extra findings: %v", findings)
-		}
-	})
-
-	t.Run("qgm-mutation exempt inside qgm", func(t *testing.T) {
-		dir := writeFixture(t, `package x
-
-import "repro/internal/qgm"
-
-func Internal(g *qgm.Graph) {
-	g.Boxes = nil
-}
-`)
-		findings, err := l.LintDir(dir, "repro/internal/qgm")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(findings) != 0 {
-			t.Fatalf("qgm package must be exempt, got %v", findings)
-		}
-	})
-
-	t.Run("rule-literal", func(t *testing.T) {
-		dir := writeFixture(t, `package x
-
-import (
-	"repro/internal/qgm"
-	"repro/internal/rewrite"
-)
-
-func cond(ctx *rewrite.Context, b *qgm.Box) bool  { return false }
-func act(ctx *rewrite.Context, b *qgm.Box) error  { return nil }
-
-var good = rewrite.Rule{Name: "good", Condition: cond, Action: act}
-var noAction = rewrite.Rule{Name: "noAction", Condition: cond}
-var noCondition = &rewrite.Rule{Name: "noCondition", Action: act}
-var nilAction = rewrite.Rule{Name: "nilAction", Condition: cond, Action: nil}
-`)
-		findings, err := l.LintDir(dir, "repro/x2")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := countCheck(findings, "rule-literal"); got != 3 {
-			t.Fatalf("want 3 rule-literal findings, got %d: %v", got, findings)
-		}
-	})
-
-	t.Run("datum-compare", func(t *testing.T) {
-		dir := writeFixture(t, `package x
-
-import "repro/internal/datum"
-
-func Bad(a, b datum.Value) bool  { return a == b }
-func Bad2(a, b datum.Value) bool { return a != b }
-func Fine(a, b datum.Value) bool { return datum.Equal(a, b) }
-func Fine2(a, b datum.Value) bool { return a.Type() == b.Type() }
-`)
-		findings, err := l.LintDir(dir, "repro/x3")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := countCheck(findings, "datum-compare"); got != 2 {
-			t.Fatalf("want 2 datum-compare findings, got %d: %v", got, findings)
-		}
-	})
-
-	t.Run("datum-compare exempt inside datum", func(t *testing.T) {
-		dir := writeFixture(t, `package x
-
-import "repro/internal/datum"
-
-func Impl(a, b datum.Value) bool { return a == b }
-`)
-		findings, err := l.LintDir(dir, "repro/internal/datum")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(findings) != 0 {
-			t.Fatalf("datum package must be exempt, got %v", findings)
-		}
-	})
-
-	t.Run("exec-panic", func(t *testing.T) {
-		src := `package x
-
-import "fmt"
-
-func boom() {
-	panic("malformed plan")
-}
-
-func fine() error {
-	return fmt.Errorf("malformed plan")
-}
-`
-		dir := writeFixture(t, src)
-		// The same source is clean outside internal/exec...
-		findings, err := l.LintDir(dir, "repro/x4")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(findings) != 0 {
-			t.Fatalf("panic outside internal/exec must not be flagged, got %v", findings)
-		}
-		// ...and flagged when the package claims to be an exec operator.
-		dir2 := writeFixture(t, src)
-		findings, err = l.LintDir(dir2, "repro/internal/exec/fixture")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := countCheck(findings, "exec-panic"); got != 1 {
-			t.Fatalf("want 1 exec-panic finding, got %d: %v", got, findings)
-		}
-	})
-
-	t.Run("dml-direct-mutate", func(t *testing.T) {
-		src := `package x
-
-import (
-	"repro/internal/catalog"
-	"repro/internal/datum"
-	"repro/internal/storage"
-)
-
-func bad(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row) error {
-	if _, err := c.Insert(t, row); err != nil { // flagged
-		return err
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := c.Update(t, rid, row); err != nil { // flagged
-		return err
-	}
-	return c.Delete(t, rid) // flagged
-}
-
-func fine(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row) error {
-	var undo catalog.UndoLog
-	if _, err := c.InsertLogged(t, row, &undo); err != nil {
-		return err
-	}
-	if err := c.UpdateLogged(t, rid, row, &undo); err != nil {
-		return err
-	}
-	return c.DeleteLogged(t, rid, &undo)
-}
-
-func alsoFine(t *catalog.Table, row datum.Row) {
-	// Insert on a storage.Relation is not the catalog's; only the
-	// catalog methods are fenced.
-	t.Rel.Insert(row)
-}
-`
-		// Clean outside internal/exec...
-		dir := writeFixture(t, src)
-		findings, err := l.LintDir(dir, "repro/x5")
-		if err != nil {
-			t.Fatal(err)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
 		}
-		if len(findings) != 0 {
-			t.Fatalf("catalog DML outside internal/exec must not be flagged, got %v", findings)
-		}
-		// ...flagged inside it.
-		dir2 := writeFixture(t, src)
-		findings, err = l.LintDir(dir2, "repro/internal/exec/fixture")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := countCheck(findings, "dml-direct-mutate"); got != 3 {
-			t.Fatalf("want 3 dml-direct-mutate findings, got %d: %v", got, findings)
-		}
-	})
-
-	t.Run("obs-bypass", func(t *testing.T) {
-		src := `package x
-
-type Ctx struct{}
-type Row []int
-
-type Stream interface {
-	Open(ctx *Ctx) error
-	Next(ctx *Ctx) (Row, bool, error)
-	Close(ctx *Ctx) error
-}
-
-type goodOp struct{}
-
-func (*goodOp) Open(*Ctx) error              { return nil }
-func (*goodOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
-func (*goodOp) Close(*Ctx) error             { return nil }
-
-// rogueOp implements Stream but is missing from operatorKind: flagged.
-type rogueOp struct{}
-
-func (*rogueOp) Open(*Ctx) error              { return nil }
-func (*rogueOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
-func (*rogueOp) Close(*Ctx) error             { return nil }
-
-// notAStream has the wrong shape; never flagged.
-type notAStream struct{}
-
-func (*notAStream) Open(*Ctx) error { return nil }
-
-func operatorKind(s Stream) string {
-	switch s.(type) {
-	case *goodOp:
-		return "goodOp"
-	}
-	return ""
-}
-`
-		// Outside internal/exec the check does not apply...
-		dir := writeFixture(t, src)
-		findings, err := l.LintDir(dir, "repro/x6")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(findings) != 0 {
-			t.Fatalf("obs-bypass outside internal/exec must not fire, got %v", findings)
-		}
-		// ...inside it, exactly the unregistered operator is flagged.
-		dir2 := writeFixture(t, src)
-		findings, err = l.LintDir(dir2, "repro/internal/exec/fixture")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := countCheck(findings, "obs-bypass"); got != 1 {
-			t.Fatalf("want 1 obs-bypass finding, got %d: %v", got, findings)
-		}
-		if !strings.Contains(findings[0].Msg, "rogueOp") {
-			t.Fatalf("finding must name rogueOp: %v", findings[0])
-		}
-	})
-
-	t.Run("obs-bypass clean when exhaustive", func(t *testing.T) {
-		dir := writeFixture(t, `package x
-
-type Ctx struct{}
-type Row []int
-
-type Stream interface {
-	Open(ctx *Ctx) error
-	Next(ctx *Ctx) (Row, bool, error)
-	Close(ctx *Ctx) error
-}
-
-type onlyOp struct{}
-
-func (*onlyOp) Open(*Ctx) error              { return nil }
-func (*onlyOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
-func (*onlyOp) Close(*Ctx) error             { return nil }
-
-func operatorKind(s Stream) string {
-	switch s.(type) {
-	case *onlyOp:
-		return "onlyOp"
-	}
-	return ""
-}
-`)
-		findings, err := l.LintDir(dir, "repro/internal/exec/fixture2")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(findings) != 0 {
-			t.Fatalf("exhaustive operatorKind must be clean, got %v", findings)
-		}
-	})
-
-	t.Run("ctx-shared-mutation", func(t *testing.T) {
-		src := `package x
-
-type Ctx struct {
-	Affected int64
-	SubqHits int64
-	rec      map[int]int
-}
-
-type badOp struct{}
-
-func (o *badOp) Next(ctx *Ctx) {
-	ctx.Affected++       // flagged: lost on the worker's Ctx copy
-	ctx.SubqHits += 2    // flagged
-	ctx.rec[1] = 1       // flagged: races through the shared map
-}
-
-type insertOp struct{}
-
-func (o *insertOp) Next(ctx *Ctx) {
-	ctx.Affected++ // allowed: DML never parallelizes
-}
-
-func rollback(ctx *Ctx) {
-	ctx.Affected++ // allowed: serial-only free function
-}
-
-func (c *Ctx) reset() {
-	c.Affected = 0 // allowed: Ctx's own API
-}
-
-func reads(ctx *Ctx) int64 {
-	return ctx.Affected + ctx.SubqHits // reads are always fine
-}
-`
-		// Outside internal/exec the check does not apply...
-		dir := writeFixture(t, src)
-		findings, err := l.LintDir(dir, "repro/x7")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(findings) != 0 {
-			t.Fatalf("ctx-shared-mutation outside internal/exec must not fire, got %v", findings)
-		}
-		// ...inside it, exactly the three worker-unsafe writes are flagged.
-		dir2 := writeFixture(t, src)
-		findings, err = l.LintDir(dir2, "repro/internal/exec/fixture3")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := countCheck(findings, "ctx-shared-mutation"); got != 3 {
-			t.Fatalf("want 3 ctx-shared-mutation findings, got %d: %v", got, findings)
-		}
-		if len(findings) != 3 {
-			t.Fatalf("unexpected extra findings: %v", findings)
-		}
-	})
-
-	t.Run("api-bypass", func(t *testing.T) {
-		src := `package x
-
-import "repro/internal/sql"
-
-type DB struct{}
-
-// The blessed cores may parse.
-func (db *DB) query(q string) (sql.Statement, error)   { return sql.Parse(q) }
-func (db *DB) prepare(q string) (sql.Statement, error) { return sql.Parse(q) }
-
-// An exported entry point parsing for itself bypasses the core: flagged.
-func (db *DB) RunDirect(q string) error {
-	_, err := sql.Parse(q)
-	return err
-}
-
-// So does any other helper in the root package: flagged.
-func sideDoor(q string) {
-	sql.Parse(q)
-}
-`
-		// In the module root package, exactly the two bypasses are flagged...
-		dir := writeFixture(t, src)
-		findings, err := l.LintDir(dir, "repro")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := countCheck(findings, "api-bypass"); got != 2 {
-			t.Fatalf("want 2 api-bypass findings, got %d: %v", got, findings)
-		}
-		// ...outside the root package the check does not apply.
-		dir2 := writeFixture(t, src)
-		findings, err = l.LintDir(dir2, "repro/x8")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(findings) != 0 {
-			t.Fatalf("api-bypass outside the root package must not fire, got %v", findings)
-		}
-	})
-
-	t.Run("repository is clean", func(t *testing.T) {
-		if testing.Short() {
-			t.Skip("type-checks the whole module")
-		}
-		dirs, err := expandPattern(modRoot, "./...")
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, dir := range dirs {
-			rel, err := filepath.Rel(modRoot, dir)
+		dir := filepath.Join("testdata", "src", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			diags := lintFixture(t, l, dir)
+			abs, err := filepath.Abs(dir)
 			if err != nil {
 				t.Fatal(err)
 			}
-			importPath := modPath
-			if rel != "." {
-				importPath = modPath + "/" + filepath.ToSlash(rel)
-			}
-			findings, err := l.LintDir(dir, importPath)
-			if err != nil {
-				t.Fatalf("%s: %v", importPath, err)
-			}
-			if len(findings) != 0 {
-				var lines []string
-				for _, f := range findings {
-					lines = append(lines, f.String())
+			markers := collectMarkers(t, abs)
+			for _, d := range diags {
+				matched := false
+				for _, m := range markers {
+					if m.file == d.Pos.Filename && m.line == d.Pos.Line &&
+						m.rule == d.Analyzer && strings.Contains(d.Msg, m.substr) {
+						m.hits++
+						matched = true
+					}
 				}
-				t.Errorf("%s:\n%s", importPath, strings.Join(lines, "\n"))
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
 			}
+			for _, m := range markers {
+				if m.hits == 0 {
+					t.Errorf("%s:%d: no %s diagnostic matching %q", m.file, m.line, m.rule, m.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestJSONGolden locks the -json wire format: analyzer names, field
+// names, ordering, and module-root-relative paths. Refresh with
+// UPDATE_LINT_GOLDEN=1 go test ./cmd/starburst-lint.
+func TestJSONGolden(t *testing.T) {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(modRoot, modPath)
+	diags := lintFixture(t, l, filepath.Join("testdata", "src", "errordiscard"))
+	got, err := encodeJSON(modRoot, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "golden", "errordiscard.json")
+	if os.Getenv("UPDATE_LINT_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
 		}
-	})
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("-json output drifted from %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestRepositoryClean runs the full suite over every module package:
+// zero unsuppressed findings, and (via the lint-directive rule) zero
+// unjustified or stale suppressions.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := expandPattern(modRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(modRoot, modPath)
+	var units []*unit
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		u, err := l.loadUnit(dir, importPath)
+		if err != nil {
+			t.Fatalf("%s: %v", importPath, err)
+		}
+		units = append(units, u)
+	}
+	diags := runAnalyzers(l, units, buildCallGraph(l, units))
+	if len(diags) != 0 {
+		var lines []string
+		for _, d := range diags {
+			lines = append(lines, d.String())
+		}
+		t.Errorf("repository must lint clean:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestDeterministicOutput runs the suite twice over a firing fixture
+// and asserts byte-identical ordering.
+func TestDeterministicOutput(t *testing.T) {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		l := newLoader(modRoot, modPath)
+		diags := lintFixture(t, l, filepath.Join("testdata", "src", "goroutinehygiene"))
+		var sb strings.Builder
+		for _, d := range diags {
+			fmt.Fprintln(&sb, d)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("output not deterministic:\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+	if a == "" {
+		t.Error("expected the goroutinehygiene fixture to produce diagnostics")
+	}
 }

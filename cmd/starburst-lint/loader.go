@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// loader type-checks packages on demand. Packages inside the module are
+// resolved by mapping the import path onto a directory under the module
+// root; everything else (the standard library) is delegated to the
+// go/importer source importer. Only the standard library is involved —
+// the module has no external dependencies, and the linter enforces that
+// implicitly: an unknown import path simply fails to resolve.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string // absolute path of the module root
+	modPath string // module path from go.mod, e.g. "repro"
+	std     types.Importer
+	info    *types.Info // shared across packages so identities stay consistent
+	cache   map[string]*types.Package
+	files   map[string][]*ast.File // parsed files per cached import path
+	loading map[string]bool
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+		},
+		cache:   make(map[string]*types.Package),
+		files:   make(map[string][]*ast.File),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
+		pkg, _, err := l.load(dir, path)
+		return pkg, err
+	}
+	return l.std.Import(path)
+}
+
+// load returns the type-checked package for importPath, checking it at
+// most once per loader. A package must never be checked twice: two
+// *types.Package copies of the same path make every cross-package type
+// comparison fail ("cannot use x (type T) as T").
+func (l *loader) load(dir, importPath string) (*types.Package, []*ast.File, error) {
+	if pkg, ok := l.cache[importPath]; ok {
+		return pkg, l.files[importPath], nil
+	}
+	if l.loading[importPath] {
+		return nil, nil, fmt.Errorf("import cycle through %q", importPath)
+	}
+	pkg, files, err := l.typeCheck(dir, importPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.cache[importPath] = pkg
+	l.files[importPath] = files
+	return pkg, files, nil
+}
+
+// canonicalDir maps a module-internal import path to the directory it
+// denotes, or "" for paths outside the module.
+func (l *loader) canonicalDir(importPath string) string {
+	if importPath != l.modPath && !strings.HasPrefix(importPath, l.modPath+"/") {
+		return ""
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.modPath), "/")
+	return filepath.Join(l.modRoot, filepath.FromSlash(rel))
+}
+
+// typeCheck parses every non-test .go file in dir and type-checks the
+// package under the given import path, recording results in the shared
+// Info. Comments are retained: the analyzers read starburst:locks
+// annotations and //lint:ignore suppressions from them.
+func (l *loader) typeCheck(dir, importPath string) (*types.Package, []*ast.File, error) {
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		mode := parser.SkipObjectResolution | parser.ParseComments
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.fset, files, l.info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return pkg, files, nil
+}
+
+// loadUnit type-checks the package in dir as importPath and returns it
+// as a lint unit. importPath is a parameter (rather than derived from
+// dir) so tests can lint fixture directories under a simulated path —
+// several analyzers key on the import path. Packages whose importPath
+// genuinely maps to dir within the module are cached and shared with
+// import resolution; fixture dirs (where the mapping does not hold) are
+// checked standalone so they cannot poison the cache.
+func (l *loader) loadUnit(dir, importPath string) (*unit, error) {
+	var pkg *types.Package
+	var files []*ast.File
+	var err error
+	if l.canonicalDir(importPath) == dir {
+		pkg, files, err = l.load(dir, importPath)
+	} else {
+		pkg, files, err = l.typeCheck(dir, importPath)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &unit{dir: dir, importPath: importPath, pkg: pkg, files: files}, nil
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// lock-discipline is annotation-driven: a function whose doc comment
+// carries
+//
+//	// starburst:locks <path>.<field>:read|write
+//
+// declares "this function runs with that lock held in that mode" —
+// e.g. the statement helpers called by (*DB).query after it takes
+// stmtMu. write mode doubles as a requirement: reaching a :write
+// function from a :read root means write-guarded state is mutated
+// under a read lock. Three rules, each walked over the call graph from
+// every annotated root:
+//
+//  1. a :read root must not reach a :write-annotated function,
+//  2. no reachable function may re-acquire the named lock (the classic
+//     RLock-under-Lock self-deadlock),
+//  3. no channel send may execute while the lock is held — restricted
+//     to functions in the root's own package, since cross-package
+//     worker sends are goroutine-hygiene's territory.
+var lockDisciplineAnalyzer = &analyzer{
+	name: "lock-discipline",
+	doc:  "call-graph enforcement of starburst:locks annotations: no write-annotated callee from a read context, no nested re-acquisition, no send while holding the lock",
+	run:  runLockDiscipline,
+}
+
+// lockAnno is one parsed starburst:locks annotation.
+type lockAnno struct {
+	lock  string // as written, e.g. "db.stmtMu"
+	field string // final component, e.g. "stmtMu"
+	write bool
+}
+
+var (
+	lockAnnoStart = regexp.MustCompile(`^//\s*starburst:locks\b`)
+	lockAnnoRe    = regexp.MustCompile(`^//\s*starburst:locks\s+(\S+):(read|write)\s*$`)
+)
+
+// lockAnnotations parses the starburst:locks annotations in a doc
+// comment, reporting malformed ones through p.
+func lockAnnotations(p *pass, fd *ast.FuncDecl) []lockAnno {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []lockAnno
+	for _, c := range fd.Doc.List {
+		if !lockAnnoStart.MatchString(c.Text) {
+			continue
+		}
+		m := lockAnnoRe.FindStringSubmatch(c.Text)
+		if m == nil {
+			p.report(c.Pos(), "malformed starburst:locks annotation %q; want \"// starburst:locks <path>.<field>:read|write\"", c.Text)
+			continue
+		}
+		lock := m[1]
+		field := lock
+		if i := strings.LastIndex(lock, "."); i >= 0 {
+			field = lock[i+1:]
+		}
+		out = append(out, lockAnno{lock: lock, field: field, write: m[2] == "write"})
+	}
+	return out
+}
+
+func runLockDiscipline(p *pass) {
+	if p.graph == nil {
+		return
+	}
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			annos := lockAnnotations(p, fd)
+			if len(annos) == 0 {
+				continue
+			}
+			root, ok := p.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, anno := range annos {
+				checkLockRoot(p, root, fd, anno)
+			}
+		}
+	}
+}
+
+// checkLockRoot applies the three lock rules to everything reachable
+// from one annotated root (the root itself included for rules 2 and 3).
+func checkLockRoot(p *pass, root *types.Func, rootDecl *ast.FuncDecl, anno lockAnno) {
+	mode := "read"
+	if anno.write {
+		mode = "write"
+	}
+	rootName := funcLabel(rootDecl)
+
+	check := func(fn *types.Func, path []string) {
+		g := p.graph
+		for _, op := range g.acquires[fn] {
+			if op.field != anno.field {
+				continue
+			}
+			p.report(op.pos,
+				"%s re-acquires %s (%s), but %s is already held in %s mode by %s%s; nested acquisition of the statement lock self-deadlocks",
+				fn.Name(), op.method, anno.lock, anno.lock, mode, rootName, viaPath(path))
+		}
+		if fn.Pkg() == root.Pkg() {
+			for _, pos := range g.sends[fn] {
+				p.report(pos,
+					"channel send in %s while %s is held in %s mode by %s%s; a blocked send would hold the statement lock indefinitely",
+					fn.Name(), anno.lock, mode, rootName, viaPath(path))
+			}
+		}
+	}
+
+	check(root, nil)
+	for _, r := range p.graph.reach(root) {
+		if !anno.write {
+			if callee := p.graph.decl[r.fn]; callee != nil {
+				for _, ca := range lockAnnotationsQuiet(callee) {
+					if ca.field == anno.field && ca.write {
+						p.report(r.pos,
+							"%s runs under %s in read mode but reaches %s%s, which is annotated %s:write; write-guarded state must not be mutated from a read-lock context",
+							rootName, anno.lock, r.fn.Name(), viaPath(r.path[:len(r.path)-1]), anno.lock)
+					}
+				}
+			}
+		}
+		check(r.fn, r.path)
+	}
+}
+
+// lockAnnotationsQuiet parses annotations without reporting malformed
+// ones (the declaring package's own pass reports those).
+func lockAnnotationsQuiet(fd *ast.FuncDecl) []lockAnno {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []lockAnno
+	for _, c := range fd.Doc.List {
+		m := lockAnnoRe.FindStringSubmatch(c.Text)
+		if m == nil {
+			continue
+		}
+		lock := m[1]
+		field := lock
+		if i := strings.LastIndex(lock, "."); i >= 0 {
+			field = lock[i+1:]
+		}
+		out = append(out, lockAnno{lock: lock, field: field, write: m[2] == "write"})
+	}
+	return out
+}
+
+func viaPath(path []string) string {
+	if len(path) == 0 {
+		return ""
+	}
+	return " (via " + strings.Join(path, " → ") + ")"
+}

@@ -1,7 +1,9 @@
 // Command starburst-lint is a project-specific static checker for the
-// Starburst reproduction. It type-checks the module with go/parser and
-// go/types (standard library only — no external analysis frameworks)
-// and enforces invariants the Go compiler cannot express:
+// Starburst reproduction: a small analyzer framework built on
+// go/parser and go/types (standard library only — no external analysis
+// frameworks), with a module-wide static call graph, that enforces
+// invariants the Go compiler cannot express. Each analyzer is a named
+// rule producing positioned diagnostics:
 //
 //   - qgm-mutation: Box.Quants and Graph.Boxes must not be assigned
 //     directly outside internal/qgm; use the helper methods so the
@@ -13,35 +15,47 @@
 //   - exec-panic: no naked panic in internal/exec — operators return
 //     errors through the Stream.
 //   - dml-direct-mutate: no direct catalog.Insert / Update / Delete in
-//     internal/exec — DML mutates through the undo-logged entry points
-//     (InsertLogged, UpdateLogged, DeleteLogged) so statements stay
-//     atomic under mid-statement errors.
+//     internal/exec — DML mutates through the undo-logged entry points.
 //   - obs-bypass: every type in internal/exec implementing Stream must
-//     be a case in operatorKind, the registration point of the
-//     per-operator stats decorator, so EXPLAIN ANALYZE and the
-//     slow-query log can name it.
-//   - ctx-shared-mutation: only the serial-only operator set (DML,
-//     subqueries, recursion — subtrees the optimizer never
-//     parallelizes) may write non-atomic statement-wide Ctx fields;
-//     operators reachable from an exchange must go through the atomic
-//     shared record, since workers run on Ctx copies.
+//     be a case in operatorKind, so instrumentation can name it.
+//   - ctx-shared-mutation: only the serial-only operator set may write
+//     non-atomic statement-wide Ctx fields.
 //   - api-bypass: in the root package, only the unexported statement
-//     cores ((*DB).query, (*DB).prepare) may call sql.Parse; every
-//     public entry point must route through them so the concurrency
-//     contract, the plan cache, the settings snapshot and QueryError
-//     wrapping all apply.
+//     cores ((*DB).query, (*DB).prepare) may call sql.Parse.
+//   - lock-discipline: call-graph enforcement of the starburst:locks
+//     annotations — no write-annotated callee reachable from a read
+//     context, no nested re-acquisition of the annotated lock, no
+//     channel send while it is held.
+//   - goroutine-hygiene: every go statement in internal/exec joins via
+//     a WaitGroup, every channel send is select-guarded.
+//   - error-discard: no silently dropped errors from the leak-prone
+//     set (Close, IterErr, undo-log Rollback) in internal/..., and
+//     every storage-iterator consumer consults storage.IterErr.
+//   - budget-tick: every row-producing loop in internal/exec and
+//     internal/storage calls Ctx.tick/countRow.
+//
+// Findings can be suppressed with a justified directive on the same
+// line or the line above:
+//
+//	//lint:ignore <rule>[,<rule>] <reason>
+//
+// A directive without a reason, or one that suppresses nothing, is
+// itself reported (rule lint-directive).
 //
 // Usage:
 //
-//	starburst-lint [packages]
+//	starburst-lint [-json] [packages]
 //
 // Package patterns are directories relative to the module root, with
 // ./... expanding to every package in the module. With no arguments,
-// ./... is assumed. Exit status is 1 if any finding is reported.
+// ./... is assumed. Output is sorted by file/line/column; -json emits
+// the same diagnostics as a JSON array with module-root-relative
+// paths. Exit status is 1 if any finding survives suppression.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -49,26 +63,35 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "starburst-lint:", err)
 		os.Exit(2)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("starburst-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
 	modRoot, modPath, err := findModule(".")
 	if err != nil {
-		return err
-	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+		return 0, err
 	}
 	var dirs []string
 	seen := map[string]bool{}
-	for _, arg := range args {
-		expanded, err := expandPattern(modRoot, arg)
+	for _, pat := range patterns {
+		expanded, err := expandPattern(modRoot, pat)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		for _, d := range expanded {
 			if !seen[d] {
@@ -77,30 +100,47 @@ func run(args []string) error {
 			}
 		}
 	}
+
 	l := newLoader(modRoot, modPath)
-	var total int
+	var units []*unit
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(modRoot, dir)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		importPath := modPath
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		findings, err := l.LintDir(dir, importPath)
+		u, err := l.loadUnit(dir, importPath)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		for _, f := range findings {
-			fmt.Println(f)
+		units = append(units, u)
+	}
+
+	graph := buildCallGraph(l, units)
+	diags := runAnalyzers(l, units, graph)
+
+	if *jsonOut {
+		b, err := encodeJSON(modRoot, diags)
+		if err != nil {
+			return 0, err
 		}
-		total += len(findings)
+		fmt.Fprintln(out, string(b))
+	} else {
+		for _, d := range diags {
+			rel := d
+			if r, err := filepath.Rel(modRoot, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel.Pos.Filename = filepath.ToSlash(r)
+			}
+			fmt.Fprintln(out, rel)
+		}
 	}
-	if total > 0 {
-		os.Exit(1)
+	if len(diags) > 0 {
+		return 1, nil
 	}
-	return nil
+	return 0, nil
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns the

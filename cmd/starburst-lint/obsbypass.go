@@ -1,0 +1,90 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obs-bypass verifies, inside internal/exec, that every named type
+// implementing the package's Stream interface appears as a case in the
+// operatorKind type switch — the registration point of the per-operator
+// stats decorator. An operator missing from operatorKind still
+// executes, but EXPLAIN ANALYZE and the slow-query log would report it
+// under a raw %T name, and nothing proves its author thought about
+// instrumentation.
+var obsBypassAnalyzer = &analyzer{
+	name: "obs-bypass",
+	doc:  "every Stream implementation in internal/exec is a case in operatorKind, so instrumentation can name it",
+	run:  runObsBypass,
+}
+
+func runObsBypass(p *pass) {
+	if p.pkg == nil || !p.inExec() {
+		return
+	}
+	scope := p.pkg.Scope()
+	streamObj := scope.Lookup("Stream")
+	if streamObj == nil {
+		return
+	}
+	iface, ok := streamObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	registered := operatorKindCases(p)
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if !registered[name] {
+			p.report(tn.Pos(),
+				"type %s implements Stream but is not a case in operatorKind; register every QES operator there so the stats decorator and EXPLAIN ANALYZE can name it", name)
+		}
+	}
+}
+
+// operatorKindCases collects the type names switched on inside the
+// package's operatorKind function.
+func operatorKindCases(p *pass) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "operatorKind" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					tv, ok := p.info.Types[e]
+					if !ok {
+						continue
+					}
+					t := tv.Type
+					if ptr, ok := t.(*types.Pointer); ok {
+						t = ptr.Elem()
+					}
+					if named, ok := t.(*types.Named); ok {
+						out[named.Obj().Name()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// qgm-mutation flags assignments whose left-hand side is the Quants
+// field of a qgm.Box or the Boxes field of a qgm.Graph, outside the
+// qgm package itself. These slices encode graph structure; splicing
+// them by hand bypasses the invariants the helper methods maintain
+// (quantifier registration, GC reachability). Assignments *through*
+// the slice (q.Quants[i].Input = ...) mutate a quantifier, not the
+// slice, and are fine.
+var qgmMutationAnalyzer = &analyzer{
+	name: "qgm-mutation",
+	doc:  "no direct assignment to qgm.Box.Quants or qgm.Graph.Boxes outside internal/qgm",
+	run:  runQgmMutation,
+}
+
+func runQgmMutation(p *pass) {
+	qgmPath := p.modPath + "/internal/qgm"
+	if p.importPath == qgmPath {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				se, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := p.info.Selections[se]
+				if !ok || sel.Kind() != types.FieldVal {
+					continue
+				}
+				field := sel.Obj()
+				if field.Pkg() == nil || field.Pkg().Path() != qgmPath {
+					continue
+				}
+				name := field.Name()
+				if name != "Quants" && name != "Boxes" {
+					continue
+				}
+				owner := "qgm value"
+				if named, ok := derefNamed(sel.Recv()); ok {
+					owner = "qgm." + named.Obj().Name()
+				}
+				p.report(se.Pos(),
+					"direct assignment to %s.%s outside internal/qgm; use the qgm helpers (AdoptQuants, NewQuant, RemoveQuant, NewBox, GC) so graph invariants hold",
+					owner, name)
+			}
+			return true
+		})
+	}
+}

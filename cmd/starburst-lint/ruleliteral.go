@@ -1,0 +1,79 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rule-literal flags rewrite.Rule composite literals that do not
+// supply both Condition and Action. A rule with a nil Condition never
+// fires; a rule with a nil Action panics the engine — both are
+// authoring mistakes the compiler cannot catch.
+var ruleLiteralAnalyzer = &analyzer{
+	name: "rule-literal",
+	doc:  "every rewrite.Rule composite literal supplies both Condition and Action",
+	run:  runRuleLiteral,
+}
+
+func runRuleLiteral(p *pass) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			checkRuleLiteral(p, lit)
+			return true
+		})
+	}
+}
+
+func checkRuleLiteral(p *pass, n *ast.CompositeLit) {
+	tv, ok := p.info.Types[n]
+	if !ok {
+		return
+	}
+	named, ok := derefNamed(tv.Type)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Rule" || obj.Pkg() == nil || obj.Pkg().Path() != p.modPath+"/internal/rewrite" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	if len(n.Elts) > 0 {
+		if _, keyed := n.Elts[0].(*ast.KeyValueExpr); !keyed {
+			// Positional literal: the compiler forces every field to be
+			// present, so Condition and Action are necessarily set
+			// (possibly to nil, which we cannot see past an expression).
+			_ = st
+			return
+		}
+	}
+	have := map[string]ast.Expr{}
+	for _, elt := range n.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			have[id.Name] = kv.Value
+		}
+	}
+	for _, want := range []string{"Condition", "Action"} {
+		v, ok := have[want]
+		if !ok {
+			p.report(n.Pos(),
+				"rewrite.Rule literal missing %s; every rule must supply both Condition and Action", want)
+			continue
+		}
+		if id, ok := v.(*ast.Ident); ok && id.Name == "nil" {
+			p.report(v.Pos(),
+				"rewrite.Rule literal sets %s to nil; every rule must supply both Condition and Action", want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+//lintfixture:path repro
+
+// Package fixapi seeds api-bypass violations: sql.Parse called outside
+// the blessed statement cores, under the simulated root import path.
+package fixapi
+
+import "repro/internal/sql"
+
+type DB struct{}
+
+// The blessed cores may parse.
+func (db *DB) query(q string) (sql.Statement, error)   { return sql.Parse(q) }
+func (db *DB) prepare(q string) (sql.Statement, error) { return sql.Parse(q) }
+
+// An exported entry point parsing for itself bypasses the core.
+func (db *DB) RunDirect(q string) error {
+	_, err := sql.Parse(q) // want api-bypass "DB.RunDirect calls sql.Parse outside the context-first core"
+	return err
+}
+
+// So does any other helper in the root package.
+func sideDoor(q string) {
+	sql.Parse(q) // want api-bypass "sideDoor calls sql.Parse outside the context-first core"
+}
+
+func suppressedDoor(q string) {
+	//lint:ignore api-bypass fixture: demonstrates a justified suppression
+	_, _ = sql.Parse(q)
+}

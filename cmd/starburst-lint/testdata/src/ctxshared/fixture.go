@@ -1,0 +1,43 @@
+//lintfixture:path repro/internal/exec/fixctx
+
+// Package fixctx seeds ctx-shared-mutation violations: worker-unsafe
+// writes to statement-wide Ctx fields from a non-allowlisted operator.
+package fixctx
+
+type Ctx struct {
+	Affected   int64
+	SubqHits   int64
+	SubqMisses int64
+	rec        map[int]int
+}
+
+type badOp struct{}
+
+func (o *badOp) Next(ctx *Ctx) {
+	ctx.Affected++    // want ctx-shared-mutation "writes Ctx.Affected"
+	ctx.SubqHits += 2 // want ctx-shared-mutation "writes Ctx.SubqHits"
+	ctx.rec[1] = 1    // want ctx-shared-mutation "writes Ctx.rec"
+}
+
+func (o *badOp) Other(ctx *Ctx) {
+	//lint:ignore ctx-shared-mutation fixture: demonstrates a justified suppression
+	ctx.SubqMisses++
+}
+
+type insertOp struct{}
+
+func (o *insertOp) Next(ctx *Ctx) {
+	ctx.Affected++ // allowed: DML never parallelizes
+}
+
+func rollback(ctx *Ctx) {
+	ctx.Affected++ // allowed: serial-only free function
+}
+
+func (c *Ctx) reset() {
+	c.Affected = 0 // allowed: Ctx's own API
+}
+
+func reads(ctx *Ctx) int64 {
+	return ctx.Affected + ctx.SubqHits // reads are always fine
+}

@@ -1,0 +1,18 @@
+//lintfixture:path repro/fixdatum
+
+// Package fixdatum seeds datum-compare violations: == / != on
+// datum.Value.
+package fixdatum
+
+import "repro/internal/datum"
+
+func firing(a, b datum.Value) bool  { return a == b } // want datum-compare "use datum.Compare or datum.Equal"
+func firing2(a, b datum.Value) bool { return a != b } // want datum-compare "compared with !="
+
+func clean(a, b datum.Value) bool  { return datum.Equal(a, b) }
+func clean2(a, b datum.Value) bool { return a.Type() == b.Type() }
+
+func suppressed(a, b datum.Value) bool {
+	//lint:ignore datum-compare fixture: demonstrates a justified suppression
+	return a == b
+}

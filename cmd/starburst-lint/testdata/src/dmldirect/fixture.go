@@ -1,0 +1,43 @@
+//lintfixture:path repro/internal/exec/fixdml
+
+// Package fixdml seeds dml-direct-mutate violations: un-logged catalog
+// mutation under the simulated internal/exec import path.
+package fixdml
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/storage"
+)
+
+func firing(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row) error {
+	if _, err := c.Insert(t, row); err != nil { // want dml-direct-mutate "direct catalog.Insert"
+		return err
+	}
+	if err := c.Update(t, rid, row); err != nil { // want dml-direct-mutate "direct catalog.Update"
+		return err
+	}
+	return c.Delete(t, rid) // want dml-direct-mutate "direct catalog.Delete"
+}
+
+func clean(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row) error {
+	var undo catalog.UndoLog
+	if _, err := c.InsertLogged(t, row, &undo); err != nil {
+		return err
+	}
+	if err := c.UpdateLogged(t, rid, row, &undo); err != nil {
+		return err
+	}
+	return c.DeleteLogged(t, rid, &undo)
+}
+
+func alsoClean(t *catalog.Table, row datum.Row) {
+	// Insert on a storage.Relation is not the catalog's; only the
+	// catalog methods are fenced.
+	_, _ = t.Rel.Insert(row)
+}
+
+func suppressed(c *catalog.Catalog, t *catalog.Table, rid storage.RID) error {
+	//lint:ignore dml-direct-mutate fixture: demonstrates a justified suppression
+	return c.Delete(t, rid)
+}

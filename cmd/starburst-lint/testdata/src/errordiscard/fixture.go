@@ -1,0 +1,81 @@
+//lintfixture:path repro/internal/fixerr
+
+// Package fixerr seeds error-discard violations: silently dropped
+// errors from the leak-prone set (Close, IterErr, undo-log Rollback)
+// and storage-iterator consumers that never consult storage.IterErr.
+package fixerr
+
+import (
+	"errors"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+type resource struct{}
+
+func (resource) Close() error { return nil }
+
+func firingExpr(r resource) {
+	r.Close() // want error-discard "silently discarded"
+}
+
+func firingBlank(r resource) {
+	_ = r.Close() // want error-discard "silently discarded"
+}
+
+func firingDefer(r resource) {
+	defer r.Close() // want error-discard "silently discarded"
+}
+
+func cleanReturn(r resource) error {
+	return r.Close()
+}
+
+func cleanJoin(r resource, primary error) error {
+	return errors.Join(primary, r.Close())
+}
+
+func suppressedClose(r resource) {
+	//lint:ignore error-discard fixture: demonstrates a justified suppression
+	r.Close()
+}
+
+func firingRollback(undo *catalog.UndoLog) {
+	_ = undo.Rollback() // want error-discard "silently discarded"
+}
+
+func cleanRollback(undo *catalog.UndoLog) error {
+	return undo.Rollback()
+}
+
+func firingIter(rel storage.Relation) int64 {
+	n := int64(0)
+	it := rel.Scan()
+	defer it.Close()
+	for {
+		_, _, ok := it.Next() // want error-discard "never consults storage.IterErr"
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func cleanIter(rel storage.Relation) (int64, error) {
+	n := int64(0)
+	it := rel.Scan()
+	defer it.Close()
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			if err := storage.IterErr(it); err != nil {
+				return n, err
+			}
+			break
+		}
+		n++
+	}
+	return n, nil
+}

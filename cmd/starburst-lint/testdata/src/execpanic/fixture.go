@@ -1,0 +1,20 @@
+//lintfixture:path repro/internal/exec/fixpanic
+
+// Package fixpanic seeds an exec-panic violation: a naked panic under
+// the simulated internal/exec import path.
+package fixpanic
+
+import "fmt"
+
+func firing() {
+	panic("malformed plan") // want exec-panic "naked panic in internal/exec"
+}
+
+func clean() error {
+	return fmt.Errorf("malformed plan")
+}
+
+func suppressed() {
+	//lint:ignore exec-panic fixture: demonstrates a justified suppression
+	panic("unreachable by construction")
+}

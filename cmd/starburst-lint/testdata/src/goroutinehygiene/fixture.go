@@ -1,0 +1,59 @@
+//lintfixture:path repro/internal/exec/fixgo
+
+// Package fixgo seeds goroutine-hygiene violations under the simulated
+// internal/exec import path: unjoined goroutines and unguarded sends.
+package fixgo
+
+import "sync"
+
+func joined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func unjoined(work func()) {
+	go func() { // want goroutine-hygiene "goroutine is not joined"
+		work()
+	}()
+}
+
+func named(work func()) {
+	go work() // want goroutine-hygiene "spawns a named function"
+}
+
+func suppressedSpawn(work func()) {
+	//lint:ignore goroutine-hygiene fixture: demonstrates a justified suppression
+	go work()
+}
+
+func guardedSends(ch chan int, done chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-done:
+	}
+	select {
+	case ch <- 2:
+	default:
+	}
+}
+
+func nakedSend(ch chan int) {
+	ch <- 1 // want goroutine-hygiene "unguarded channel send"
+}
+
+func sendOnlySelect(a, b chan int) {
+	select {
+	case a <- 1: // want goroutine-hygiene "unguarded channel send"
+	case b <- 2: // want goroutine-hygiene "unguarded channel send"
+	}
+}
+
+func suppressedSend(ch chan int) {
+	//lint:ignore goroutine-hygiene fixture: demonstrates a justified suppression
+	ch <- 1
+}

@@ -1,0 +1,53 @@
+//lintfixture:path repro/fixlock
+
+// Package fixlock proves the PR-5 statement-lock contract is machine
+// checked: a read-lock context must not reach catalog-mutating
+// (write-annotated) code, re-acquire the statement lock, or hold it
+// across a channel send.
+package fixlock
+
+import "sync"
+
+// DB mirrors the root package: one RWMutex guarding catalog state.
+type DB struct {
+	stmtMu sync.RWMutex
+	tables map[string]int
+}
+
+// queryLocked runs with the read lock held, like the statement core.
+//
+// starburst:locks db.stmtMu:read
+func (db *DB) queryLocked() {
+	db.lookup()
+	db.createTable() // want lock-discipline "annotated db.stmtMu:write"
+	db.reacquire()
+	ch := make(chan int)
+	ch <- 1 // want lock-discipline "channel send"
+}
+
+// createTable mutates catalog state and so requires the write lock.
+//
+// starburst:locks db.stmtMu:write
+func (db *DB) createTable() { db.tables["t"] = 1 }
+
+func (db *DB) lookup() { _ = db.tables["t"] }
+
+func (db *DB) reacquire() {
+	db.stmtMu.RLock() // want lock-discipline "re-acquires RLock"
+	defer db.stmtMu.RUnlock()
+}
+
+// ddl runs exclusively; reaching the catalog mutator is fine.
+//
+// starburst:locks db.stmtMu:write
+func (db *DB) ddl() { db.createTable() }
+
+// queryQuiet holds the read lock across a send that provably cannot
+// block; the suppression records why.
+//
+// starburst:locks db.stmtMu:read
+func (db *DB) queryQuiet() {
+	ch := make(chan int, 1)
+	//lint:ignore lock-discipline fixture: buffered send into an empty channel cannot block; demonstrates a justified suppression
+	ch <- 1
+}

@@ -1,0 +1,46 @@
+//lintfixture:path repro/internal/exec/fixobs
+
+// Package fixobs seeds an obs-bypass violation: a Stream
+// implementation missing from operatorKind.
+package fixobs
+
+type Ctx struct{}
+type Row []int
+
+type Stream interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (Row, bool, error)
+	Close(ctx *Ctx) error
+}
+
+type goodOp struct{}
+
+func (*goodOp) Open(*Ctx) error              { return nil }
+func (*goodOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
+func (*goodOp) Close(*Ctx) error             { return nil }
+
+type rogueOp struct{} // want obs-bypass "rogueOp implements Stream but is not a case in operatorKind"
+
+func (*rogueOp) Open(*Ctx) error              { return nil }
+func (*rogueOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
+func (*rogueOp) Close(*Ctx) error             { return nil }
+
+//lint:ignore obs-bypass fixture: demonstrates a justified suppression
+type quietOp struct{}
+
+func (*quietOp) Open(*Ctx) error              { return nil }
+func (*quietOp) Next(*Ctx) (Row, bool, error) { return nil, false, nil }
+func (*quietOp) Close(*Ctx) error             { return nil }
+
+// notAStream has the wrong shape; never flagged.
+type notAStream struct{}
+
+func (*notAStream) Open(*Ctx) error { return nil }
+
+func operatorKind(s Stream) string {
+	switch s.(type) {
+	case *goodOp:
+		return "goodOp"
+	}
+	return ""
+}

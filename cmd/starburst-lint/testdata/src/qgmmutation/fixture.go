@@ -1,0 +1,23 @@
+//lintfixture:path repro/fixqgm
+
+// Package fixqgm seeds qgm-mutation violations: direct writes to the
+// QGM structural slices outside internal/qgm.
+package fixqgm
+
+import "repro/internal/qgm"
+
+func firing(g *qgm.Graph, b, src *qgm.Box) {
+	b.Quants = append(b.Quants, src.Quants...) // want qgm-mutation "direct assignment to qgm.Box.Quants"
+	g.Boxes = nil                              // want qgm-mutation "direct assignment to qgm.Graph.Boxes"
+}
+
+func clean(b, src *qgm.Box) {
+	b.AdoptQuants(src)      // the sanctioned way to move quantifiers
+	b.Quants[0].Input = src // mutates a quantifier, not the slice
+	_ = len(b.Quants)       // reads are always fine
+}
+
+func suppressed(g *qgm.Graph) {
+	//lint:ignore qgm-mutation fixture: demonstrates a justified suppression
+	g.Boxes = nil
+}

@@ -1,0 +1,24 @@
+//lintfixture:path repro/fixrule
+
+// Package fixrule seeds rule-literal violations: rewrite.Rule literals
+// missing Condition or Action.
+package fixrule
+
+import (
+	"repro/internal/qgm"
+	"repro/internal/rewrite"
+)
+
+func cond(ctx *rewrite.Context, b *qgm.Box) bool { return false }
+func act(ctx *rewrite.Context, b *qgm.Box) error { return nil }
+
+var good = rewrite.Rule{Name: "good", Condition: cond, Action: act}
+
+var noAction = rewrite.Rule{Name: "noAction", Condition: cond} // want rule-literal "missing Action"
+
+var noCondition = &rewrite.Rule{Name: "noCondition", Action: act} // want rule-literal "missing Condition"
+
+var nilAction = rewrite.Rule{Name: "nilAction", Condition: cond, Action: nil} // want rule-literal "sets Action to nil"
+
+//lint:ignore rule-literal fixture: demonstrates a justified suppression
+var suppressed = rewrite.Rule{Name: "suppressed", Condition: cond}

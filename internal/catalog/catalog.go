@@ -134,6 +134,7 @@ func key(name string) string { return strings.ToUpper(name) }
 
 // CreateTable creates a table under the named storage manager (empty
 // for the default heap).
+// starburst:locks db.stmtMu:write
 func (c *Catalog) CreateTable(name string, cols []Column, smName string) (*Table, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("catalog: table %s needs at least one column", name)
@@ -173,6 +174,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, smName string) (*Table
 }
 
 // DropTable removes a table and its attachments.
+// starburst:locks db.stmtMu:write
 func (c *Catalog) DropTable(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -205,6 +207,7 @@ func (c *Catalog) TableNames() []string {
 }
 
 // CreateView records a view definition.
+// starburst:locks db.stmtMu:write
 func (c *Catalog) CreateView(name string, colNames []string, text string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -221,6 +224,7 @@ func (c *Catalog) CreateView(name string, colNames []string, text string) error 
 }
 
 // DropView removes a view.
+// starburst:locks db.stmtMu:write
 func (c *Catalog) DropView(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -254,6 +258,7 @@ func (c *Catalog) ViewNames() []string {
 
 // CreateIndex creates an attachment on a table using the named access
 // method (empty for B-tree) and backfills it from existing records.
+// starburst:locks db.stmtMu:write
 func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method string, unique bool) (*Index, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -322,6 +327,7 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method 
 }
 
 // DropIndex removes an attachment.
+// starburst:locks db.stmtMu:write
 func (c *Catalog) DropIndex(tableName, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -424,8 +430,13 @@ func (c *Catalog) Update(t *Table, rid storage.RID, newRow datum.Row) error {
 	return t.Rel.Update(rid, newRow)
 }
 
-// Analyze recomputes optimizer statistics for a table.
-func (c *Catalog) Analyze(t *Table) {
+// Analyze recomputes optimizer statistics for a table. The scan error
+// (surfaced through storage.IterErr — e.g. an injected fault) aborts
+// the refresh: stats computed from a partial scan would silently skew
+// every subsequent plan.
+//
+// starburst:locks db.stmtMu:write
+func (c *Catalog) Analyze(t *Table) error {
 	n := len(t.Cols)
 	distinct := make([]map[string]bool, n)
 	mins := make([]datum.Value, n)
@@ -440,6 +451,9 @@ func (c *Catalog) Analyze(t *Table) {
 	for {
 		row, _, ok := it.Next()
 		if !ok {
+			if err := storage.IterErr(it); err != nil {
+				return fmt.Errorf("catalog: analyzing %s: %w", t.Name, err)
+			}
 			break
 		}
 		rows++
@@ -466,4 +480,5 @@ func (c *Catalog) Analyze(t *Table) {
 		t.Stats.ColMax[i] = maxs[i]
 	}
 	c.BumpVersion()
+	return nil
 }

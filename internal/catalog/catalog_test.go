@@ -216,7 +216,9 @@ func TestAnalyze(t *testing.T) {
 		name := datum.NewString("n" + string(rune('a'+i%5)))
 		c.Insert(tbl, datum.Row{datum.NewInt(i), name, datum.NewInt(i % 10)})
 	}
-	c.Analyze(tbl)
+	if err := c.Analyze(tbl); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
 	s := tbl.Stats
 	if s.Rows != 100 {
 		t.Errorf("Rows = %d", s.Rows)
@@ -237,7 +239,9 @@ func TestAnalyzeWithNulls(t *testing.T) {
 	tbl := mkTable(t, c, "T")
 	c.Insert(tbl, datum.Row{datum.NewInt(1), datum.Null, datum.Null})
 	c.Insert(tbl, datum.Row{datum.NewInt(2), datum.Null, datum.NewInt(5)})
-	c.Analyze(tbl)
+	if err := c.Analyze(tbl); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
 	if tbl.Stats.ColCard[1] != 0 {
 		t.Error("all-NULL column has 0 distinct values")
 	}

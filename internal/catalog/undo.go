@@ -189,6 +189,7 @@ func (c *Catalog) UpdateLogged(t *Table, rid storage.RID, newRow datum.Row, log 
 // wrapped through its own registry (re-registration under the same name
 // — the LIND87 extension path), and every existing relation and
 // attachment is wrapped in place. Idempotent.
+// starburst:locks db.stmtMu:write
 func (c *Catalog) AttachFaults(fi *storage.FaultInjector) {
 	for _, name := range c.Storage.StorageManagerNames() {
 		if m, err := c.Storage.StorageManager(name); err == nil {
@@ -213,6 +214,7 @@ func (c *Catalog) AttachFaults(fi *storage.FaultInjector) {
 }
 
 // DetachFaults removes fault decoration everywhere it was attached.
+// starburst:locks db.stmtMu:write
 func (c *Catalog) DetachFaults() {
 	for _, name := range c.Storage.StorageManagerNames() {
 		if m, err := c.Storage.StorageManager(name); err == nil {

@@ -35,7 +35,9 @@ func TestVersionBumpsOnEveryDDLKind(t *testing.T) {
 	}
 	step("CreateView")
 	tbl, _ := c.Table("T")
-	c.Analyze(tbl)
+	if err := c.Analyze(tbl); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
 	step("Analyze")
 	if err := c.DropIndex("T", "t_id"); err != nil {
 		t.Fatal(err)

@@ -355,6 +355,7 @@ func (p *repartPool) start(ctx *Ctx, par bool) error {
 		}(ps)
 	}
 	// Close the partitions once every producer is finished.
+	//lint:ignore goroutine-hygiene joined transitively: it exits as soon as wg.Wait returns, and readers observe completion through the closed channels
 	go func() {
 		p.wg.Wait()
 		for _, ch := range p.chans {
@@ -538,6 +539,7 @@ func (r *repartReaderOp) Close(ctx *Ctx) error {
 		// forever on a full channel nobody reads — that would deadlock
 		// the exchange's worker join. The goroutine exits when the
 		// producers finish (the pool's closer closes the channel).
+		//lint:ignore goroutine-hygiene bounded drain: exits when the producers close the channel; joining it here would block on the very producers it exists to unblock
 		go func() {
 			for range ch {
 			}
@@ -638,6 +640,7 @@ func (g *gatherOp) Open(ctx *Ctx) error {
 		}(i, w)
 	}
 	if g.merge == nil {
+		//lint:ignore goroutine-hygiene joined transitively: it exits as soon as wg.Wait returns, and the consumer observes completion through the closed batches channel
 		go func() {
 			g.wg.Wait()
 			close(g.batches)

@@ -276,6 +276,7 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 // stats decorator, then renders the plan annotated with actual row
 // counts, timings, memory high-water marks and cache hit ratios, plus
 // the phase-timing summary. DML side effects are applied as usual.
+// starburst:locks db.stmtMu:read
 func (db *DB) explainAnalyze(goCtx context.Context, inner sql.Statement, phase *string,
 	params map[string]Value, tr *obs.Trace, o *observation, set settings) (*Result, error) {
 	compiled, err := db.compile(inner, phase, tr, set)

@@ -414,6 +414,7 @@ func cacheableKind(kind string) bool {
 // finishRun executes a compiled plan and finishes the statement: it
 // records instrumentation on the observation and attaches the trace to
 // the result when the session asked for one.
+// starburst:locks db.stmtMu:read
 func (db *DB) finishRun(goCtx context.Context, compiled *plan.Compiled, params map[string]Value,
 	tr *obs.Trace, o *observation, set settings) (*Result, error) {
 	res, instr, err := db.runObserved(goCtx, compiled, params, tr, false, set)
@@ -519,6 +520,7 @@ func (s *Stmt) Plan() string { return s.compiled.Root.String() }
 // rewrite, plan optimization (and, inside the executor, plan
 // refinement). phase marks progress for the panic barrier; tr (nil-safe)
 // collects per-phase wall time and rule/STAR firing counts.
+// starburst:locks db.stmtMu:read
 func (db *DB) compile(stmt sql.Statement, phase *string, tr *obs.Trace, set settings) (*plan.Compiled, error) {
 	t0 := time.Now()
 	g, err := qgm.TranslateStatement(db.cat, stmt)
@@ -558,6 +560,7 @@ func (db *DB) run(goCtx context.Context, compiled *plan.Compiled, params map[str
 // explain renders the compilation phases for EXPLAIN <stmt>: the QGM
 // after translation, the rewrite trace, the rewritten QGM, and the
 // chosen plan.
+// starburst:locks db.stmtMu:read
 func (db *DB) explain(stmt sql.Statement, phase *string, set settings) (string, error) {
 	var b strings.Builder
 	g, err := qgm.TranslateStatement(db.cat, stmt)
@@ -593,6 +596,7 @@ func (db *DB) explain(stmt sql.Statement, phase *string, set settings) (string, 
 }
 
 // execDDL performs data definition directly against the catalog.
+// starburst:locks db.stmtMu:write
 func (db *DB) execDDL(stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTableStmt:
@@ -641,7 +645,9 @@ func (db *DB) execDDL(stmt sql.Statement) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("starburst: no table %s", s.Table)
 		}
-		db.cat.Analyze(t)
+		if err := db.cat.Analyze(t); err != nil {
+			return nil, err
+		}
 		return &Result{}, nil
 	}
 	return nil, fmt.Errorf("starburst: unsupported DDL %T", stmt)
