@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-json fmt race check faults bench bench-compare obs api
+.PHONY: all build test vet lint lint-json fmt race check faults torture bench bench-compare obs api
 
 all: check
 
@@ -65,17 +65,27 @@ obs:
 	$(GO) test ./cmd/starburst -count=1
 	$(GO) test ./internal/obs -count=1
 
-# bench records the Figure-1 phase, parallel-execution and plan-cache
-# benchmarks as JSON for the perf trajectory across PRs.
-bench:
-	BENCH_JSON=BENCH_PR5.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+# torture runs the crash-recovery matrix under the race detector: a
+# crash fault at every WAL append, WAL sync and checkpoint page write
+# over the mixed DDL+DML workload, plus the store-level crash tests and
+# the access-method fault matrix.
+torture:
+	$(GO) test ./ -count=1 -race -run 'TestCrashRecoveryTorture|TestCrashedStoreRefusesWork|TestDataDir|TestEngineCorpusOnDisk|TestAccessMethod'
+	$(GO) test ./internal/storage/disk -count=1 -race
 
-# bench-compare regenerates BENCH_PR5.json and diffs it against the
-# PR-4 baseline, failing on a >10% serial regression of the end-to-end
-# paper query, a parallel speedup below 2x, a batched-path alloc
-# saving below 25%, or a plan-cache hit speedup below 5x.
+# bench records the Figure-1 phase, parallel-execution, plan-cache and
+# disk-storage benchmarks as JSON for the perf trajectory across PRs.
+bench:
+	BENCH_JSON=BENCH_PR7.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+
+# bench-compare regenerates BENCH_PR7.json and diffs it against the
+# PR-5 baseline, failing on a >10% serial regression of the end-to-end
+# paper query (the in-memory path must not pay for durability), a
+# parallel speedup below 2x, a batched-path alloc saving below 25%, a
+# plan-cache hit speedup below 5x, or a disk write path more than 3x
+# the heap's.
 bench-compare: bench
-	$(GO) run ./cmd/benchcmp BENCH_PR4.json BENCH_PR5.json
+	$(GO) run ./cmd/benchcmp BENCH_PR5.json BENCH_PR7.json
 
 # check is the full gate CI runs: formatting, vet, build, race-enabled
 # tests, the lint suite (analyzers + fixture self-tests), and the

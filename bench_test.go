@@ -15,6 +15,7 @@ import (
 	"repro/internal/rewrite"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/storage/disk"
 )
 
 // benchDB builds a synthetic quotations/inventory database with the
@@ -824,3 +825,52 @@ func BenchmarkPlanCacheHit(b *testing.B) {
 		b.Fatalf("hit path missed the cache: %+v", s)
 	}
 }
+
+// ---------------------------------------------------------------------
+// PR-7 durable storage: the disk manager's write path (WAL append +
+// group fsync per statement) and scan path (buffer pool over slotted
+// pages) against the same workload on the in-memory heap.
+
+func diskBenchDB(b *testing.B) *DB {
+	b.Helper()
+	db := Open(withDataFS("bench", disk.NewMemFS(), disk.Options{}),
+		WithDefaultStorage("DISK"))
+	if err := db.OpenErr(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchInsert(b *testing.B, db *DB) {
+	mustExec(b, db, `CREATE TABLE pts (id INT, v INT)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf(`INSERT INTO pts VALUES (%d, %d)`, i, i%97)
+		if _, err := db.Exec(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchScan(b *testing.B, db *DB) {
+	mustExec(b, db, `CREATE TABLE pts (id INT, v INT)`)
+	for i := 0; i < 2000; i++ {
+		mustExec(b, db, fmt.Sprintf(`INSERT INTO pts VALUES (%d, %d)`, i, i%97))
+	}
+	mustExec(b, db, `ANALYZE pts`)
+	stmt, err := db.Prepare(`SELECT COUNT(*), SUM(id) FROM pts WHERE v < 50`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskInsert(b *testing.B) { benchInsert(b, diskBenchDB(b)) }
+func BenchmarkHeapInsert(b *testing.B) { benchInsert(b, Open()) }
+func BenchmarkDiskScan(b *testing.B)   { benchScan(b, diskBenchDB(b)) }
+func BenchmarkHeapScan(b *testing.B)   { benchScan(b, Open()) }

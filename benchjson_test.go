@@ -40,6 +40,12 @@ func TestEmitBenchJSON(t *testing.T) {
 		// on a compile-dominated 6-way join chain.
 		{"PlanCacheColdCompile", BenchmarkPlanCacheColdCompile},
 		{"PlanCacheHit", BenchmarkPlanCacheHit},
+		// PR-7 durable storage: DISK insert (WAL append + group fsync)
+		// and scan (buffer pool) vs the same workload on the heap.
+		{"DiskInsert", BenchmarkDiskInsert},
+		{"HeapInsert", BenchmarkHeapInsert},
+		{"DiskScan", BenchmarkDiskScan},
+		{"HeapScan", BenchmarkHeapScan},
 	}
 	out := map[string]map[string]int64{}
 	for _, bm := range benches {

@@ -11,7 +11,12 @@
 //     75% of ScanFilterProjectTuple's allocs/op;
 //   - cache pays: PlanCacheHit must run in at most a fifth of
 //     PlanCacheColdCompile's ns/op (≥5x on a compile-dominated
-//     statement).
+//     statement);
+//   - durability is affordable: DiskInsert (WAL append + group fsync
+//     per statement) must run within 3x of HeapInsert, and DiskScan
+//     (buffer pool over slotted pages) within 2x of HeapScan. Both
+//     pairs must be present — the disk path is benchmarked, not
+//     optional.
 //
 // Every benchmark present in both files is printed as a diff table;
 // only the gates above fail the run.
@@ -118,8 +123,24 @@ func main() {
 		fail("plan-cache speedup below 5x: hit %dns vs cold %dns", hit, cold)
 	}
 
+	hi, di := new["HeapInsert"]["ns_per_op"], new["DiskInsert"]["ns_per_op"]
+	switch {
+	case hi == 0 || di == 0:
+		fail("HeapInsert/DiskInsert missing from %s", os.Args[2])
+	case float64(di) > 3.0*float64(hi):
+		fail("disk write path over 3x heap: disk %dns vs heap %dns", di, hi)
+	}
+
+	hs, ds := new["HeapScan"]["ns_per_op"], new["DiskScan"]["ns_per_op"]
+	switch {
+	case hs == 0 || ds == 0:
+		fail("HeapScan/DiskScan missing from %s", os.Args[2])
+	case float64(ds) > 2.0*float64(hs):
+		fail("disk scan path over 2x heap: disk %dns vs heap %dns", ds, hs)
+	}
+
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("ok: serial within 10%, parallel ≥2x, batched allocs ≤75%, cache hit ≥5x")
+	fmt.Println("ok: serial within 10%, parallel ≥2x, batched allocs ≤75%, cache hit ≥5x, disk insert ≤3x / scan ≤2x heap")
 }

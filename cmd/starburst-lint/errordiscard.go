@@ -6,36 +6,39 @@ import (
 	"strings"
 )
 
-// error-discard targets the leak-prone error set in internal/...: the
-// exact bug class PR 2 fixed by hand. Two rules:
+// error-discard targets the leak-prone error set: the exact bug class
+// PR 2 fixed by hand, widened to durability errors now that a disk
+// store exists. Three rules:
 //
-//  1. no silently dropped error return from Close, IterErr, or
-//     undo-log Rollback — an ExprStmt/defer/go call whose error result
-//     vanishes, or a blank assignment `_ = x.Close()`;
-//  2. a function that advances a storage iterator (RowIterator.Next,
-//     EntryIterator.Next, BatchScanner.NextRows) must consult
-//     storage.IterErr — iterator errors surface only there, so a loop
-//     that never asks silently treats a faulted scan as clean EOF.
+//  1. in internal/...: no silently dropped error return from Close,
+//     IterErr, or undo-log Rollback — an ExprStmt/defer/go call whose
+//     error result vanishes, or a blank assignment `_ = x.Close()`;
+//  2. module-wide: no silently dropped error return from Sync, Flush,
+//     or (*os.File).Close — a dropped flush/sync error is silent data
+//     loss, the OS's last chance to report a failed write;
+//  3. in internal/...: a function that advances a storage iterator
+//     (RowIterator.Next, EntryIterator.Next, BatchScanner.NextRows)
+//     must consult storage.IterErr — iterator errors surface only
+//     there, so a loop that never asks silently treats a faulted scan
+//     as clean EOF.
 //
-// internal/storage itself is exempt from rule 2: it implements the
+// internal/storage itself is exempt from rule 3: it implements the
 // iterators and their fault decorators.
 var errorDiscardAnalyzer = &analyzer{
 	name: "error-discard",
-	doc:  "in internal/...: no dropped errors from Close/IterErr/Rollback, and every storage-iterator consumer consults storage.IterErr",
+	doc:  "no dropped errors from Close/IterErr/Rollback (internal) or Sync/Flush/os.File Close (module-wide), and every storage-iterator consumer consults storage.IterErr",
 	run:  runErrorDiscard,
 }
 
 var leakProneNames = map[string]bool{"Close": true, "IterErr": true, "Rollback": true}
 
 func runErrorDiscard(p *pass) {
-	if !strings.HasPrefix(p.importPath, p.modPath+"/internal/") {
-		return
-	}
+	inInternal := strings.HasPrefix(p.importPath, p.modPath+"/internal/")
 	storagePath := p.modPath + "/internal/storage"
-	checkIter := p.importPath != storagePath && !strings.HasPrefix(p.importPath, storagePath+"/")
+	checkIter := inInternal && p.importPath != storagePath && !strings.HasPrefix(p.importPath, storagePath+"/")
 
 	for _, f := range p.files {
-		// Rule 1: discarded results.
+		// Rules 1 and 2: discarded results.
 		ast.Inspect(f, func(n ast.Node) bool {
 			var call *ast.CallExpr
 			switch n := n.(type) {
@@ -55,15 +58,23 @@ func runErrorDiscard(p *pass) {
 			if call == nil {
 				return true
 			}
-			if name, ok := leakProneResult(p, call); ok {
+			if inInternal {
+				if name, ok := leakProneResult(p, call); ok {
+					p.report(call.Pos(),
+						"%s returns an error that is silently discarded; the leak-prone set (Close, IterErr, undo-log Rollback) must be propagated — join it with the primary error if one is already in flight",
+						name)
+					return true
+				}
+			}
+			if name, ok := durabilityResult(p, call); ok {
 				p.report(call.Pos(),
-					"%s returns an error that is silently discarded; the leak-prone set (Close, IterErr, undo-log Rollback) must be propagated — join it with the primary error if one is already in flight",
+					"%s returns an error that is silently discarded; durability errors (Sync, Flush, os.File Close) are the OS's last chance to report a failed write and must be propagated",
 					name)
 			}
 			return true
 		})
 
-		// Rule 2: iterator consumers must consult storage.IterErr.
+		// Rule 3: iterator consumers must consult storage.IterErr.
 		if !checkIter {
 			continue
 		}
@@ -122,6 +133,64 @@ func leakProneResult(p *pass, call *ast.CallExpr) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// durabilityResult reports whether call invokes a durability-critical
+// function that returns an error: any Sync or Flush, or Close on an
+// *os.File specifically (generic Close stays an internal/-only rule —
+// module-wide it would drown tests in read-only noise, but a file
+// handle's Close is where buffered write errors surface).
+func durabilityResult(p *pass, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = p.info.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Sync", "Flush":
+	case "Close":
+		if !isOSFileMethod(fn) {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// isOSFileMethod reports whether fn is a method with receiver os.File
+// or *os.File.
+func isOSFileMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
 }
 
 // advancesStorageIterator reports whether call is a Next/NextRows

@@ -29,8 +29,10 @@
 //   - goroutine-hygiene: every go statement in internal/exec joins via
 //     a WaitGroup, every channel send is select-guarded.
 //   - error-discard: no silently dropped errors from the leak-prone
-//     set (Close, IterErr, undo-log Rollback) in internal/..., and
-//     every storage-iterator consumer consults storage.IterErr.
+//     set (Close, IterErr, undo-log Rollback) in internal/..., none
+//     from the durability set (Sync, Flush, os.File Close) anywhere in
+//     the module, and every storage-iterator consumer consults
+//     storage.IterErr.
 //   - budget-tick: every row-producing loop in internal/exec and
 //     internal/storage calls Ctx.tick/countRow.
 //
@@ -54,7 +56,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -168,14 +169,12 @@ func findModule(dir string) (root, path string, err error) {
 }
 
 func modulePath(gomod string) (string, error) {
-	f, err := os.Open(gomod)
+	data, err := os.ReadFile(gomod)
 	if err != nil {
 		return "", err
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
 		if rest, ok := strings.CutPrefix(line, "module"); ok {
 			return strings.Trim(strings.TrimSpace(rest), `"`), nil
 		}

@@ -1,0 +1,69 @@
+//lintfixture:path repro/fixfs
+
+// Package fixfs seeds the module-wide half of error-discard: dropped
+// durability errors (Sync, Flush, os.File Close) outside internal/...,
+// where the internal-only leak-prone rule does not reach.
+package fixfs
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+)
+
+func firingFileSync(f *os.File) {
+	f.Sync() // want error-discard "Sync returns an error that is silently discarded"
+}
+
+func firingFileClose(f *os.File) {
+	_ = f.Close() // want error-discard "Close returns an error that is silently discarded"
+}
+
+func firingDeferClose(f *os.File) {
+	defer f.Close() // want error-discard "Close returns an error that is silently discarded"
+}
+
+func firingFlush(w *bufio.Writer) {
+	w.Flush() // want error-discard "Flush returns an error that is silently discarded"
+}
+
+type syncer interface {
+	Sync() error
+}
+
+func firingInterfaceSync(s syncer) {
+	_ = s.Sync() // want error-discard "Sync returns an error that is silently discarded"
+}
+
+func cleanPropagate(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func cleanJoin(f *os.File, primary error) error {
+	return errors.Join(primary, f.Close())
+}
+
+// cleanGenericClose: Close on a non-os.File receiver is out of scope
+// outside internal/... — only the durable trio is module-wide.
+func cleanGenericClose(c io.Closer) {
+	c.Close()
+}
+
+// cleanNoError: Flush without an error result (e.g. a stats flusher)
+// is not durability-critical.
+type counterFlusher struct{}
+
+func (counterFlusher) Flush() {}
+
+func cleanNoError(c counterFlusher) {
+	c.Flush()
+}
+
+func suppressedSync(f *os.File) {
+	//lint:ignore error-discard fixture: demonstrates a justified suppression
+	f.Sync()
+}

@@ -39,9 +39,27 @@ func main() {
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	dop := flag.Int("dop", 1, "degree of parallelism for eligible queries (1 = serial)")
 	planCache := flag.Int("plan-cache", 0, "enable the shared plan cache with this many entries (0 = off)")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory)")
+	storageMgr := flag.String("storage", "", `default storage manager for CREATE TABLE without USING (e.g. "DISK")`)
 	flag.Parse()
 
-	db := starburst.Open(starburst.WithPlanCache(*planCache))
+	opts := []starburst.Option{starburst.WithPlanCache(*planCache)}
+	if *dataDir != "" {
+		opts = append(opts, starburst.WithDataDir(*dataDir))
+	}
+	if *storageMgr != "" {
+		opts = append(opts, starburst.WithDefaultStorage(*storageMgr))
+	}
+	db := starburst.Open(opts...)
+	if err := db.OpenErr(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "close:", err)
+		}
+	}()
 	db.SetAudit(*audit)
 	db.SetLimits(starburst.Limits{Timeout: *timeout, MaxRows: *maxRows})
 	db.SetParallelism(*dop)

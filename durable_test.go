@@ -1,0 +1,424 @@
+package starburst
+
+// Durability tests: schema and row persistence across reopen, WAL DDL
+// replay, HEAP-vs-DISK engine equivalence, and the crash-recovery
+// torture harness — a crash fault at every WAL-append, WAL-sync and
+// checkpoint-page-write ordinal over a DML+DDL workload, with the
+// recovered state checked against a serial oracle replay.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/storage"
+	"repro/internal/storage/disk"
+)
+
+// diskOpts keeps pages and checkpoint intervals small so the tests
+// exercise page growth, eviction and mid-workload checkpoints.
+var diskOpts = disk.Options{PageSize: 512, PoolPages: 8, CheckpointEvery: 3}
+
+// diskDB opens a DISK-default DB over fs. Reopening with the same fs
+// recovers the directory.
+func diskDB(tb testing.TB, fs disk.FS, extra ...Option) *DB {
+	tb.Helper()
+	opts := append([]Option{withDataFS("data", fs, diskOpts), WithDefaultStorage("DISK")}, extra...)
+	db := Open(opts...)
+	if err := db.OpenErr(); err != nil {
+		tb.Fatalf("open data dir: %v", err)
+	}
+	return db
+}
+
+// contentSnapshot images every table as its sorted row set (RIDs
+// included: recovery replays physiological records, so even physical
+// placement must match a serial rerun).
+func contentSnapshot(tb testing.TB, db *DB) map[string][]string {
+	tb.Helper()
+	out := map[string][]string{}
+	cat := db.Catalog()
+	for _, name := range cat.TableNames() {
+		t, ok := cat.Table(name)
+		if !ok {
+			tb.Fatalf("no table %s", name)
+		}
+		rows := []string{}
+		it := storage.UnwrapRelation(t.Rel).Scan()
+		for {
+			row, rid, ok := it.Next()
+			if !ok {
+				break
+			}
+			rows = append(rows, fmt.Sprintf("%v@%v", datum.RowKey(row), rid))
+		}
+		it.Close()
+		sort.Strings(rows)
+		out[name] = rows
+	}
+	return out
+}
+
+func TestDataDirPersistenceAcrossReopen(t *testing.T) {
+	fs := disk.NewMemFS()
+	db := diskDB(t, fs)
+	mustExec(t, db, `CREATE TABLE items (id INT NOT NULL, qty INT, tag STRING)`)
+	mustExec(t, db, `CREATE INDEX items_id ON items (id)`)
+	mustExec(t, db, `CREATE VIEW big AS SELECT id, qty FROM items WHERE qty > 15`)
+	for i := 1; i <= 20; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO items VALUES (%d, %d, 'tag-%d')`, i, i*10, i))
+	}
+	mustExec(t, db, `DELETE FROM items WHERE id = 7`)
+	mustExec(t, db, `UPDATE items SET qty = 0 WHERE id = 9`)
+	want := contentSnapshot(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := diskDB(t, fs)
+	if got := contentSnapshot(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened state differs:\ngot:  %v\nwant: %v", got, want)
+	}
+	// Schema objects came back: the index serves queries, the view
+	// resolves, and new DML lands in both heap and index.
+	checkIndexConsistency(t, db2)
+	res := mustExec(t, db2, `SELECT COUNT(*) FROM big`)
+	if res.Rows[0][0].Int() != 17 { // 19 live rows, id 9 zeroed, id<=1 filtered: 20-1(deleted)-1(qty 0)-1(qty 10)
+		t.Fatalf("view over recovered data: %v", res.Rows)
+	}
+	mustExec(t, db2, `INSERT INTO items VALUES (100, 1000, 'new')`)
+	res = mustExec(t, db2, `SELECT tag FROM items WHERE id = 100`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "new" {
+		t.Fatalf("post-recovery insert not visible via index: %v", res.Rows)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataDirNonDiskTablesPersistSchemaOnly(t *testing.T) {
+	fs := disk.NewMemFS()
+	// HEAP stays the default here: no WithDefaultStorage.
+	db := Open(withDataFS("data", fs, diskOpts))
+	if err := db.OpenErr(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE mem (a INT)`)
+	mustExec(t, db, `CREATE TABLE dur (a INT) USING DISK`)
+	mustExec(t, db, `INSERT INTO mem VALUES (1)`)
+	mustExec(t, db, `INSERT INTO dur VALUES (2)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := Open(withDataFS("data", fs, diskOpts))
+	if err := db2.OpenErr(); err != nil {
+		t.Fatal(err)
+	}
+	// The MEMORY-table convention: schema survives, rows do not.
+	if res := mustExec(t, db2, `SELECT COUNT(*) FROM mem`); res.Rows[0][0].Int() != 0 {
+		t.Fatalf("HEAP rows survived reopen: %v", res.Rows)
+	}
+	if res := mustExec(t, db2, `SELECT a FROM dur`); len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Fatalf("DISK rows lost: %v", res.Rows)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataDirDDLReplayAfterCrash(t *testing.T) {
+	fs := disk.NewMemFS()
+	db := diskDB(t, fs)
+	// Force a checkpoint (so a catalog snapshot exists), then run DDL
+	// past it — the post-snapshot statements replay from the WAL.
+	mustExec(t, db, `CREATE TABLE base (id INT, x FLOAT)`)
+	mustExec(t, db, `INSERT INTO base VALUES (1, 1.5)`)
+	if err := db.Store().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE late (id INT)`)
+	mustExec(t, db, `INSERT INTO late VALUES (42)`)
+	mustExec(t, db, `CREATE INDEX base_id ON base (id)`)
+	mustExec(t, db, `CREATE TABLE doomed (z INT)`)
+	mustExec(t, db, `INSERT INTO doomed VALUES (9)`)
+	mustExec(t, db, `DROP TABLE doomed`)
+	// Crash without Close: no final checkpoint, recovery replays it all.
+	fs.Crash()
+
+	db2 := diskDB(t, fs)
+	if res := mustExec(t, db2, `SELECT id FROM late`); len(res.Rows) != 1 || res.Rows[0][0].Int() != 42 {
+		t.Fatalf("late table not replayed: %v", res.Rows)
+	}
+	if _, err := db2.Exec(`SELECT z FROM doomed`, nil); err == nil {
+		t.Fatal("dropped table resurrected by replay")
+	}
+	bt, ok := db2.Catalog().Table("base")
+	if !ok || len(bt.Indexes) != 1 || bt.Indexes[0].Name != "BASE_ID" {
+		t.Fatalf("replayed index missing: %+v", bt)
+	}
+	checkIndexConsistency(t, db2)
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCorpusOnDisk runs a broad statement corpus against a
+// DISK-backed DB and an in-memory HEAP DB and requires identical
+// results — the durable manager must be observationally equivalent.
+func TestEngineCorpusOnDisk(t *testing.T) {
+	setup := []string{
+		`CREATE TABLE items (id INT NOT NULL, qty INT, tag STRING)`,
+		`CREATE INDEX items_id ON items (id)`,
+		`CREATE TABLE orders (oid INT, item INT, n INT)`,
+		`CREATE VIEW expensive AS SELECT id, qty FROM items WHERE qty >= 40`,
+	}
+	for i := 1; i <= 12; i++ {
+		tag := "CPU"
+		if i%2 == 0 {
+			tag = "MEM"
+		}
+		setup = append(setup, fmt.Sprintf(`INSERT INTO items VALUES (%d, %d, '%s')`, i, i*10, tag))
+	}
+	for i := 1; i <= 9; i++ {
+		setup = append(setup, fmt.Sprintf(`INSERT INTO orders VALUES (%d, %d, %d)`, i, i%5+1, i*3))
+	}
+	setup = append(setup,
+		`UPDATE items SET qty = qty + 5 WHERE tag = 'MEM'`,
+		`DELETE FROM orders WHERE n > 24`,
+		`ANALYZE items`, `ANALYZE orders`,
+	)
+	queries := []string{
+		`SELECT id, qty FROM items WHERE id = 7`,
+		`SELECT tag, COUNT(*), SUM(qty) FROM items GROUP BY tag ORDER BY tag`,
+		`SELECT i.id, o.n FROM items i, orders o WHERE i.id = o.item ORDER BY i.id, o.n`,
+		`SELECT id FROM items WHERE qty > (SELECT AVG(n) FROM orders) ORDER BY id`,
+		`SELECT * FROM expensive ORDER BY id`,
+		`SELECT DISTINCT tag FROM items ORDER BY tag`,
+		`SELECT id FROM items ORDER BY qty DESC LIMIT 3`,
+	}
+
+	heap := Open()
+	fs := disk.NewMemFS()
+	dd := diskDB(t, fs)
+	for _, q := range setup {
+		mustExec(t, heap, q)
+		mustExec(t, dd, q)
+	}
+	check := func(label string, db *DB) {
+		for _, q := range queries {
+			want := mustExec(t, heap, q)
+			got := mustExec(t, db, q)
+			if fmt.Sprint(want.Rows) != fmt.Sprint(got.Rows) {
+				t.Fatalf("%s: %s\nheap: %v\ndisk: %v", label, q, want.Rows, got.Rows)
+			}
+		}
+	}
+	check("disk", dd)
+	if err := dd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Same corpus, same answers, after a clean reopen...
+	dd2 := diskDB(t, fs)
+	check("disk-reopened", dd2)
+	// ...and after a hard crash (recovery from checkpoint + WAL).
+	fs.Crash()
+	dd3 := diskDB(t, fs)
+	check("disk-recovered", dd3)
+	if err := dd3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskParallelScan drives the PR-4 exchange path over the disk
+// manager: DOP>1 morsel scans must see every page range.
+func TestDiskParallelScan(t *testing.T) {
+	fs := disk.NewMemFS()
+	db := diskDB(t, fs, WithParallelism(4))
+	mustExec(t, db, `CREATE TABLE big (id INT, v INT)`)
+	for i := 0; i < 300; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO big VALUES (%d, %d)`, i, i%7))
+	}
+	mustExec(t, db, `ANALYZE big`)
+	res := mustExec(t, db, `SELECT COUNT(*), SUM(id) FROM big WHERE v < 5`)
+	wantN, wantSum := int64(0), int64(0)
+	for i := 0; i < 300; i++ {
+		if i%7 < 5 {
+			wantN++
+			wantSum += int64(i)
+		}
+	}
+	if res.Rows[0][0].Int() != wantN || res.Rows[0][1].Int() != wantSum {
+		t.Fatalf("parallel disk scan: %v, want [%d %d]", res.Rows, wantN, wantSum)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Crash-recovery torture
+
+// tortureWorkload is the statement sequence the crash harness drives:
+// every DML kind from the PR-2 atomicity matrix (multi-row insert,
+// insert-select, index-key update, delete) plus post-snapshot DDL
+// (create/drop of tables and indexes), all deterministic and
+// abort-free.
+var tortureWorkload = []string{
+	`CREATE TABLE items (id INT NOT NULL, qty INT, tag STRING)`,
+	`CREATE INDEX items_id ON items (id)`,
+	`INSERT INTO items VALUES (1, 10, 'A')`,
+	`INSERT INTO items VALUES (2, 20, 'B'), (3, 30, 'C'), (4, 40, 'D')`,
+	`INSERT INTO items SELECT id + 100, qty, 'COPY' FROM items`,
+	`UPDATE items SET id = id + 1000 WHERE qty >= 30`,
+	`DELETE FROM items WHERE id = 1`,
+	`CREATE TABLE extra (a INT, b STRING)`,
+	`INSERT INTO extra VALUES (7, 'seven'), (8, 'eight')`,
+	`UPDATE items SET tag = 'X' WHERE qty = 20`,
+	`DROP TABLE extra`,
+	`INSERT INTO items VALUES (500, 50, 'E')`,
+}
+
+// runTortureWorkload executes the workload until a crash fault fires,
+// returning the number of statements acknowledged as committed and
+// whether the store crashed (false = the schedule ran clean).
+func runTortureWorkload(t *testing.T, db *DB) (acked int, crashed bool) {
+	t.Helper()
+	for _, q := range tortureWorkload {
+		_, err := db.Exec(q, nil)
+		if err == nil {
+			acked++
+			continue
+		}
+		var ce *CrashError
+		if !errors.As(err, &ce) && !errors.Is(err, disk.ErrCrashed) {
+			t.Fatalf("statement %q failed with a non-crash error: %v", q, err)
+		}
+		if !db.Store().Crashed() {
+			t.Fatal("crash error surfaced but the store is not poisoned")
+		}
+		return acked, true
+	}
+	return acked, false
+}
+
+// oracleState replays the first p workload statements on a fresh
+// fault-free store and images the result.
+func tortureOracle(t *testing.T, p int) map[string][]string {
+	t.Helper()
+	db := diskDB(t, disk.NewMemFS())
+	for _, q := range tortureWorkload[:p] {
+		mustExec(t, db, q)
+	}
+	return contentSnapshot(t, db)
+}
+
+// TestCrashRecoveryTorture is the acceptance gate: for each crash point
+// (WAL append, WAL sync, checkpoint page write, torn page write) and
+// every ordinal k until the schedule runs clean, kill the store
+// mid-workload, reopen, and require the recovered state to be identical
+// to a serial oracle replay of the committed prefix. The tolerance is
+// exactly one statement: a crash after the commit record is durable but
+// before the acknowledgment means acked ≤ committed ≤ acked+1.
+func TestCrashRecoveryTorture(t *testing.T) {
+	crashPoints := []struct {
+		name string
+		op   FaultOp
+		torn bool
+	}{
+		{"wal-append", FaultWALAppend, false},
+		{"wal-sync", FaultWALSync, false},
+		{"page-write", FaultPageWrite, false},
+		{"torn-page", FaultPageWrite, true},
+	}
+	oracles := map[int]map[string][]string{}
+	oracle := func(p int) map[string][]string {
+		if s, ok := oracles[p]; ok {
+			return s
+		}
+		s := tortureOracle(t, p)
+		oracles[p] = s
+		return s
+	}
+
+	for _, cp := range crashPoints {
+		t.Run(cp.name, func(t *testing.T) {
+			fired := 0
+			for k := int64(0); k < 512; k++ {
+				fs := disk.NewMemFS()
+				db := diskDB(t, fs)
+				// Empty Table matches every table — including the commit
+				// and DDL records the store logs without one.
+				db.InjectFaults(&Fault{Op: cp.op, After: k, Crash: true, Torn: cp.torn})
+				acked, crashed := runTortureWorkload(t, db)
+				if !crashed {
+					if acked != len(tortureWorkload) {
+						t.Fatalf("k=%d: clean run acked %d/%d statements", k, acked, len(tortureWorkload))
+					}
+					if fired == 0 {
+						t.Fatalf("%s fault never fired", cp.op)
+					}
+					return // schedule exhausted: every ordinal covered
+				}
+				fired++
+
+				// The machine dies: all unsynced state vanishes.
+				fs.Crash()
+				rec := diskDB(t, fs)
+				got := contentSnapshot(t, rec)
+				if !reflect.DeepEqual(got, oracle(acked)) && !reflect.DeepEqual(got, oracle(acked+1)) {
+					t.Fatalf("%s k=%d: recovered state matches neither oracle(%d) nor oracle(%d):\ngot: %v\no%d: %v\no%d: %v",
+						cp.op, k, acked, acked+1, got, acked, oracle(acked), acked+1, oracle(acked+1))
+				}
+				checkIndexConsistency(t, rec)
+				if n := rec.Faults(); n != nil && n.OpenIterators() != 0 {
+					t.Fatalf("k=%d: %d iterators leaked across recovery", k, n.OpenIterators())
+				}
+				// The recovered store must be fully usable.
+				if acked >= 3 { // items exists
+					mustExec(t, rec, `INSERT INTO items VALUES (9000, 1, 'post')`)
+					res := mustExec(t, rec, `SELECT tag FROM items WHERE id = 9000`)
+					if len(res.Rows) != 1 {
+						t.Fatalf("k=%d: post-recovery statement lost: %v", k, res.Rows)
+					}
+				}
+				if err := rec.Close(); err != nil {
+					t.Fatalf("k=%d: close recovered db: %v", k, err)
+				}
+			}
+			t.Fatalf("%s crash schedule not exhausted after 512 ordinals", cp.op)
+		})
+	}
+}
+
+// TestCrashedStoreRefusesWork: after a crash fault poisons the store,
+// every further statement fails fast with ErrCrashed until reopen.
+func TestCrashedStoreRefusesWork(t *testing.T) {
+	fs := disk.NewMemFS()
+	db := diskDB(t, fs)
+	mustExec(t, db, `CREATE TABLE t (a INT)`)
+	db.InjectFaults(&Fault{Op: FaultWALAppend, Crash: true})
+	if _, err := db.Exec(`INSERT INTO t VALUES (1)`, nil); err == nil {
+		t.Fatal("armed crash fault did not fire")
+	}
+	if !db.Store().Crashed() {
+		t.Fatal("store not poisoned")
+	}
+	db.ClearFaults()
+	if _, err := db.Exec(`INSERT INTO t VALUES (2)`, nil); !errors.Is(err, disk.ErrCrashed) {
+		t.Fatalf("statement on crashed store: %v, want ErrCrashed", err)
+	}
+	// SELECTs don't touch the WAL and still serve from the cache/pool —
+	// matching a real database that stays up read-only after log loss is
+	// detected? No: the whole store is poisoned, but reads need no
+	// statement bracket. The contract is only that mutations fail.
+	fs.Crash()
+	db2 := diskDB(t, fs)
+	mustExec(t, db2, `INSERT INTO t VALUES (3)`)
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package starburst
+
+// Access-method fault tests (satellite of the durability PR): the PR-2
+// DML atomicity matrix extended to a table carrying BOTH ordered
+// (BTREE) and spatial (RTREE) attachments, plus fault injection on the
+// index-search path for each method. After every injected failure the
+// heap and all index structures must be byte-identical to the
+// pre-statement snapshot and no iterator may leak.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/disk"
+)
+
+// sortIndexSnaps normalizes a snapshot for comparison across an
+// aborted statement: the R-tree's enumeration order depends on its
+// insertion history (undo restores the entry set, not the node
+// layout), so index entries compare as sorted sets while heap order
+// stays strict.
+func sortIndexSnaps(s map[string]relSnap) map[string]relSnap {
+	out := map[string]relSnap{}
+	for name, rs := range s {
+		norm := relSnap{Heap: rs.Heap, Indexes: map[string][]string{}}
+		for ix, entries := range rs.Indexes {
+			cp := append([]string(nil), entries...)
+			sort.Strings(cp)
+			norm.Indexes[ix] = cp
+		}
+		out[name] = norm
+	}
+	return out
+}
+
+// spatialDB builds pts: a side x side grid of points with a BTREE
+// index on id and an RTREE index on (x, y), so a single DML statement
+// maintains both attachment kinds.
+func spatialDB(tb testing.TB, side int) *DB {
+	tb.Helper()
+	db := Open()
+	if err := db.RegisterAccessMethod(storage.RTreeMethod{}); err != nil {
+		tb.Fatalf("register rtree: %v", err)
+	}
+	mustExec(tb, db, `CREATE TABLE pts (id INT NOT NULL, x FLOAT, y FLOAT)`)
+	mustExec(tb, db, `CREATE INDEX pts_id ON pts (id)`)
+	mustExec(tb, db, `CREATE INDEX pts_xy ON pts (x, y) USING rtree`)
+	n := 0
+	for gx := 0; gx < side; gx++ {
+		for gy := 0; gy < side; gy++ {
+			n++
+			mustExec(tb, db, fmt.Sprintf(`INSERT INTO pts VALUES (%d, %d.0, %d.0)`, n, gx, gy))
+		}
+	}
+	mustExec(tb, db, `ANALYZE pts`)
+	return db
+}
+
+// TestAccessMethodDMLAtomicity reruns the mutation-index fault matrix
+// over a table with btree + rtree attachments: every DML kind, every
+// index operation, a fault at every ordinal k until the statement runs
+// clean.
+func TestAccessMethodDMLAtomicity(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		ops  []FaultOp
+	}{
+		// Each inserted row lands in the heap, the btree, and the rtree.
+		{"insert", `INSERT INTO pts SELECT id + 100, x + 10.0, y + 10.0 FROM pts WHERE id <= 6`,
+			[]FaultOp{FaultInsert, FaultIxInsert}},
+		// id and x are both index keys: the update maintains both trees.
+		{"update", `UPDATE pts SET id = id + 100, x = x + 100.0 WHERE y >= 2.0`,
+			[]FaultOp{FaultUpdate, FaultIxDelete, FaultIxInsert}},
+		{"delete", `DELETE FROM pts WHERE x >= 1.0 AND x <= 3.0`,
+			[]FaultOp{FaultDelete, FaultIxDelete}},
+	}
+	for _, c := range cases {
+		for _, op := range c.ops {
+			t.Run(c.name+"/"+string(op), func(t *testing.T) {
+				fired := 0
+				for k := 0; k < 128; k++ {
+					db := spatialDB(t, 5)
+					before := sortIndexSnaps(snapshotAll(t, db))
+					db.InjectFaults(&Fault{Table: "pts", Op: op, After: int64(k), Err: "boom"})
+					_, err := db.Exec(c.sql, nil)
+					if err == nil {
+						if fired == 0 {
+							t.Fatalf("fault on %s never fired", op)
+						}
+						return
+					}
+					fired++
+					var fe *FaultError
+					if !errors.As(err, &fe) {
+						t.Fatalf("k=%d: error is not a FaultError: %v", k, err)
+					}
+					requireUnchanged(t, fmt.Sprintf("%s k=%d", op, k), before, sortIndexSnaps(snapshotAll(t, db)))
+					checkIndexConsistency(t, db)
+					if n := db.Faults().OpenIterators(); n != 0 {
+						t.Fatalf("k=%d: %d iterators leaked", k, n)
+					}
+				}
+				t.Fatalf("fault on %s still firing after 128 mutation indexes", op)
+			})
+		}
+	}
+}
+
+// TestAccessMethodSearchFaults injects failures into the index-search
+// path of each access method. The queries are chosen so the optimizer
+// routes them through the index (btree: key equality; rtree: a window
+// bounding every key column) — the k=0 fault firing at all proves the
+// plan actually used the attachment.
+func TestAccessMethodSearchFaults(t *testing.T) {
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"btree-equality", `SELECT x, y FROM pts WHERE id = 13`},
+		{"rtree-window", `SELECT id FROM pts WHERE x >= 1.0 AND x <= 3.0 AND y >= 1.0 AND y <= 3.0`},
+	}
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			// 225 points: enough that the cost model prefers the index
+			// over a full scan for both query shapes.
+			db := spatialDB(t, 15)
+			before := snapshotAll(t, db)
+			fired := 0
+			for k := 0; k < 64; k++ {
+				db.InjectFaults(&Fault{Table: "pts", Op: FaultIxSearch, After: int64(k), Err: "boom"})
+				_, err := db.Exec(q.sql, nil)
+				if err == nil {
+					if fired == 0 {
+						t.Fatalf("IXSEARCH fault never fired: %s did not route through the index", q.sql)
+					}
+					break
+				}
+				fired++
+				var fe *FaultError
+				if !errors.As(err, &fe) {
+					t.Fatalf("k=%d: error is not a FaultError: %v", k, err)
+				}
+				if n := db.Faults().OpenIterators(); n != 0 {
+					t.Fatalf("k=%d: %d iterators leaked after failed search", k, n)
+				}
+			}
+			db.ClearFaults()
+			// Reads must not have perturbed anything, and the index still
+			// answers correctly once faults are gone.
+			requireUnchanged(t, q.name, before, snapshotAll(t, db))
+			checkIndexConsistency(t, db)
+			res := mustExec(t, db, q.sql)
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s returned no rows after faults cleared", q.sql)
+			}
+		})
+	}
+}
+
+// TestAccessMethodSearchFaultsOnDisk repeats the search-fault check
+// with the btree attachment layered over the DISK storage manager:
+// volatile indexes over durable heaps fail and recover the same way.
+func TestAccessMethodSearchFaultsOnDisk(t *testing.T) {
+	db := diskDB(t, disk.NewMemFS())
+	mustExec(t, db, `CREATE TABLE pts (id INT NOT NULL, x FLOAT)`)
+	mustExec(t, db, `CREATE INDEX pts_id ON pts (id)`)
+	for i := 1; i <= 200; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO pts VALUES (%d, %d.0)`, i, i))
+	}
+	mustExec(t, db, `ANALYZE pts`)
+	fired := 0
+	for k := 0; k < 64; k++ {
+		db.InjectFaults(&Fault{Table: "pts", Op: FaultIxSearch, After: int64(k), Err: "boom"})
+		_, err := db.Exec(`SELECT x FROM pts WHERE id = 11`, nil)
+		if err == nil {
+			if fired == 0 {
+				t.Fatal("IXSEARCH fault never fired on the disk-backed table")
+			}
+			break
+		}
+		fired++
+		var fe *FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("k=%d: error is not a FaultError: %v", k, err)
+		}
+		if n := db.Faults().OpenIterators(); n != 0 {
+			t.Fatalf("k=%d: %d iterators leaked", k, n)
+		}
+	}
+	db.ClearFaults()
+	checkIndexConsistency(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -193,12 +193,12 @@ func (c *Catalog) UpdateLogged(t *Table, rid storage.RID, newRow datum.Row, log 
 func (c *Catalog) AttachFaults(fi *storage.FaultInjector) {
 	for _, name := range c.Storage.StorageManagerNames() {
 		if m, err := c.Storage.StorageManager(name); err == nil {
-			c.Storage.RegisterStorageManager(fi.WrapManager(m))
+			c.Storage.ReplaceStorageManager(fi.WrapManager(m))
 		}
 	}
 	for _, name := range c.Storage.AccessMethodNames() {
 		if m, err := c.Storage.AccessMethod(name); err == nil {
-			c.Storage.RegisterAccessMethod(fi.WrapMethod(m))
+			c.Storage.ReplaceAccessMethod(fi.WrapMethod(m))
 		}
 	}
 	c.mu.Lock()
@@ -218,12 +218,12 @@ func (c *Catalog) AttachFaults(fi *storage.FaultInjector) {
 func (c *Catalog) DetachFaults() {
 	for _, name := range c.Storage.StorageManagerNames() {
 		if m, err := c.Storage.StorageManager(name); err == nil {
-			c.Storage.RegisterStorageManager(storage.UnwrapManager(m))
+			c.Storage.ReplaceStorageManager(storage.UnwrapManager(m))
 		}
 	}
 	for _, name := range c.Storage.AccessMethodNames() {
 		if m, err := c.Storage.AccessMethod(name); err == nil {
-			c.Storage.RegisterAccessMethod(storage.UnwrapMethod(m))
+			c.Storage.ReplaceAccessMethod(storage.UnwrapMethod(m))
 		}
 	}
 	c.mu.Lock()

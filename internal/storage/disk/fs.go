@@ -1,0 +1,285 @@
+// Package disk implements the durable storage manager of the
+// reproduction: a page-based heap file per table (fixed-size slotted
+// pages with per-page checksums and a free-space map), a bounded buffer
+// pool with pin/unpin and clock eviction, and a write-ahead log of
+// physiological redo records with group fsync, redo-on-open recovery
+// and quiesced checkpointing. It registers through the same
+// storage.Registry extension point as the in-memory managers — the
+// paper's [LIND87] attachment architecture — so the engine above needs
+// no knowledge of which manager holds a table.
+//
+// See DESIGN.md, "Durability", for the on-disk formats and the recovery
+// protocol.
+package disk
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS abstracts the filesystem the store writes through. Production uses
+// OSFS; crash-recovery tests use a MemFS whose unsynced writes are
+// dropped on a simulated crash, so "fsync happened" and "write
+// happened" are genuinely different events under test.
+type FS interface {
+	// OpenFile opens name, creating it when absent (never truncating).
+	OpenFile(name string) (File, error)
+	// Remove deletes a file; removing a missing file is an error.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Stat reports a file's size, or an error satisfying
+	// errors.Is(err, fs.ErrNotExist) when absent.
+	Stat(name string) (int64, error)
+	// MkdirAll ensures a directory exists.
+	MkdirAll(dir string) error
+}
+
+// File is the per-file surface the store needs: positional I/O, fsync,
+// truncate. Append offsets are tracked by the caller.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync forces written data to durable storage.
+	Sync() error
+	// Truncate resizes the file.
+	Truncate(size int64) error
+	// Close releases the handle.
+	Close() error
+}
+
+// TornWriter is the optional FS capability the torn-page fault uses:
+// durably write a partial page image, simulating the kernel flushing
+// half of an in-flight page write before a crash. MemFS implements it;
+// OSFS has no need to.
+type TornWriter interface {
+	SyncPartial(name string, off int64, p []byte)
+}
+
+// ---------------------------------------------------------------------
+// Real filesystem
+
+// OSFS is the production FS, backed by the os package.
+type OSFS struct{}
+
+type osFile struct{ f *os.File }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f}, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename implements FS. The rename is followed by a best-effort fsync
+// of the containing directory so the replacement itself is durable.
+func (OSFS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(newname)); err == nil {
+		serr := d.Sync()
+		cerr := d.Close()
+		if serr != nil {
+			return serr
+		}
+		return cerr
+	}
+	return nil
+}
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error)  { return f.f.ReadAt(p, off) }
+func (f *osFile) WriteAt(p []byte, off int64) (int, error) { return f.f.WriteAt(p, off) }
+func (f *osFile) Sync() error                              { return f.f.Sync() }
+func (f *osFile) Truncate(size int64) error                { return f.f.Truncate(size) }
+func (f *osFile) Close() error                             { return f.f.Close() }
+
+// ---------------------------------------------------------------------
+// Crash-simulating in-memory filesystem
+
+// MemFS is an in-memory FS with crash semantics: every write lands in a
+// volatile buffer that becomes durable only on Sync. Crash discards all
+// unsynced data, modeling a process kill plus lost page-cache
+// writeback. Metadata operations (create, remove, rename) are treated
+// as immediately durable — the store orders them after content fsyncs,
+// which is the property under test.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memData
+}
+
+type memData struct {
+	data   []byte // current (volatile) content
+	synced []byte // content as of the last Sync
+}
+
+// NewMemFS returns an empty crash-simulating filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memData{}}
+}
+
+// Crash drops every unsynced write, reverting each file to its last
+// fsynced image. Open handles keep working (the test reopens the store
+// afterwards; a crashed store never touches the FS again).
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = append([]byte(nil), f.synced...)
+	}
+}
+
+// SyncPartial durably writes a prefix of one write — the torn-page
+// case: the kernel flushed half a page on its own before the crash. The
+// bytes land in both the volatile and the synced image.
+func (m *MemFS) SyncPartial(name string, off int64, p []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.file(name)
+	f.data = writeAt(f.data, off, p)
+	f.synced = writeAt(f.synced, off, p)
+}
+
+// Files lists the filesystem's paths, sorted; for test assertions.
+func (m *MemFS) Files() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for n := range m.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *MemFS) file(name string) *memData {
+	f, ok := m.files[name]
+	if !ok {
+		f = &memData{}
+		m.files[name] = f
+	}
+	return f
+}
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &memFile{fs: m, d: m.file(name), name: name}, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
+// MkdirAll implements FS (directories are implicit in a flat map).
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+type memFile struct {
+	fs   *MemFS
+	d    *memData
+	name string
+}
+
+func writeAt(dst []byte, off int64, p []byte) []byte {
+	end := off + int64(len(p))
+	for int64(len(dst)) < end {
+		dst = append(dst, 0)
+	}
+	copy(dst[off:end], p)
+	return dst
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("memfs: negative offset %d", off)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.d.data = writeAt(f.d.data, off, p)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.d.synced = append(f.d.synced[:0], f.d.data...)
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	for int64(len(f.d.data)) < size {
+		f.d.data = append(f.d.data, 0)
+	}
+	f.d.data = f.d.data[:size]
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }

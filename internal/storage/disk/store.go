@@ -1,0 +1,1265 @@
+package disk
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// Store is one durable data directory: a WAL, a catalog snapshot, and
+// one page file per table, served through a bounded buffer pool.
+//
+// Protocol summary (details in DESIGN.md, "Durability"):
+//
+//   - No-steal, redo-only. Dirty pages are written back only at
+//     checkpoints; the WAL carries physiological redo records grouped
+//     by statement, and a statement's group replays only if its commit
+//     record reached the disk.
+//   - Statements bracket their mutations with BeginStmt/CommitStmt/
+//     AbortStmt. Mutations outside a bracket auto-commit.
+//   - A checkpoint (triggered by commit count, WAL volume, or dirty-
+//     page pressure, always at a commit boundary) logs full-page images
+//     of every dirty frame, fsyncs the WAL, writes the pages back,
+//     fsyncs the data files, snapshots the catalog, and rotates the
+//     WAL.
+//
+// Lock order: Store.writeMu → Store.mu → tableFile.mu → pool.mu.
+type Store struct {
+	fs   FS
+	dir  string
+	opts Options
+
+	pool *pool
+
+	// writeMu serializes writing statements (the statement bracket) and
+	// checkpoints. Readers never take it.
+	writeMu sync.Mutex
+
+	// mu guards the WAL writer, the table map, the open statement and
+	// the checkpoint counters.
+	mu      sync.Mutex
+	wal     *walWriter
+	walFile File
+	tables  map[string]*tableFile
+	curStmt *stmt
+	nextID  uint64
+	fi      *storage.FaultInjector
+
+	snapshotFn func() ([]byte, error)
+
+	// Carried from Open until Recover consumes them.
+	scanned    []*walRecord
+	snapSchema []byte
+	snapLSN    uint64
+
+	attachMode bool // Create attaches to existing files (pre-recovery)
+	recovering bool
+	crashed    atomic.Bool
+
+	commitsSinceCkpt  int
+	walBytesSinceCkpt int64
+
+	// Cumulative counters (survive WAL rotation), reported via Stats.
+	statWALBytes   int64
+	statWALRecords int64
+	statWALSyncs   int64
+	statCkpts      int64
+}
+
+// Options configures a Store; zero values select defaults.
+type Options struct {
+	// PageSize is the page size in bytes (default DefaultPageSize).
+	PageSize int
+	// PoolPages is the buffer pool budget in frames (default 64).
+	PoolPages int
+	// CheckpointEvery checkpoints after N committed statements
+	// (default 64).
+	CheckpointEvery int
+	// CheckpointWALBytes checkpoints once the WAL grows past this many
+	// bytes since the last checkpoint (default 1 MiB).
+	CheckpointWALBytes int64
+}
+
+func (o *Options) defaults() {
+	if o.PageSize <= 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.PoolPages <= 0 {
+		o.PoolPages = 64
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 64
+	}
+	if o.CheckpointWALBytes <= 0 {
+		o.CheckpointWALBytes = 1 << 20
+	}
+}
+
+// ErrCrashed is returned by every operation after an injected crash
+// fault fired: the store is poisoned and the directory must be reopened
+// to recover.
+var ErrCrashed = errors.New("disk: store has crashed; reopen the data directory to recover")
+
+// stmt is one open statement group.
+type stmt struct {
+	id    uint64
+	wrote bool
+}
+
+// tableFile is the in-memory state of one table's page file.
+type tableFile struct {
+	mu       sync.RWMutex
+	name     string // canonical (upper-case) table name
+	fileName string
+	file     File
+	numCols  int
+
+	pages int64
+	rows  int64
+	// free is the free-space map: per page, the largest insertable
+	// record. lastIns remembers the last page inserted into.
+	free    []int
+	lastIns int
+
+	// truncLSN is the LSN of the last logical truncate: pages whose
+	// pageLSN predates it read as empty. Physical file truncation
+	// happens at the next checkpoint.
+	truncLSN uint64
+
+	// pendingRepair marks pages that failed their checksum during
+	// recovery and await a full-page image from the WAL.
+	pendingRepair map[uint32]bool
+}
+
+// snapshotFile is the JSON layout of catalog.json: the engine's schema
+// blob plus the LSN horizon it reflects (DDL records at or below it are
+// already folded in and must not replay).
+type snapshotFile struct {
+	LastLSN uint64          `json:"last_lsn"`
+	Schema  json.RawMessage `json:"schema,omitempty"`
+}
+
+const (
+	walFileName     = "wal.log"
+	catalogFileName = "catalog.json"
+)
+
+func tableFileName(name string) string {
+	return strings.ToLower(name) + ".tbl"
+}
+
+// Open opens or creates a data directory. The returned store is in
+// attach mode: table creates bind to existing files without truncating
+// them. The caller must recreate the snapshot schema (SnapshotSchema)
+// and then call Recover before doing anything else.
+func Open(dir string, fsys FS, opts Options) (*Store, error) {
+	opts.defaults()
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("disk: create data dir: %w", err)
+	}
+	walPath := filepath.Join(dir, walFileName)
+	size, err := fsys.Stat(walPath)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("disk: stat wal: %w", err)
+	}
+	f, err := fsys.OpenFile(walPath)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open wal: %w", err)
+	}
+	recs, intactEnd, walLast, err := walScan(f, size)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Store{
+		fs:         fsys,
+		dir:        dir,
+		opts:       opts,
+		pool:       newPool(opts.PoolPages),
+		walFile:    f,
+		tables:     map[string]*tableFile{},
+		scanned:    recs,
+		attachMode: true,
+	}
+	if err := s.readSnapshotFile(); err != nil {
+		return nil, err
+	}
+
+	if intactEnd == 0 {
+		// Empty or unrecognizable log: start a fresh one. LSNs continue
+		// past the snapshot horizon so they stay monotonic across WAL
+		// rotations.
+		w, err := newWalFile(f)
+		if err != nil {
+			return nil, err
+		}
+		w.nextLSN = s.snapLSN + 1
+		w.syncedLSN = s.snapLSN
+		s.wal = w
+	} else {
+		last := walLast
+		if s.snapLSN > last {
+			last = s.snapLSN
+		}
+		s.wal = openWalWriter(f, intactEnd, last)
+	}
+	return s, nil
+}
+
+func (s *Store) readSnapshotFile() (err error) {
+	path := filepath.Join(s.dir, catalogFileName)
+	size, err := s.fs.Stat(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("disk: stat catalog snapshot: %w", err)
+	}
+	f, err := s.fs.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("disk: open catalog snapshot: %w", err)
+	}
+	defer func() {
+		err = errors.Join(err, f.Close())
+	}()
+	buf := make([]byte, size)
+	if n, rerr := f.ReadAt(buf, 0); int64(n) != size {
+		return fmt.Errorf("disk: read catalog snapshot: %v", rerr)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return fmt.Errorf("disk: parse catalog snapshot: %w", err)
+	}
+	s.snapSchema = snap.Schema
+	s.snapLSN = snap.LastLSN
+	return nil
+}
+
+// SnapshotSchema returns the engine schema blob from the catalog
+// snapshot read at Open, or nil for a fresh directory.
+func (s *Store) SnapshotSchema() []byte { return s.snapSchema }
+
+// SetSnapshot installs the callback that serializes the engine's
+// catalog at checkpoint time.
+func (s *Store) SetSnapshot(fn func() ([]byte, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapshotFn = fn
+}
+
+// SetFaultInjector wires (or, with nil, unwires) crash-point fault
+// injection into the store's WAL and page-write boundaries.
+func (s *Store) SetFaultInjector(fi *storage.FaultInjector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fi = fi
+}
+
+// Crashed reports whether an injected crash fault has poisoned the
+// store.
+func (s *Store) Crashed() bool { return s.crashed.Load() }
+
+// Stats is a point-in-time snapshot of the store's I/O counters.
+type Stats struct {
+	PoolHits      int64
+	PoolMisses    int64
+	PoolEvictions int64
+	PoolOverflow  int64
+	WALRecords    int64
+	WALBytes      int64
+	WALSyncs      int64
+	Checkpoints   int64
+	Tables        int
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	h, m, e, o := s.pool.stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		PoolHits: h, PoolMisses: m, PoolEvictions: e, PoolOverflow: o,
+		WALRecords:  s.statWALRecords,
+		WALBytes:    s.statWALBytes,
+		WALSyncs:    s.statWALSyncs,
+		Checkpoints: s.statCkpts,
+		Tables:      len(s.tables),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fault points
+
+// checkFault is the crash boundary: a non-crash fault comes back as an
+// error; a crash fault poisons the store and panics with the
+// *storage.CrashError (the engine's panic barrier turns it into a
+// QueryError, and the torture harness then simulates the machine
+// dying).
+func (s *Store) checkFault(table string, op storage.FaultOp) error {
+	s.mu.Lock()
+	fi := s.fi
+	s.mu.Unlock()
+	err := fi.CheckOp(table, op)
+	var ce *storage.CrashError
+	if errors.As(err, &ce) {
+		s.crash(ce)
+	}
+	return err
+}
+
+// checkPageWrite is checkFault for the data-page write-back boundary,
+// with the torn-page twist: before the simulated kill, half of the
+// in-flight page image is made durable.
+func (s *Store) checkPageWrite(tf *tableFile, pageNo uint32, img []byte) error {
+	s.mu.Lock()
+	fi := s.fi
+	s.mu.Unlock()
+	err := fi.CheckOp(tf.name, storage.FaultPageWrite)
+	var ce *storage.CrashError
+	if errors.As(err, &ce) {
+		if ce.Torn {
+			if tw, ok := s.fs.(TornWriter); ok {
+				off := int64(pageNo) * int64(s.opts.PageSize)
+				tw.SyncPartial(tf.fileName, off, img[:len(img)/2])
+			}
+		}
+		s.crash(ce)
+	}
+	return err
+}
+
+func (s *Store) crash(ce *storage.CrashError) {
+	s.crashed.Store(true)
+	panic(ce)
+}
+
+// ---------------------------------------------------------------------
+// WAL plumbing
+
+// walAppend logs one record (no fsync) after clearing the WALAPPEND
+// fault point. Caller must not hold s.mu.
+func (s *Store) walAppend(table string, r *walRecord) (uint64, error) {
+	if err := s.checkFault(table, storage.FaultWALAppend); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.wal.bytes
+	lsn, err := s.wal.append(r)
+	if err != nil {
+		return 0, err
+	}
+	d := s.wal.bytes - before
+	s.statWALBytes += d
+	s.walBytesSinceCkpt += d
+	s.statWALRecords++
+	return lsn, nil
+}
+
+// walSync makes every appended record durable, with the group-commit
+// short-circuit. The WALSYNC fault point is checked both before and
+// after the fsync: a crash in the window after the sync but before the
+// acknowledgment is exactly the "committed but never reported" case the
+// torture oracle must tolerate.
+func (s *Store) walSync(table string) error {
+	s.mu.Lock()
+	upTo := s.wal.nextLSN - 1
+	done := s.wal.syncedLSN >= upTo
+	s.mu.Unlock()
+	if done {
+		return nil
+	}
+	if err := s.checkFault(table, storage.FaultWALSync); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	err := s.wal.sync(upTo)
+	if err == nil {
+		s.statWALSyncs++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.checkFault(table, storage.FaultWALSync)
+}
+
+// ---------------------------------------------------------------------
+// Statement bracket
+
+// BeginStmt opens a statement group; every mutation until CommitStmt or
+// AbortStmt joins it. Statements are serialized: a second BeginStmt
+// blocks until the first resolves.
+func (s *Store) BeginStmt() error {
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	s.writeMu.Lock()
+	if s.crashed.Load() {
+		s.writeMu.Unlock()
+		return ErrCrashed
+	}
+	s.mu.Lock()
+	s.nextID++
+	s.curStmt = &stmt{id: s.nextID}
+	s.mu.Unlock()
+	return nil
+}
+
+// CommitStmt logs the group's commit record and fsyncs the WAL; the
+// statement is durable exactly when CommitStmt returns nil. It may run
+// a checkpoint afterwards. Always releases the statement bracket.
+func (s *Store) CommitStmt() error {
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	st := s.curStmt
+	s.curStmt = nil
+	s.mu.Unlock()
+	if st == nil {
+		return errors.New("disk: CommitStmt without BeginStmt")
+	}
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	if !st.wrote {
+		return nil
+	}
+	if _, err := s.walAppend("", &walRecord{kind: walCommit, stmtID: st.id}); err != nil {
+		return err
+	}
+	if err := s.walSync(""); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.commitsSinceCkpt++
+	need := s.commitsSinceCkpt >= s.opts.CheckpointEvery ||
+		s.walBytesSinceCkpt >= s.opts.CheckpointWALBytes
+	s.mu.Unlock()
+	if !need && s.pool.dirtyCount() >= s.pool.capacity/2 {
+		need = true
+	}
+	if need {
+		return s.checkpointLocked()
+	}
+	return nil
+}
+
+// AbortStmt abandons the open statement group: nothing is logged, so
+// the group's records never replay. Always releases the bracket.
+func (s *Store) AbortStmt() {
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	s.curStmt = nil
+	s.mu.Unlock()
+}
+
+// LogDDL records the raw SQL of a DDL statement in the open group; on
+// recovery the engine re-executes it.
+func (s *Store) LogDDL(sqlText string) error {
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	s.mu.Lock()
+	st := s.curStmt
+	s.mu.Unlock()
+	if st == nil {
+		return errors.New("disk: LogDDL outside a statement")
+	}
+	if _, err := s.walAppend("", &walRecord{kind: walDDL, stmtID: st.id, data: []byte(sqlText)}); err != nil {
+		return err
+	}
+	st.wrote = true
+	return nil
+}
+
+// runMutation executes fn inside the open statement group, or brackets
+// it as a single-mutation auto-commit when none is open.
+func (s *Store) runMutation(fn func(st *stmt) error) error {
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	s.mu.Lock()
+	st := s.curStmt
+	s.mu.Unlock()
+	if st != nil {
+		return fn(st)
+	}
+	if err := s.BeginStmt(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	st = s.curStmt
+	s.mu.Unlock()
+	if err := fn(st); err != nil {
+		s.AbortStmt()
+		return err
+	}
+	return s.CommitStmt()
+}
+
+// ---------------------------------------------------------------------
+// Table lifecycle
+
+// createTable binds a table name to its page file. In attach mode
+// (between Open and Recover) an existing file is adopted as-is for the
+// snapshot's tables; otherwise the file is truncated — a fresh CREATE
+// must not resurrect pages from an older incarnation.
+func (s *Store) createTable(name string, numCols int) (*tableFile, error) {
+	if s.crashed.Load() {
+		return nil, ErrCrashed
+	}
+	key := strings.ToUpper(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tf, ok := s.tables[key]; ok {
+		// Recreate over a live binding: only DROP removes one, so this
+		// is CREATE after an engine-side drop that skipped
+		// DropTableData. Reset it.
+		tf.mu.Lock()
+		tf.pages, tf.rows, tf.free, tf.lastIns = 0, 0, nil, 0
+		tf.numCols = numCols
+		tf.mu.Unlock()
+		s.pool.dropTable(key)
+		if err := tf.file.Truncate(0); err != nil {
+			return nil, fmt.Errorf("disk: reset table %s: %w", key, err)
+		}
+		return tf, nil
+	}
+	path := filepath.Join(s.dir, tableFileName(key))
+	f, err := s.fs.OpenFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open table file %s: %w", path, err)
+	}
+	tf := &tableFile{
+		name:          key,
+		fileName:      path,
+		file:          f,
+		numCols:       numCols,
+		pendingRepair: map[uint32]bool{},
+	}
+	if s.attachMode {
+		size, err := s.fs.Stat(path)
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("disk: stat table file %s: %w", path, err)
+		}
+		ps := int64(s.opts.PageSize)
+		tf.pages = (size + ps - 1) / ps // free map and row count rebuilt by recovery
+	} else {
+		s.pool.dropTable(key)
+		if err := f.Truncate(0); err != nil {
+			return nil, fmt.Errorf("disk: truncate table file %s: %w", path, err)
+		}
+	}
+	s.tables[key] = tf
+	return tf, nil
+}
+
+// DropTableData removes a table's binding and deletes its page file.
+// The engine calls it after a DROP TABLE commits (and during replay of
+// one).
+func (s *Store) DropTableData(name string) error {
+	key := strings.ToUpper(name)
+	s.mu.Lock()
+	tf := s.tables[key]
+	delete(s.tables, key)
+	s.mu.Unlock()
+	if tf == nil {
+		return nil
+	}
+	s.pool.dropTable(key)
+	if err := tf.file.Close(); err != nil {
+		return fmt.Errorf("disk: close %s: %w", tf.fileName, err)
+	}
+	if err := s.fs.Remove(tf.fileName); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("disk: remove %s: %w", tf.fileName, err)
+	}
+	return nil
+}
+
+func (s *Store) table(name string) *tableFile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[strings.ToUpper(name)]
+}
+
+// ---------------------------------------------------------------------
+// Page access
+
+// pin returns the pinned frame for (tf, pageNo), reading the page from
+// disk on a pool miss. Callers hold tf.mu (any mode).
+func (s *Store) pin(tf *tableFile, pageNo uint32) (*frame, error) {
+	return s.pool.get(frameKey{table: tf.name, pageNo: pageNo}, s.opts.PageSize, func(buf []byte) error {
+		return s.loadPage(tf, pageNo, buf)
+	})
+}
+
+// loadPage reads one page into buf, resolving the three kinds of
+// "empty": never written (short or zero read), all-zero region, or
+// logically truncated (pageLSN below truncLSN). A checksum failure is
+// fatal in normal operation; during recovery it flags the page for
+// repair by a WAL full-page image.
+func (s *Store) loadPage(tf *tableFile, pageNo uint32, buf []byte) error {
+	off := int64(pageNo) * int64(s.opts.PageSize)
+	n, _ := tf.file.ReadAt(buf, off)
+	if n == 0 {
+		newPage(buf).init()
+		return nil
+	}
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	pg := newPage(buf)
+	if pg.dataStart() == 0 {
+		pg.init()
+		return nil
+	}
+	if pg.lsn() < tf.truncLSN {
+		pg.init()
+		return nil
+	}
+	if !pg.verify() {
+		if s.recovering {
+			tf.pendingRepair[pageNo] = true
+			pg.init()
+			return nil
+		}
+		return fmt.Errorf("disk: table %s page %d failed checksum", tf.name, pageNo)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Mutations (called via the relation handles in manager.go)
+
+func (s *Store) insertRecord(tf *tableFile, rec []byte) (storage.RID, error) {
+	maxRec := s.opts.PageSize - pageHeaderSize - slotSize
+	if len(rec) > maxRec {
+		return storage.RID{}, fmt.Errorf("disk: record of %d bytes exceeds page capacity %d", len(rec), maxRec)
+	}
+	var rid storage.RID
+	err := s.runMutation(func(st *stmt) error {
+		tf.mu.Lock()
+		defer tf.mu.Unlock()
+		pageNo := tf.choosePage(len(rec))
+		fr, err := s.pin(tf, uint32(pageNo))
+		if err != nil {
+			return err
+		}
+		pg := newPage(fr.buf)
+		slot := pg.nextSlot()
+		lsn, err := s.walAppend(tf.name, &walRecord{
+			kind: walInsert, stmtID: st.id, table: tf.name,
+			pageNo: uint32(pageNo), slot: uint32(slot), data: rec,
+		})
+		if err != nil {
+			s.pool.unpin(fr, false, 0)
+			return err
+		}
+		if ierr := pg.insertAt(slot, rec); ierr != nil {
+			// The free map guaranteed the fit; failure here is an
+			// invariant violation, and the record is already logged.
+			s.pool.unpin(fr, false, 0)
+			return fmt.Errorf("disk: free-space map out of sync on %s page %d: %w", tf.name, pageNo, ierr)
+		}
+		pg.setLSN(lsn)
+		st.wrote = true
+		tf.free[pageNo] = pg.insertCapacity()
+		tf.lastIns = pageNo
+		tf.rows++
+		s.pool.unpin(fr, true, lsn)
+		rid = storage.RID{Page: int32(pageNo), Slot: int32(slot)}
+		return nil
+	})
+	return rid, err
+}
+
+// choosePage picks a page with room for a record of n bytes, growing
+// the table when none has space. Caller holds tf.mu.
+func (tf *tableFile) choosePage(n int) int {
+	if tf.lastIns < len(tf.free) && tf.free[tf.lastIns] >= n {
+		return tf.lastIns
+	}
+	for p, avail := range tf.free {
+		if avail >= n {
+			return p
+		}
+	}
+	tf.free = append(tf.free, 0)
+	tf.pages = int64(len(tf.free))
+	return len(tf.free) - 1
+}
+
+func (s *Store) deleteRecord(tf *tableFile, rid storage.RID) error {
+	return s.runMutation(func(st *stmt) error {
+		tf.mu.Lock()
+		defer tf.mu.Unlock()
+		if rid.Page < 0 || int64(rid.Page) >= tf.pages {
+			return fmt.Errorf("disk: %s: no record %s", tf.name, rid)
+		}
+		fr, err := s.pin(tf, uint32(rid.Page))
+		if err != nil {
+			return err
+		}
+		pg := newPage(fr.buf)
+		if pg.record(int(rid.Slot)) == nil {
+			s.pool.unpin(fr, false, 0)
+			return fmt.Errorf("disk: %s: no record %s", tf.name, rid)
+		}
+		lsn, err := s.walAppend(tf.name, &walRecord{
+			kind: walDelete, stmtID: st.id, table: tf.name,
+			pageNo: uint32(rid.Page), slot: uint32(rid.Slot),
+		})
+		if err != nil {
+			s.pool.unpin(fr, false, 0)
+			return err
+		}
+		pg.delete(int(rid.Slot))
+		pg.setLSN(lsn)
+		st.wrote = true
+		tf.free[rid.Page] = pg.insertCapacity()
+		tf.rows--
+		s.pool.unpin(fr, true, lsn)
+		return nil
+	})
+}
+
+func (s *Store) updateRecord(tf *tableFile, rid storage.RID, rec []byte) error {
+	return s.runMutation(func(st *stmt) error {
+		tf.mu.Lock()
+		defer tf.mu.Unlock()
+		if rid.Page < 0 || int64(rid.Page) >= tf.pages {
+			return fmt.Errorf("disk: %s: no record %s", tf.name, rid)
+		}
+		fr, err := s.pin(tf, uint32(rid.Page))
+		if err != nil {
+			return err
+		}
+		pg := newPage(fr.buf)
+		if pg.record(int(rid.Slot)) == nil {
+			s.pool.unpin(fr, false, 0)
+			return fmt.Errorf("disk: %s: no record %s", tf.name, rid)
+		}
+		// Fit is verified before logging so a logged update always
+		// applies — here and at replay. Records are pinned to their RID
+		// (indexes and undo entries hold it), so an update that outgrows
+		// its page is rejected rather than relocated.
+		if !pg.canUpdate(int(rid.Slot), len(rec)) {
+			s.pool.unpin(fr, false, 0)
+			return fmt.Errorf("disk: %s: updated record of %d bytes does not fit in page %d", tf.name, len(rec), rid.Page)
+		}
+		lsn, err := s.walAppend(tf.name, &walRecord{
+			kind: walUpdate, stmtID: st.id, table: tf.name,
+			pageNo: uint32(rid.Page), slot: uint32(rid.Slot), data: rec,
+		})
+		if err != nil {
+			s.pool.unpin(fr, false, 0)
+			return err
+		}
+		if uerr := pg.update(int(rid.Slot), rec); uerr != nil {
+			s.pool.unpin(fr, false, 0)
+			return fmt.Errorf("disk: update after fit check failed on %s %s: %w", tf.name, rid, uerr)
+		}
+		pg.setLSN(lsn)
+		st.wrote = true
+		tf.free[rid.Page] = pg.insertCapacity()
+		s.pool.unpin(fr, true, lsn)
+		return nil
+	})
+}
+
+// restoreRecord is undo-log put-back: reinsert a record at its exact
+// original RID. Logged as a plain insert with a dictated slot.
+func (s *Store) restoreRecord(tf *tableFile, rid storage.RID, rec []byte) error {
+	return s.runMutation(func(st *stmt) error {
+		tf.mu.Lock()
+		defer tf.mu.Unlock()
+		if rid.Page < 0 || rid.Slot < 0 {
+			return fmt.Errorf("disk: %s: bad restore RID %s", tf.name, rid)
+		}
+		for int64(len(tf.free)) <= int64(rid.Page) {
+			tf.free = append(tf.free, s.opts.PageSize-pageHeaderSize-slotSize)
+		}
+		if int64(len(tf.free)) > tf.pages {
+			tf.pages = int64(len(tf.free))
+		}
+		fr, err := s.pin(tf, uint32(rid.Page))
+		if err != nil {
+			return err
+		}
+		pg := newPage(fr.buf)
+		lsn, err := s.walAppend(tf.name, &walRecord{
+			kind: walInsert, stmtID: st.id, table: tf.name,
+			pageNo: uint32(rid.Page), slot: uint32(rid.Slot), data: rec,
+		})
+		if err != nil {
+			s.pool.unpin(fr, false, 0)
+			return err
+		}
+		if ierr := pg.insertAt(int(rid.Slot), rec); ierr != nil {
+			s.pool.unpin(fr, false, 0)
+			return fmt.Errorf("disk: restore %s %s: %w", tf.name, rid, ierr)
+		}
+		pg.setLSN(lsn)
+		st.wrote = true
+		tf.free[rid.Page] = pg.insertCapacity()
+		tf.rows++
+		s.pool.unpin(fr, true, lsn)
+		return nil
+	})
+}
+
+func (s *Store) truncateTable(tf *tableFile) error {
+	return s.runMutation(func(st *stmt) error {
+		tf.mu.Lock()
+		defer tf.mu.Unlock()
+		lsn, err := s.walAppend(tf.name, &walRecord{kind: walTruncate, stmtID: st.id, table: tf.name})
+		if err != nil {
+			return err
+		}
+		st.wrote = true
+		tf.truncLSN = lsn
+		tf.pages, tf.rows, tf.free, tf.lastIns = 0, 0, nil, 0
+		s.pool.dropTable(tf.name)
+		return nil
+	})
+}
+
+func (s *Store) fetchRecord(tf *tableFile, rid storage.RID) ([]byte, bool) {
+	if rid.Page < 0 || rid.Slot < 0 {
+		return nil, false
+	}
+	tf.mu.RLock()
+	defer tf.mu.RUnlock()
+	if int64(rid.Page) >= tf.pages {
+		return nil, false
+	}
+	fr, err := s.pin(tf, uint32(rid.Page))
+	if err != nil {
+		return nil, false
+	}
+	defer s.pool.unpin(fr, false, 0)
+	rec := newPage(fr.buf).record(int(rid.Slot))
+	if rec == nil {
+		return nil, false
+	}
+	return append([]byte(nil), rec...), true
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint
+
+// Checkpoint forces a full checkpoint: all committed state becomes
+// durable in the page files and the WAL is rotated empty.
+func (s *Store) Checkpoint() error {
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointLocked runs the checkpoint protocol. Caller holds writeMu
+// (so no statement is in flight and every dirty frame is committed
+// state):
+//
+//  1. log a full-page image of every dirty frame (torn-page repair
+//     source), 2. fsync the WAL, 3. write the dirty pages back,
+//  4. truncate + fsync the data files, 5. write the catalog snapshot
+//     (tmp + rename), 6. rotate the WAL (tmp + rename).
+//
+// A crash at any point is recoverable: before step 6 the old WAL still
+// replays everything; after it, the snapshot + empty WAL are the
+// complete state.
+func (s *Store) checkpointLocked() error {
+	frames := s.pool.dirtyFrames()
+	sort.Slice(frames, func(i, j int) bool {
+		if frames[i].key.table != frames[j].key.table {
+			return frames[i].key.table < frames[j].key.table
+		}
+		return frames[i].key.pageNo < frames[j].key.pageNo
+	})
+
+	// 1. Full-page images. Sealed copies double as the write-back
+	// images in step 3.
+	imgs := make([][]byte, len(frames))
+	for i, fr := range frames {
+		img := append([]byte(nil), fr.buf...)
+		newPage(img).seal()
+		imgs[i] = img
+		if err := s.checkFault(fr.key.table, storage.FaultWALAppend); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		before := s.wal.bytes
+		_, err := s.wal.append(&walRecord{kind: walFPI, table: fr.key.table, pageNo: fr.key.pageNo, data: img})
+		if err == nil {
+			s.statWALBytes += s.wal.bytes - before
+			s.statWALRecords++
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+
+	// 2. WAL fsync: the repair images are durable before any page file
+	// is touched.
+	if err := s.walSync(""); err != nil {
+		return err
+	}
+
+	// 3. Dirty page write-back.
+	touched := map[*tableFile]bool{}
+	for i, fr := range frames {
+		tf := s.table(fr.key.table)
+		if tf == nil {
+			s.pool.clean(fr)
+			continue
+		}
+		if err := s.checkPageWrite(tf, fr.key.pageNo, imgs[i]); err != nil {
+			return err
+		}
+		off := int64(fr.key.pageNo) * int64(s.opts.PageSize)
+		if _, err := tf.file.WriteAt(imgs[i], off); err != nil {
+			return fmt.Errorf("disk: write %s page %d: %w", tf.name, fr.key.pageNo, err)
+		}
+		s.pool.clean(fr)
+		touched[tf] = true
+	}
+
+	// 4. Apply pending logical truncations physically, then fsync every
+	// touched file.
+	s.mu.Lock()
+	all := make([]*tableFile, 0, len(s.tables))
+	for _, tf := range s.tables {
+		all = append(all, tf)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	for _, tf := range all {
+		tf.mu.RLock()
+		want := tf.pages * int64(s.opts.PageSize)
+		tf.mu.RUnlock()
+		size, err := s.fs.Stat(tf.fileName)
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("disk: stat %s: %w", tf.fileName, err)
+		}
+		if size > want {
+			if err := tf.file.Truncate(want); err != nil {
+				return fmt.Errorf("disk: truncate %s: %w", tf.fileName, err)
+			}
+			touched[tf] = true
+		}
+	}
+	for _, tf := range all {
+		if !touched[tf] {
+			continue
+		}
+		if err := tf.file.Sync(); err != nil {
+			return fmt.Errorf("disk: fsync %s: %w", tf.fileName, err)
+		}
+	}
+
+	// 5. Catalog snapshot.
+	s.mu.Lock()
+	lastLSN := s.wal.nextLSN - 1
+	snapFn := s.snapshotFn
+	s.mu.Unlock()
+	var schema []byte
+	if snapFn != nil {
+		blob, err := snapFn()
+		if err != nil {
+			return fmt.Errorf("disk: snapshot catalog: %w", err)
+		}
+		schema = blob
+	}
+	blob, err := json.Marshal(snapshotFile{LastLSN: lastLSN, Schema: schema})
+	if err != nil {
+		return err
+	}
+	if err := s.writeFileAtomic(catalogFileName, blob); err != nil {
+		return err
+	}
+
+	// 6. Rotate the WAL.
+	tmp := filepath.Join(s.dir, walFileName+".tmp")
+	nf, err := s.fs.OpenFile(tmp)
+	if err != nil {
+		return fmt.Errorf("disk: rotate wal: %w", err)
+	}
+	if err := nf.Truncate(0); err != nil {
+		return fmt.Errorf("disk: rotate wal: %w", err)
+	}
+	nw, err := newWalFile(nf)
+	if err != nil {
+		return fmt.Errorf("disk: rotate wal: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		return fmt.Errorf("disk: rotate wal: %w", err)
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, walFileName)); err != nil {
+		return fmt.Errorf("disk: rotate wal: %w", err)
+	}
+	nw.nextLSN = lastLSN + 1
+	nw.syncedLSN = lastLSN
+	s.mu.Lock()
+	old := s.walFile
+	s.walFile = nf
+	s.wal = nw
+	s.commitsSinceCkpt = 0
+	s.walBytesSinceCkpt = 0
+	s.statCkpts++
+	s.snapLSN = lastLSN
+	s.mu.Unlock()
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("disk: close rotated wal: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes name under the data dir via tmp + fsync +
+// rename.
+func (s *Store) writeFileAtomic(name string, data []byte) error {
+	path := filepath.Join(s.dir, name)
+	tmp := path + ".tmp"
+	f, err := s.fs.OpenFile(tmp)
+	if err != nil {
+		return fmt.Errorf("disk: write %s: %w", name, err)
+	}
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("disk: write %s: %w", name, err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return fmt.Errorf("disk: write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("disk: write %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("disk: close %s: %w", name, err)
+	}
+	return s.fs.Rename(tmp, path)
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+
+// Recover replays the WAL against the attached page files. The engine
+// has already recreated the snapshot schema; applyDDL re-executes a
+// committed post-snapshot DDL statement (the engine defers index builds
+// until data replay is done). Recover must be called exactly once,
+// before any other use of the store.
+func (s *Store) Recover(applyDDL func(sqlText string) error) error {
+	s.attachMode = false
+	s.recovering = true
+	defer func() { s.recovering = false }()
+
+	committed := map[uint64]bool{}
+	for _, r := range s.scanned {
+		if r.kind == walCommit {
+			committed[r.stmtID] = true
+		}
+	}
+	for _, r := range s.scanned {
+		switch r.kind {
+		case walCommit:
+			// marker only
+		case walFPI:
+			if err := s.replayFPI(r); err != nil {
+				return err
+			}
+		case walDDL:
+			if !committed[r.stmtID] || r.lsn <= s.snapLSN {
+				continue
+			}
+			if err := applyDDL(string(r.data)); err != nil {
+				return fmt.Errorf("disk: replay DDL %q: %w", r.data, err)
+			}
+		case walInsert, walDelete, walUpdate, walTruncate:
+			if !committed[r.stmtID] {
+				continue
+			}
+			if err := s.replayData(r); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("disk: replaying unknown wal kind %d", r.kind)
+		}
+	}
+	s.scanned = nil
+	return s.finishRecovery()
+}
+
+// replayFPI installs a checkpoint full-page image when the on-disk page
+// is older or damaged. FPIs capture only committed state (they are
+// logged under the checkpoint quiesce), so no commit gating applies.
+func (s *Store) replayFPI(r *walRecord) error {
+	tf := s.table(r.table)
+	if tf == nil {
+		return nil // table dropped later in the log
+	}
+	if len(r.data) != s.opts.PageSize {
+		return fmt.Errorf("disk: FPI for %s page %d has %d bytes, want %d", r.table, r.pageNo, len(r.data), s.opts.PageSize)
+	}
+	img := newPage(r.data)
+	tf.mu.Lock()
+	defer tf.mu.Unlock()
+	if img.lsn() < tf.truncLSN {
+		return nil
+	}
+	fr, err := s.pin(tf, r.pageNo)
+	if err != nil {
+		return err
+	}
+	cur := newPage(fr.buf)
+	if tf.pendingRepair[r.pageNo] || cur.dataStart() == 0 || cur.lsn() < img.lsn() {
+		copy(fr.buf, r.data)
+		delete(tf.pendingRepair, r.pageNo)
+		s.pool.unpin(fr, true, img.lsn())
+	} else {
+		s.pool.unpin(fr, false, 0)
+	}
+	if int64(r.pageNo) >= tf.pages {
+		tf.pages = int64(r.pageNo) + 1
+	}
+	return nil
+}
+
+// replayData applies one committed physiological record, gated by the
+// page LSN so replay is idempotent.
+func (s *Store) replayData(r *walRecord) error {
+	tf := s.table(r.table)
+	if tf == nil {
+		return nil // table dropped later in the log
+	}
+	tf.mu.Lock()
+	defer tf.mu.Unlock()
+	if r.kind == walTruncate {
+		tf.truncLSN = r.lsn
+		tf.pages, tf.rows, tf.free, tf.lastIns = 0, 0, nil, 0
+		s.pool.dropTable(tf.name)
+		return nil
+	}
+	if tf.pendingRepair[r.pageNo] {
+		// The page is damaged; a later FPI both repairs it and carries
+		// this record's effect.
+		return nil
+	}
+	fr, err := s.pin(tf, r.pageNo)
+	if err != nil {
+		return err
+	}
+	pg := newPage(fr.buf)
+	if tf.pendingRepair[r.pageNo] {
+		// Damage detected by this very load.
+		s.pool.unpin(fr, false, 0)
+		return nil
+	}
+	if pg.lsn() >= r.lsn {
+		s.pool.unpin(fr, false, 0)
+		return nil
+	}
+	switch r.kind {
+	case walInsert:
+		if err := pg.insertAt(int(r.slot), r.data); err != nil {
+			s.pool.unpin(fr, false, 0)
+			return fmt.Errorf("disk: replay insert %s page %d slot %d: %w", r.table, r.pageNo, r.slot, err)
+		}
+	case walDelete:
+		pg.delete(int(r.slot))
+	case walUpdate:
+		if err := pg.update(int(r.slot), r.data); err != nil {
+			s.pool.unpin(fr, false, 0)
+			return fmt.Errorf("disk: replay update %s page %d slot %d: %w", r.table, r.pageNo, r.slot, err)
+		}
+	}
+	pg.setLSN(r.lsn)
+	s.pool.unpin(fr, true, r.lsn)
+	if int64(r.pageNo) >= tf.pages {
+		tf.pages = int64(r.pageNo) + 1
+	}
+	return nil
+}
+
+// finishRecovery walks every page of every table rebuilding the free
+// map and row counts, and verifies no damaged page was left without a
+// repair image.
+func (s *Store) finishRecovery() error {
+	s.mu.Lock()
+	all := make([]*tableFile, 0, len(s.tables))
+	for _, tf := range s.tables {
+		all = append(all, tf)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	for _, tf := range all {
+		tf.mu.Lock()
+		tf.rows = 0
+		tf.free = make([]int, tf.pages)
+		tf.lastIns = 0
+		for p := int64(0); p < tf.pages; p++ {
+			fr, err := s.pin(tf, uint32(p))
+			if err != nil {
+				tf.mu.Unlock()
+				return err
+			}
+			pg := newPage(fr.buf)
+			if tf.pendingRepair[uint32(p)] {
+				s.pool.unpin(fr, false, 0)
+				tf.mu.Unlock()
+				return fmt.Errorf("disk: table %s page %d is torn and no repair image was logged", tf.name, p)
+			}
+			tf.rows += int64(pg.liveCount())
+			tf.free[p] = pg.insertCapacity()
+			s.pool.unpin(fr, false, 0)
+		}
+		tf.mu.Unlock()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Shutdown
+
+// Close checkpoints (unless crashed) and closes every file handle. The
+// store is unusable afterwards.
+func (s *Store) Close() error {
+	var errs []error
+	if !s.crashed.Load() {
+		if err := s.Checkpoint(); err != nil && !errors.Is(err, ErrCrashed) {
+			errs = append(errs, err)
+		}
+	}
+	s.mu.Lock()
+	tables := make([]*tableFile, 0, len(s.tables))
+	for _, tf := range s.tables {
+		tables = append(tables, tf)
+	}
+	walFile := s.walFile
+	s.walFile = nil
+	s.mu.Unlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].name < tables[j].name })
+	for _, tf := range tables {
+		if err := tf.file.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("disk: close %s: %w", tf.fileName, err))
+		}
+	}
+	if walFile != nil {
+		if err := walFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("disk: close wal: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}

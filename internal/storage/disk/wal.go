@@ -1,0 +1,319 @@
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Write-ahead log format. The file opens with an 8-byte magic, then a
+// sequence of framed records:
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// Each payload starts with u64 lsn, u8 kind, then kind-specific fields
+// (strings are u16 length + bytes). Records are physiological redo:
+// they name a table, page and slot, so replay is idempotent under the
+// pageLSN check and independent of in-page free-space bookkeeping.
+//
+// There are no begin or abort records. A statement's changes become
+// replayable only when its commit record is on disk; recovery replays
+// exactly the record groups whose commit was found, in LSN order, and
+// everything else — aborted statements, the in-flight tail — is
+// naturally dropped.
+//
+// A torn tail (short frame, bad length, or CRC mismatch) ends replay at
+// the last intact record, which is exactly the no-steal/fsync-on-commit
+// contract: anything after the torn point was never acknowledged.
+
+var walMagic = []byte("SBWALv1\n")
+
+const (
+	walInsert   = 1 // stmtID, table, page, slot, record bytes
+	walDelete   = 2 // stmtID, table, page, slot
+	walUpdate   = 3 // stmtID, table, page, slot, record bytes
+	walTruncate = 4 // stmtID, table
+	walDDL      = 5 // stmtID, sql text
+	walCommit   = 6 // stmtID
+	walFPI      = 7 // table, page, full page image (checkpoint-only; no stmt)
+)
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	lsn    uint64
+	kind   byte
+	stmtID uint64
+	table  string
+	pageNo uint32
+	slot   uint32
+	data   []byte // record bytes (insert/update), page image (fpi), sql (ddl)
+}
+
+func (r *walRecord) encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.lsn)
+	dst = append(dst, r.kind)
+	switch r.kind {
+	case walCommit:
+		dst = binary.LittleEndian.AppendUint64(dst, r.stmtID)
+	case walTruncate:
+		dst = binary.LittleEndian.AppendUint64(dst, r.stmtID)
+		dst = appendWalString(dst, r.table)
+	case walDDL:
+		dst = binary.LittleEndian.AppendUint64(dst, r.stmtID)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.data)))
+		dst = append(dst, r.data...)
+	case walInsert, walUpdate, walDelete:
+		dst = binary.LittleEndian.AppendUint64(dst, r.stmtID)
+		dst = appendWalString(dst, r.table)
+		dst = binary.LittleEndian.AppendUint32(dst, r.pageNo)
+		dst = binary.LittleEndian.AppendUint32(dst, r.slot)
+		if r.kind != walDelete {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.data)))
+			dst = append(dst, r.data...)
+		}
+	case walFPI:
+		dst = appendWalString(dst, r.table)
+		dst = binary.LittleEndian.AppendUint32(dst, r.pageNo)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.data)))
+		dst = append(dst, r.data...)
+	default:
+		panic(fmt.Sprintf("disk: encoding unknown wal kind %d", r.kind))
+	}
+	return dst
+}
+
+func appendWalString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+var errWalTruncated = errors.New("disk: truncated wal payload")
+
+type walDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *walDecoder) u8() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, errWalTruncated
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *walDecoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.buf) {
+		return 0, errWalTruncated
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *walDecoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, errWalTruncated
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *walDecoder) u64() (uint64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, errWalTruncated
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *walDecoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if d.pos+int(n) > len(d.buf) {
+		return "", errWalTruncated
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *walDecoder) bytes() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos+int(n) > len(d.buf) {
+		return nil, errWalTruncated
+	}
+	b := append([]byte(nil), d.buf[d.pos:d.pos+int(n)]...)
+	d.pos += int(n)
+	return b, nil
+}
+
+func decodeWalRecord(payload []byte) (*walRecord, error) {
+	d := &walDecoder{buf: payload}
+	r := &walRecord{}
+	var err error
+	if r.lsn, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if r.kind, err = d.u8(); err != nil {
+		return nil, err
+	}
+	switch r.kind {
+	case walCommit:
+		r.stmtID, err = d.u64()
+	case walTruncate:
+		if r.stmtID, err = d.u64(); err == nil {
+			r.table, err = d.str()
+		}
+	case walDDL:
+		if r.stmtID, err = d.u64(); err == nil {
+			r.data, err = d.bytes()
+		}
+	case walInsert, walUpdate, walDelete:
+		if r.stmtID, err = d.u64(); err != nil {
+			break
+		}
+		if r.table, err = d.str(); err != nil {
+			break
+		}
+		if r.pageNo, err = d.u32(); err != nil {
+			break
+		}
+		if r.slot, err = d.u32(); err != nil {
+			break
+		}
+		if r.kind != walDelete {
+			r.data, err = d.bytes()
+		}
+	case walFPI:
+		if r.table, err = d.str(); err != nil {
+			break
+		}
+		if r.pageNo, err = d.u32(); err != nil {
+			break
+		}
+		r.data, err = d.bytes()
+	default:
+		return nil, fmt.Errorf("disk: unknown wal record kind %d", r.kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(payload) {
+		return nil, fmt.Errorf("disk: %d trailing bytes in wal payload", len(payload)-d.pos)
+	}
+	return r, nil
+}
+
+// walWriter appends framed records to the log file and tracks which LSN
+// prefix has been fsynced, so commits that lost the group-fsync race
+// can skip their own Sync.
+type walWriter struct {
+	f         File
+	off       int64  // append position
+	nextLSN   uint64 // LSN the next record receives
+	syncedLSN uint64 // highest LSN known durable
+
+	// I/O accounting, reported through Store.Stats.
+	bytes  int64
+	syncs  int64
+	frames int64
+}
+
+// openWalWriter positions a writer at the end of the intact record
+// prefix of f (scanned by walScan); appends after a torn tail overwrite
+// the garbage.
+func openWalWriter(f File, intactEnd int64, lastLSN uint64) *walWriter {
+	return &walWriter{f: f, off: intactEnd, nextLSN: lastLSN + 1, syncedLSN: lastLSN}
+}
+
+func newWalFile(f File) (*walWriter, error) {
+	if _, err := f.WriteAt(walMagic, 0); err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f, off: int64(len(walMagic)), nextLSN: 1}, nil
+}
+
+// append assigns the next LSN, frames and writes the record (no fsync),
+// and returns the assigned LSN.
+func (w *walWriter) append(r *walRecord) (uint64, error) {
+	r.lsn = w.nextLSN
+	payload := r.encode(nil)
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := w.f.WriteAt(frame, w.off); err != nil {
+		return 0, fmt.Errorf("disk: wal append: %w", err)
+	}
+	w.off += int64(len(frame))
+	w.bytes += int64(len(frame))
+	w.frames++
+	w.nextLSN++
+	return r.lsn, nil
+}
+
+// sync makes every appended record durable. The syncedLSN check is the
+// group-commit short-circuit: a caller whose records were already
+// covered by another caller's fsync returns without touching the disk.
+func (w *walWriter) sync(upTo uint64) error {
+	if w.syncedLSN >= upTo {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("disk: wal fsync: %w", err)
+	}
+	w.syncedLSN = w.nextLSN - 1
+	w.syncs++
+	return nil
+}
+
+// walScan reads the intact record prefix of a WAL file, returning the
+// records, the byte offset just past the last intact frame, and the
+// last LSN seen. A missing or short magic means an empty/new log. Any
+// framing damage — short header, absurd length, CRC mismatch, short or
+// undecodable payload — terminates the scan without error: that is the
+// torn tail.
+func walScan(f File, size int64) (recs []*walRecord, intactEnd int64, lastLSN uint64, err error) {
+	magic := make([]byte, len(walMagic))
+	if _, rerr := f.ReadAt(magic, 0); rerr != nil || string(magic) != string(walMagic) {
+		return nil, 0, 0, nil
+	}
+	pos := int64(len(walMagic))
+	for {
+		var hdr [8]byte
+		if _, rerr := f.ReadAt(hdr[:], pos); rerr != nil {
+			break
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if payloadLen == 0 || int64(payloadLen) > size-pos-8 {
+			break
+		}
+		payload := make([]byte, payloadLen)
+		if n, rerr := f.ReadAt(payload, pos+8); n != len(payload) {
+			_ = rerr
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break
+		}
+		rec, derr := decodeWalRecord(payload)
+		if derr != nil {
+			break
+		}
+		recs = append(recs, rec)
+		pos += 8 + int64(payloadLen)
+		lastLSN = rec.lsn
+	}
+	return recs, pos, lastLSN, nil
+}

@@ -36,14 +36,25 @@ const (
 	FaultIxInsert FaultOp = "IXINSERT" // Nth index-entry insert
 	FaultIxDelete FaultOp = "IXDELETE" // Nth index-entry delete
 	FaultIxSearch FaultOp = "IXSEARCH" // Nth entry read through an index search
+
+	// Durable-storage fault points, checked by the disk store (see
+	// internal/storage/disk). These are the crash-injection boundaries:
+	// a Fault with Crash set at one of them simulates a process kill at
+	// that exact point in the logging protocol.
+	FaultWALAppend FaultOp = "WALAPPEND" // Nth WAL record append
+	FaultWALSync   FaultOp = "WALSYNC"   // Nth WAL fsync
+	FaultPageWrite FaultOp = "PAGEWRITE" // Nth data-page write-back
 )
 
-// AllFaultOps lists every injectable operation, for schedule
-// generators.
+// AllFaultOps lists every injectable operation on the in-memory path,
+// for schedule generators.
 var AllFaultOps = []FaultOp{
 	FaultScan, FaultInsert, FaultDelete, FaultUpdate,
 	FaultIxInsert, FaultIxDelete, FaultIxSearch,
 }
+
+// CrashFaultOps lists the durable-storage crash boundaries.
+var CrashFaultOps = []FaultOp{FaultWALAppend, FaultWALSync, FaultPageWrite}
 
 // Fault is one injected failure: the (After+1)th matching operation
 // sleeps Latency (interruptibly) and then, if Err is non-empty, fails
@@ -65,6 +76,15 @@ type Fault struct {
 	Latency time.Duration
 	// Repeat keeps the fault armed after its first firing.
 	Repeat bool
+	// Crash turns the firing into a simulated process kill: check
+	// returns a *CrashError, which the disk store converts into a
+	// panic after poisoning itself. Meaningful only on the durable
+	// fault points (WALAPPEND/WALSYNC/PAGEWRITE).
+	Crash bool
+	// Torn asks the disk store to durably flush HALF of the in-flight
+	// page before crashing — the torn-page case. Meaningful only with
+	// Crash on PAGEWRITE.
+	Torn bool
 
 	seen  int64
 	fired bool
@@ -81,6 +101,27 @@ type FaultError struct {
 
 func (e *FaultError) Error() string {
 	return fmt.Sprintf("storage: injected fault: %s #%d on %s: %s", e.Op, e.N, e.Table, e.Msg)
+}
+
+// CrashError is the typed error produced by a crash-point fault. The
+// disk store panics with it after marking itself crashed; the engine's
+// panic barrier converts it into a QueryError, and the torture harness
+// then simulates the machine dying (dropping unsynced writes) and
+// reopens the directory.
+type CrashError struct {
+	Table string
+	Op    FaultOp
+	// N is the 1-based ordinal of the operation that crashed.
+	N    int64
+	Torn bool
+}
+
+func (e *CrashError) Error() string {
+	kind := "crash"
+	if e.Torn {
+		kind = "torn-page crash"
+	}
+	return fmt.Sprintf("storage: injected %s: %s #%d on %s", kind, e.Op, e.N, e.Table)
 }
 
 // CountKey identifies one per-table operation counter.
@@ -168,6 +209,17 @@ func (fi *FaultInjector) SetInterrupt(ch <-chan struct{}) {
 	fi.interrupt = ch
 }
 
+// CheckOp counts one operation and fires the first matching armed
+// fault. It is the fault point external storage implementations (the
+// disk store) call at their own boundaries; the built-in decorators
+// funnel through it too. A nil injector is a no-op.
+func (fi *FaultInjector) CheckOp(table string, op FaultOp) error {
+	if fi == nil {
+		return nil
+	}
+	return fi.check(table, op)
+}
+
 // check counts one operation and fires the first matching armed fault.
 func (fi *FaultInjector) check(table string, op FaultOp) error {
 	fi.mu.Lock()
@@ -208,6 +260,9 @@ func (fi *FaultInjector) check(table string, op FaultOp) error {
 			t.Stop()
 			return context.Canceled
 		}
+	}
+	if hit.Crash {
+		return &CrashError{Table: table, Op: op, N: n, Torn: hit.Torn}
 	}
 	if errText == "" {
 		return nil

@@ -251,48 +251,112 @@ func CompareKeys(a, b datum.Row) int {
 // ---------------------------------------------------------------------
 // Registries (the extension architecture)
 
+// DuplicateError reports an attempt to register a storage manager or
+// access method under a name that is already taken. Extensions must
+// pick distinct names; replacing a live manager would silently reroute
+// every table that recorded the old name in the catalog.
+type DuplicateError struct {
+	Kind string // "storage manager" or "access method"
+	Name string
+}
+
+// Error implements error.
+func (e *DuplicateError) Error() string {
+	return fmt.Sprintf("storage: %s %q already registered", e.Kind, e.Name)
+}
+
 // Registry holds the storage managers and access methods known to one
 // database instance.
 type Registry struct {
-	mu      sync.RWMutex
-	mgrs    map[string]StorageManager
-	methods map[string]AccessMethod
+	mu         sync.RWMutex
+	mgrs       map[string]StorageManager
+	methods    map[string]AccessMethod
+	defaultMgr string
 }
 
 // NewRegistry returns a registry seeded with the built-in heap storage
-// manager and B-tree access method.
+// manager and B-tree access method; HEAP is the default manager.
 func NewRegistry() *Registry {
-	r := &Registry{
-		mgrs:    map[string]StorageManager{},
-		methods: map[string]AccessMethod{},
+	heap := NewHeapManager(64)
+	bt := BTreeMethod{}
+	return &Registry{
+		mgrs:       map[string]StorageManager{heap.Name(): heap},
+		methods:    map[string]AccessMethod{bt.Name(): bt},
+		defaultMgr: heap.Name(),
 	}
-	r.RegisterStorageManager(NewHeapManager(64))
-	r.RegisterAccessMethod(BTreeMethod{})
-	return r
 }
 
-// RegisterStorageManager installs a storage manager by name.
-func (r *Registry) RegisterStorageManager(m StorageManager) {
+// RegisterStorageManager installs a storage manager by name, rejecting
+// duplicates with a *DuplicateError.
+func (r *Registry) RegisterStorageManager(m StorageManager) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.mgrs[m.Name()]; ok {
+		return &DuplicateError{Kind: "storage manager", Name: m.Name()}
+	}
+	r.mgrs[m.Name()] = m
+	return nil
+}
+
+// RegisterAccessMethod installs an access method (attachment type),
+// rejecting duplicates with a *DuplicateError.
+func (r *Registry) RegisterAccessMethod(m AccessMethod) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.methods[m.Name()]; ok {
+		return &DuplicateError{Kind: "access method", Name: m.Name()}
+	}
+	r.methods[m.Name()] = m
+	return nil
+}
+
+// ReplaceStorageManager installs a manager under its name even when the
+// name is taken. This is the decoration hook: fault injection swaps a
+// registered manager for a wrapped one (and back) under the same name,
+// which duplicate rejection must not break.
+func (r *Registry) ReplaceStorageManager(m StorageManager) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.mgrs[m.Name()] = m
 }
 
-// RegisterAccessMethod installs an access method (attachment type).
-func (r *Registry) RegisterAccessMethod(m AccessMethod) {
+// ReplaceAccessMethod installs an access method under its name even
+// when the name is taken; the decoration counterpart of
+// ReplaceStorageManager.
+func (r *Registry) ReplaceAccessMethod(m AccessMethod) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.methods[m.Name()] = m
 }
 
-// StorageManager resolves a manager by name; empty name means the
-// default heap manager.
-func (r *Registry) StorageManager(name string) (StorageManager, error) {
-	if name == "" {
-		name = "HEAP"
+// SetDefaultStorageManager selects the manager an empty USING clause
+// resolves to. The named manager must be registered.
+func (r *Registry) SetDefaultStorageManager(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.mgrs[name]; !ok {
+		return fmt.Errorf("storage: unknown storage manager %q", name)
 	}
+	r.defaultMgr = name
+	return nil
+}
+
+// DefaultStorageManager reports the manager an empty USING clause
+// resolves to.
+func (r *Registry) DefaultStorageManager() string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.defaultMgr
+}
+
+// StorageManager resolves a manager by name; empty name means the
+// registry's default manager (HEAP unless reconfigured).
+func (r *Registry) StorageManager(name string) (StorageManager, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		name = r.defaultMgr
+	}
 	m, ok := r.mgrs[name]
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown storage manager %q", name)

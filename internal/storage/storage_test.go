@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -220,6 +221,60 @@ func TestRegistryDefaults(t *testing.T) {
 	}
 	if len(r.AccessMethodNames()) != 2 {
 		t.Errorf("method names = %v", r.AccessMethodNames())
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	// HEAP and BTREE are seeded; re-registering either must fail with a
+	// typed *DuplicateError, not silently overwrite — tables record the
+	// manager name in the catalog, so a swap would reroute them.
+	var dup *DuplicateError
+	if err := r.RegisterStorageManager(NewHeapManager(64)); !errors.As(err, &dup) {
+		t.Fatalf("duplicate manager: got %v, want *DuplicateError", err)
+	} else if dup.Kind != "storage manager" || dup.Name != "HEAP" {
+		t.Fatalf("duplicate manager error = %+v", dup)
+	}
+	if err := r.RegisterAccessMethod(BTreeMethod{}); !errors.As(err, &dup) {
+		t.Fatalf("duplicate method: got %v, want *DuplicateError", err)
+	} else if dup.Kind != "access method" || dup.Name != "BTREE" {
+		t.Fatalf("duplicate method error = %+v", dup)
+	}
+	// A fresh name registers fine, and only its first registration wins.
+	if err := r.RegisterAccessMethod(RTreeMethod{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterAccessMethod(RTreeMethod{}); !errors.As(err, &dup) {
+		t.Fatalf("second RTREE registration: got %v", err)
+	}
+	// Replace* is the sanctioned in-place swap (fault decoration).
+	before, _ := r.StorageManager("HEAP")
+	r.ReplaceStorageManager(NewHeapManager(64))
+	after, err := r.StorageManager("HEAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("ReplaceStorageManager did not swap the manager")
+	}
+}
+
+func TestRegistryDefaultStorageManager(t *testing.T) {
+	r := NewRegistry()
+	if got := r.DefaultStorageManager(); got != "HEAP" {
+		t.Fatalf("initial default = %q, want HEAP", got)
+	}
+	if err := r.SetDefaultStorageManager("NOPE"); err == nil {
+		t.Fatal("setting an unregistered default must fail")
+	}
+	if err := r.RegisterStorageManager(NewFixedManager()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetDefaultStorageManager("FIXED"); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := r.StorageManager(""); err != nil || m.Name() != "FIXED" {
+		t.Fatalf("empty lookup after SetDefault: %v, %v", m, err)
 	}
 }
 

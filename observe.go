@@ -61,6 +61,14 @@ const (
 	MetricFaultsFired = "starburst_faults_fired"
 	// MetricStatementSeconds is the statement latency histogram.
 	MetricStatementSeconds = "starburst_statement_seconds"
+
+	// Durable-store gauges, registered when the DB has a data directory
+	// (see WithDataDir).
+	MetricBufferPoolHits   = "starburst_buffer_pool_hits"
+	MetricBufferPoolMisses = "starburst_buffer_pool_misses"
+	MetricWALBytes         = "starburst_wal_bytes"
+	MetricWALSyncs         = "starburst_wal_syncs"
+	MetricCheckpoints      = "starburst_checkpoints"
 )
 
 // SetTracing arms per-statement phase tracing: subsequent statements
@@ -255,6 +263,23 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 	if err != nil {
 		return nil, instr, err
 	}
+	// A DML statement against a durable DB runs inside a WAL statement
+	// group: its records replay after a crash only if the commit record
+	// below lands on disk. The defer covers panics (injected crashes,
+	// runtime faults) — an unresolved group is abandoned, never logged
+	// as committed.
+	stmtOpen := false
+	if db.store != nil && rootIsDML(compiled.Root) {
+		if err := db.store.BeginStmt(); err != nil {
+			return nil, instr, err
+		}
+		stmtOpen = true
+		defer func() {
+			if stmtOpen {
+				db.store.AbortStmt()
+			}
+		}()
+	}
 	ctx := exec.NewCtx(db.cat, params)
 	ctx.Arm(goCtx, limits)
 	db.armParallel(ctx, set)
@@ -262,6 +287,14 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 	rows, err := exec.Run(ctx, stream)
 	tr.AddPhase(obs.PhaseExec, time.Since(t0))
 	db.recordCtx(ctx, tr)
+	if stmtOpen {
+		stmtOpen = false
+		if err != nil {
+			db.store.AbortStmt()
+		} else if cerr := db.store.CommitStmt(); cerr != nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return nil, instr, err
 	}

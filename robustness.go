@@ -30,6 +30,10 @@ type (
 	FaultError = storage.FaultError
 	// FaultOp names an injectable storage operation.
 	FaultOp = storage.FaultOp
+	// CrashError is the panic value of a crash fault: the simulated
+	// process kill the recovery torture tests drive. It reaches callers
+	// wrapped in a *QueryError (Value/Unwrap).
+	CrashError = storage.CrashError
 )
 
 // The injectable storage operations, re-exported.
@@ -41,6 +45,13 @@ const (
 	FaultIxInsert = storage.FaultIxInsert
 	FaultIxDelete = storage.FaultIxDelete
 	FaultIxSearch = storage.FaultIxSearch
+	// Durability crash points (WithDataDir stores only): checked at
+	// every WAL append, around every WAL fsync, and before every
+	// checkpoint page write. With Fault.Crash set they panic with a
+	// *CrashError, poisoning the store until it is reopened.
+	FaultWALAppend = storage.FaultWALAppend
+	FaultWALSync   = storage.FaultWALSync
+	FaultPageWrite = storage.FaultPageWrite
 )
 
 // QueryError is the uniform error type of the public API: every error
@@ -178,6 +189,9 @@ func (db *DB) InjectFaults(faults ...*Fault) {
 		db.cat.AttachFaults(db.faults)
 		fi := db.faults
 		db.metrics.GaugeFunc(MetricFaultsFired, fi.Fired)
+		if db.store != nil {
+			db.store.SetFaultInjector(fi)
+		}
 	}
 	db.faults.Add(faults...)
 }
@@ -196,6 +210,9 @@ func (db *DB) DetachFaults() {
 	defer db.stmtMu.Unlock()
 	if db.faults != nil {
 		db.cat.DetachFaults()
+		if db.store != nil {
+			db.store.SetFaultInjector(nil)
+		}
 		db.faults = nil
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"repro/internal/rewrite"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/storage/disk"
 )
 
 // Re-exported core types, so DBC extensions are written against the
@@ -160,6 +161,16 @@ type DB struct {
 	// cache is the shared plan cache, nil unless WithPlanCache.
 	cache *planCache
 
+	// store is the durable disk store, nil unless WithDataDir; dataDir
+	// is its directory. openErr records a failed WithDataDir attach (or
+	// recovery) — Open cannot return an error, so every statement
+	// reports it instead. replay is non-nil only while WAL DDL replay is
+	// re-executing statements through execDDL (see durable.go).
+	store   *disk.Store
+	dataDir string
+	openErr error
+	replay  *replayState
+
 	// limits holds the default per-statement execution budgets (see
 	// SetLimits); nil means unlimited.
 	limits atomic.Pointer[exec.Limits]
@@ -269,15 +280,17 @@ func (db *DB) AddSTARAlternative(star string, alt *STARAlternative) {
 }
 
 // RegisterStorageManager installs a storage manager; tables select it
-// with CREATE TABLE ... USING <name>.
-func (db *DB) RegisterStorageManager(m StorageManager) {
-	db.cat.Storage.RegisterStorageManager(m)
+// with CREATE TABLE ... USING <name>. Registering a second manager
+// under an existing name is rejected with a *storage.DuplicateError.
+func (db *DB) RegisterStorageManager(m StorageManager) error {
+	return db.cat.Storage.RegisterStorageManager(m)
 }
 
 // RegisterAccessMethod installs an attachment type; indexes select it
-// with CREATE INDEX ... USING <name>.
-func (db *DB) RegisterAccessMethod(m AccessMethod) {
-	db.cat.Storage.RegisterAccessMethod(m)
+// with CREATE INDEX ... USING <name>. Registering a second method under
+// an existing name is rejected with a *storage.DuplicateError.
+func (db *DB) RegisterAccessMethod(m AccessMethod) error {
+	return db.cat.Storage.RegisterAccessMethod(m)
 }
 
 // RegisterOperator installs a QES executor for a DBC plan operator
@@ -316,6 +329,10 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 	defer func() { db.observe(o, phase, err) }()
 	defer func() { err = wrapQueryError(phase, err) }()
 	defer recoverQueryError(&phase, &err)
+	if db.openErr != nil {
+		phase = "open"
+		return nil, db.openErr
+	}
 
 	var tr *obs.Trace
 	if set.tracing || db.slowNanos.Load() > 0 {
@@ -376,7 +393,7 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 		phase = "ddl"
 		db.stmtMu.Lock()
 		defer db.stmtMu.Unlock()
-		return db.execDDL(stmt)
+		return db.execDDLDurable(stmt, query)
 	default:
 		_ = s
 	}
@@ -457,6 +474,10 @@ func (db *DB) prepare(query string, snap func() settings) (st *Stmt, err error) 
 	phase := "parse"
 	defer func() { err = wrapQueryError(phase, err) }()
 	defer recoverQueryError(&phase, &err)
+	if db.openErr != nil {
+		phase = "open"
+		return nil, db.openErr
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
