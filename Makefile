@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-json fmt race check faults torture bench bench-compare obs api
+.PHONY: all build test vet lint lint-json fmt race check faults torture bench bench-compare obs introspect api
 
 all: check
 
@@ -25,9 +25,11 @@ race:
 # writes, the context-first statement core) plus the call-graph
 # concurrency contracts: lock-discipline over the starburst:locks
 # annotations, goroutine-hygiene (joined goroutines, select-guarded
-# sends), error-discard (Close/IterErr/Rollback propagation), and
-# budget-tick (row loops charge the execution budget). Findings are
-# suppressible only with a justified //lint:ignore.
+# sends), error-discard (Close/IterErr/Rollback propagation),
+# budget-tick (row loops charge the execution budget), and wait-event
+# (starburst:waits-annotated blocking sites must record the declared
+# wait events). Findings are suppressible only with a justified
+# //lint:ignore.
 lint:
 	$(GO) run ./cmd/starburst-lint ./...
 	$(GO) test ./cmd/starburst-lint -count=1
@@ -73,21 +75,33 @@ torture:
 	$(GO) test ./ -count=1 -race -run 'TestCrashRecoveryTorture|TestCrashedStoreRefusesWork|TestDataDir|TestEngineCorpusOnDisk|TestAccessMethod'
 	$(GO) test ./internal/storage/disk -count=1 -race
 
-# bench records the Figure-1 phase, parallel-execution, plan-cache and
-# disk-storage benchmarks as JSON for the perf trajectory across PRs.
-bench:
-	BENCH_JSON=BENCH_PR7.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+# introspect runs the observability-introspection gate: the SYS virtual
+# tables end to end through the normal query pipeline (goldens, joins
+# against SYS.WAITS, DML/DDL rejection, fault- and cancel-safety
+# mid-scan), wait-event profiling attribution, statement span export,
+# the metrics # HELP conformance check, and the slow-query log with its
+# top wait events at DOP 4 under the race detector.
+introspect:
+	$(GO) test ./ -count=1 -run 'TestSys|TestSpanExport|TestWaitProfile|TestIntrospection'
+	$(GO) test ./ -count=1 -race -run 'TestSlowQueryLogWaits|TestSysConcurrent'
+	$(GO) test ./internal/obs -count=1
 
-# bench-compare regenerates BENCH_PR7.json and diffs it against the
-# PR-5 baseline, failing on a >10% serial regression of the end-to-end
-# paper query (the in-memory path must not pay for durability), a
-# parallel speedup below 2x, a batched-path alloc saving below 25%, a
-# plan-cache hit speedup below 5x, or a disk write path more than 3x
-# the heap's.
+# bench records the Figure-1 phase, parallel-execution, plan-cache,
+# disk-storage and wait-instrumentation benchmarks as JSON for the perf
+# trajectory across PRs.
+bench:
+	BENCH_JSON=BENCH_PR8.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+
+# bench-compare regenerates BENCH_PR8.json and diffs it against the
+# PR-7 baseline, failing on a >10% serial regression of the end-to-end
+# paper query (always-on statement stats and wait instrumentation must
+# stay off the hot path), a parallel speedup below 2x, a batched-path
+# alloc saving below 25%, a plan-cache hit speedup below 5x, or a disk
+# write path more than 3x the heap's.
 bench-compare: bench
-	$(GO) run ./cmd/benchcmp BENCH_PR5.json BENCH_PR7.json
+	$(GO) run ./cmd/benchcmp BENCH_PR7.json BENCH_PR8.json
 
 # check is the full gate CI runs: formatting, vet, build, race-enabled
-# tests, the lint suite (analyzers + fixture self-tests), and the
-# exported-API golden diff.
-check: fmt vet build race lint api
+# tests, the lint suite (analyzers + fixture self-tests), the
+# introspection gate, and the exported-API golden diff.
+check: fmt vet build race lint introspect api

@@ -55,6 +55,7 @@ var analyzers = []*analyzer{
 	goroutineHygieneAnalyzer,
 	errorDiscardAnalyzer,
 	budgetTickAnalyzer,
+	waitEventAnalyzer,
 }
 
 // unit is one type-checked package queued for analysis.

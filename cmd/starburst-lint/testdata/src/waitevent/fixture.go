@@ -1,0 +1,73 @@
+//lintfixture:path repro/internal/storage/waitfix
+
+// Package waitfix proves the PR-8 wait-event contract is machine
+// checked: a starburst:waits-annotated blocking site must call a wait
+// recorder and reference each declared event's constant, so the
+// annotations the profiler documentation relies on cannot silently
+// drift from what the code records.
+package waitfix
+
+// profile mirrors obs.WaitProfile: the fixture only needs a Record
+// method and event constants shaped like the real ones.
+type profile struct{}
+
+func (profile) Record(e int, nanos int64) {}
+
+const (
+	WaitExchange    = 0
+	WaitWALSync     = 1
+	WaitCancelStall = 2
+)
+
+// syncLog pretends to fsync the log and records the stall: annotation
+// and recording agree, so the rule stays silent.
+//
+// starburst:waits WAL_SYNC
+func syncLog(p profile) {
+	p.Record(WaitWALSync, 1)
+}
+
+// inClosure records from a flush closure, like the exchange producers
+// do; the lexical body scan must see through function literals.
+//
+// starburst:waits EXCHANGE
+func inClosure(p profile) {
+	flush := func() { p.Record(WaitExchange, 1) }
+	flush()
+}
+
+// forgets claims to be a blocking site but never records anything.
+//
+// starburst:waits EXCHANGE
+func forgets(p profile) int { // want wait-event "records no wait event"
+	return 1
+}
+
+// mislabeled records CANCEL_STALL while its annotation says EXCHANGE.
+//
+// starburst:waits EXCHANGE
+func mislabeled(p profile) { // want wait-event "never references WaitExchange"
+	p.Record(WaitCancelStall, 1)
+}
+
+// bogus names an event class that does not exist.
+//
+// starburst:waits NOT_AN_EVENT
+func bogus(p profile) { // want wait-event "unknown wait event NOT_AN_EVENT"
+	p.Record(WaitExchange, 1)
+}
+
+// lower uses a lowercase event name, which the strict grammar rejects.
+//
+// starburst:waits exchange // want wait-event "malformed starburst:waits"
+func lower(p profile) {
+	p.Record(WaitExchange, 1)
+}
+
+// legacy is a grandfathered stub: the suppression keeps the build green
+// while documenting the debt.
+//
+// starburst:waits WAL_SYNC
+//
+//lint:ignore wait-event fixture demonstrates suppressing a grandfathered site
+func legacy() {}

@@ -14,7 +14,9 @@
 // counts, timings and memory; "\d" lists tables and views; "\io" shows
 // simulated I/O counters; "\timing" toggles elapsed-time reporting;
 // "\metrics" dumps the DB metrics registry; "\cache" shows plan-cache
-// statistics; "\q" quits.
+// statistics; "\trace on" streams each statement's span tree (phases,
+// operators, wait events) as JSON; "\q" quits. The SYS schema is
+// always available: SELECT * FROM SYS.STATEMENTS, SYS.WAITS, ...
 package main
 
 import (
@@ -120,7 +122,7 @@ func (sh *shell) runScript(script string) error {
 
 func (sh *shell) repl(in io.Reader) {
 	fmt.Fprintln(sh.out, "Starburst reproduction shell — Hydrogen statements end with ';'")
-	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \cache  \q (quit)`)
+	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \cache  \trace on|off  \q (quit)`)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -183,6 +185,12 @@ func (sh *shell) command(cmd string) (quit bool) {
 		}
 		fmt.Fprintf(sh.out, "plan cache: %d/%d entries, %d hits, %d misses, %d evictions, %d invalidations\n",
 			s.Size, s.Capacity, s.Hits, s.Misses, s.Evictions, s.Invalidations)
+	case `\trace on`:
+		sh.db.SetSpanExporter(sh.exportSpan)
+		fmt.Fprintln(sh.out, "statement trace export is on")
+	case `\trace off`, `\trace`:
+		sh.db.SetSpanExporter(nil)
+		fmt.Fprintln(sh.out, "statement trace export is off")
 	default:
 		fmt.Fprintln(sh.out, "unknown command", cmd)
 	}
@@ -207,6 +215,24 @@ func (sh *shell) describe() {
 		v, _ := cat.View(name)
 		fmt.Fprintf(sh.out, "view %s AS %s\n", name, v.Text)
 	}
+	for _, name := range cat.SystemTableNames() {
+		t, _ := cat.Table(name)
+		var cols []string
+		for _, c := range t.Cols {
+			cols = append(cols, c.Name)
+		}
+		fmt.Fprintf(sh.out, "system table %s (%s)\n", name, strings.Join(cols, ", "))
+	}
+}
+
+// exportSpan is the \trace sink: one JSON document per statement.
+func (sh *shell) exportSpan(span *starburst.StatementSpan) {
+	data, err := span.JSON()
+	if err != nil {
+		fmt.Fprintln(sh.errOut, "trace:", err)
+		return
+	}
+	fmt.Fprintf(sh.out, "trace: %s\n", data)
 }
 
 func (sh *shell) execute(stmt string) error {

@@ -89,6 +89,7 @@ func (db *DB) attachStore(dir string, fsys disk.FS, opts disk.Options) {
 	}
 	db.store = st
 	db.dataDir = dir
+	st.SetWaitObs(db.waitProf)
 	st.SetSnapshot(db.snapshotCatalog)
 	if err := db.recoverCatalog(); err != nil {
 		db.openErr = fmt.Errorf("starburst: recover %s: %w", dir, err)
@@ -225,7 +226,9 @@ func (db *DB) snapshotCatalog() ([]byte, error) {
 	var snap snapSchema
 	for _, name := range db.cat.TableNames() {
 		t, ok := db.cat.Table(name)
-		if !ok {
+		if !ok || t.System {
+			// SYS virtual tables are re-registered at every Open, never
+			// persisted.
 			continue
 		}
 		st := snapTable{Name: t.Name, SM: t.SM}

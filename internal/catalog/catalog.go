@@ -59,6 +59,9 @@ type Table struct {
 	Rel     storage.Relation
 	Indexes []*Index
 	Stats   TableStats
+	// System marks an engine-registered introspection table (the SYS
+	// schema): read-only, excluded from user DDL, volatile.
+	System bool
 }
 
 // ColIndex resolves a column name (case-insensitive) to its ordinal, or
@@ -132,10 +135,58 @@ func New() *Catalog {
 
 func key(name string) string { return strings.ToUpper(name) }
 
+// SystemSchema is the reserved name prefix of the engine's
+// introspection tables.
+const SystemSchema = "SYS."
+
+// IsSystemName reports whether a table/view name lies in the reserved
+// SYS schema (case-insensitive).
+func IsSystemName(name string) bool { return strings.HasPrefix(key(name), SystemSchema) }
+
+// SystemObjectError is the typed error returned when a statement tries
+// to modify a system object: DML against a SYS table, or DDL that would
+// create, drop, index or re-analyze anything in the reserved schema.
+type SystemObjectError struct {
+	// Name is the system object, e.g. "SYS.STATEMENTS".
+	Name string
+	// Op is the rejected operation, e.g. "INSERT" or "DROP TABLE".
+	Op string
+}
+
+func (e *SystemObjectError) Error() string {
+	return fmt.Sprintf("catalog: %s is a system object: %s is not allowed", e.Name, e.Op)
+}
+
+// checkNotSystem rejects user operations on reserved names.
+func checkNotSystem(name, op string) error {
+	if IsSystemName(name) {
+		return &SystemObjectError{Name: key(name), Op: op}
+	}
+	return nil
+}
+
 // CreateTable creates a table under the named storage manager (empty
 // for the default heap).
 // starburst:locks db.stmtMu:write
 func (c *Catalog) CreateTable(name string, cols []Column, smName string) (*Table, error) {
+	if err := checkNotSystem(name, "CREATE TABLE"); err != nil {
+		return nil, err
+	}
+	return c.createTable(name, cols, smName, false)
+}
+
+// CreateSystemTable registers one table of the engine's SYS
+// introspection schema. It is the only path that may create tables
+// under the reserved prefix; the resulting table is marked System so
+// DML and user DDL reject it with a SystemObjectError.
+func (c *Catalog) CreateSystemTable(name string, cols []Column, smName string) (*Table, error) {
+	if !IsSystemName(name) {
+		return nil, fmt.Errorf("catalog: system table %s must live in the %s schema", name, SystemSchema)
+	}
+	return c.createTable(name, cols, smName, true)
+}
+
+func (c *Catalog) createTable(name string, cols []Column, smName string, system bool) (*Table, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("catalog: table %s needs at least one column", name)
 	}
@@ -164,7 +215,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, smName string) (*Table
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{Name: strings.ToUpper(name), Cols: cols, SM: sm.Name(), Rel: rel}
+	t := &Table{Name: strings.ToUpper(name), Cols: cols, SM: sm.Name(), Rel: rel, System: system}
 	t.Stats.ColCard = make([]int64, len(cols))
 	t.Stats.ColMin = make([]datum.Value, len(cols))
 	t.Stats.ColMax = make([]datum.Value, len(cols))
@@ -176,6 +227,9 @@ func (c *Catalog) CreateTable(name string, cols []Column, smName string) (*Table
 // DropTable removes a table and its attachments.
 // starburst:locks db.stmtMu:write
 func (c *Catalog) DropTable(name string) error {
+	if err := checkNotSystem(name, "DROP TABLE"); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.tables[key(name)]; !ok {
@@ -194,13 +248,32 @@ func (c *Catalog) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
-// TableNames lists tables, sorted.
+// TableNames lists user tables, sorted. System (SYS.*) tables are
+// listed by SystemTableNames instead: they snapshot live engine state,
+// so dump/compare tooling iterating TableNames must not see them.
 func (c *Catalog) TableNames() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []string
 	for _, t := range c.tables {
+		if t.System {
+			continue
+		}
 		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SystemTableNames lists the SYS virtual tables, sorted.
+func (c *Catalog) SystemTableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for _, t := range c.tables {
+		if t.System {
+			out = append(out, t.Name)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -209,6 +282,9 @@ func (c *Catalog) TableNames() []string {
 // CreateView records a view definition.
 // starburst:locks db.stmtMu:write
 func (c *Catalog) CreateView(name string, colNames []string, text string) error {
+	if err := checkNotSystem(name, "CREATE VIEW"); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -260,6 +336,9 @@ func (c *Catalog) ViewNames() []string {
 // method (empty for B-tree) and backfills it from existing records.
 // starburst:locks db.stmtMu:write
 func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method string, unique bool) (*Index, error) {
+	if err := checkNotSystem(tableName, "CREATE INDEX"); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t, ok := c.tables[key(tableName)]
@@ -329,6 +408,9 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method 
 // DropIndex removes an attachment.
 // starburst:locks db.stmtMu:write
 func (c *Catalog) DropIndex(tableName, name string) error {
+	if err := checkNotSystem(tableName, "DROP INDEX"); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t, ok := c.tables[key(tableName)]
@@ -437,6 +519,11 @@ func (c *Catalog) Update(t *Table, rid storage.RID, newRow datum.Row) error {
 //
 // starburst:locks db.stmtMu:write
 func (c *Catalog) Analyze(t *Table) error {
+	if t.System {
+		// Statistics over a SYS snapshot would be stale by the next
+		// statement; the optimizer costs them from live RowCount instead.
+		return &SystemObjectError{Name: t.Name, Op: "ANALYZE"}
+	}
 	n := len(t.Cols)
 	distinct := make([]map[string]bool, n)
 	mins := make([]datum.Value, n)

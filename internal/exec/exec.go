@@ -16,6 +16,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/datum"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -67,6 +68,12 @@ type Ctx struct {
 	// par, when set, receives parallel-execution telemetry (worker
 	// lifecycle, batch sizes, backpressure) for the obs layer.
 	par *ParallelObs
+	// waitProf/waits receive wait-event durations from the statement's
+	// blocking sites (exchange backpressure, cancellation stalls): the
+	// DB-wide profile and the per-statement attribution set. Both are
+	// nil-safe and shared by every worker child.
+	waitProf *obs.WaitProfile
+	waits    *obs.WaitSet
 }
 
 // NewCtx returns an execution context.
@@ -102,6 +109,23 @@ func (c *Ctx) batchLen() int {
 
 // SetParallelObs installs the parallel-execution telemetry hooks.
 func (c *Ctx) SetParallelObs(p *ParallelObs) { c.par = p }
+
+// SetWaits installs the wait-event accumulators: the DB-wide profile
+// and the per-statement set. Either may be nil.
+func (c *Ctx) SetWaits(p *obs.WaitProfile, s *obs.WaitSet) {
+	c.waitProf = p
+	c.waits = s
+}
+
+// recordWait charges one wait that began at start to both accumulators.
+func (c *Ctx) recordWait(e obs.WaitEvent, start time.Time) {
+	if c.waitProf == nil && c.waits == nil {
+		return
+	}
+	d := time.Since(start).Nanoseconds()
+	c.waitProf.Record(e, d)
+	c.waits.Record(e, d)
+}
 
 // child derives a worker context for one exchange worker: it shares
 // the catalog, parameters, cancellation, limits and — critically — the

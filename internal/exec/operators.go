@@ -862,7 +862,11 @@ func (g *groupOp) Open(ctx *Ctx) (err error) {
 		return gs
 	}
 	if err := g.input.Open(ctx); err != nil {
-		return err
+		// Close even after a failed Open: the input subtree may have
+		// opened children (and their storage iterators) before failing,
+		// and groupOp.Close does not cascade — the input's lifetime ends
+		// inside this Open on every path.
+		return errors.Join(err, g.input.Close(ctx))
 	}
 	defer func() { err = errors.Join(err, g.input.Close(ctx)) }()
 	ec := ctx.exprCtx()

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/datum"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -367,6 +369,7 @@ func (p *repartPool) start(ctx *Ctx, par bool) error {
 
 // produce drains one producer clone, routing rows into per-partition
 // outboxes flushed at batch granularity.
+// starburst:waits EXCHANGE
 func (p *repartPool) produce(ctx *Ctx, ps Stream) (err error) {
 	if err := ps.Open(ctx); err != nil {
 		return errors.Join(err, ps.Close(ctx))
@@ -389,10 +392,13 @@ func (p *repartPool) produce(ctx *Ctx, ps Stream) (err error) {
 		default:
 			ctx.par.backpressure()
 		}
+		start := time.Now()
 		select {
 		case p.chans[i] <- b:
+			ctx.recordWait(obs.WaitExchange, start)
 			return true
 		case <-p.done:
+			ctx.recordWait(obs.WaitExchange, start)
 			return false
 		}
 	}
@@ -428,6 +434,7 @@ func (p *repartPool) produce(ctx *Ctx, ps Stream) (err error) {
 // stop tears down a generation: unblocks and waits out producers, then
 // resets so the next Open can start fresh (exchange subtrees must stay
 // re-runnable like every other operator).
+// starburst:waits CANCEL_STALL
 func (p *repartPool) stop(ctx *Ctx) error {
 	p.mu.Lock()
 	if !p.started {
@@ -443,10 +450,17 @@ func (p *repartPool) stop(ctx *Ctx) error {
 		if done != nil {
 			close(done)
 		}
+		stalled := ctx.doneSignaled()
+		start := time.Now()
 		p.wg.Wait()
 		for _, ch := range chans {
 			for range ch {
 			}
+		}
+		if stalled {
+			// The statement was cancelled (or terminated early) and had to
+			// wait here for its producers to notice and drain.
+			ctx.recordWait(obs.WaitCancelStall, start)
 		}
 	}
 	p.mu.Lock()
@@ -660,6 +674,7 @@ func (g *gatherOp) Open(ctx *Ctx) error {
 
 // runWorker opens one worker clone, drains it batchwise into the merge
 // channel (unordered) or its private run (ordered), and closes it.
+// starburst:waits EXCHANGE
 func (g *gatherOp) runWorker(ctx *Ctx, i int, w Stream) (err error) {
 	if err := w.Open(ctx); err != nil {
 		return errors.Join(err, w.Close(ctx))
@@ -687,9 +702,12 @@ func (g *gatherOp) runWorker(ctx *Ctx, i int, w Stream) (err error) {
 				case g.batches <- out:
 				default:
 					ctx.par.backpressure()
+					start := time.Now()
 					select {
 					case g.batches <- out:
+						ctx.recordWait(obs.WaitExchange, start)
 					case <-g.done:
+						ctx.recordWait(obs.WaitExchange, start)
 						return nil
 					}
 				}
@@ -833,17 +851,24 @@ func (g *gatherOp) nextMerge() (datum.Row, bool, error) {
 	return row, true, nil
 }
 
+// Close joins the worker goroutines and drains the merge channel.
+// starburst:waits CANCEL_STALL
 func (g *gatherOp) Close(ctx *Ctx) (err error) {
 	if g.parallel {
 		if g.done != nil {
 			close(g.done)
 			g.done = nil
 		}
+		stalled := ctx.doneSignaled()
+		start := time.Now()
 		g.wg.Wait()
 		if g.batches != nil {
 			for range g.batches {
 			}
 			g.batches = nil
+		}
+		if stalled {
+			ctx.recordWait(obs.WaitCancelStall, start)
 		}
 		g.failedMu.Lock()
 		if g.failed != nil && !g.delivered {

@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Spans renders one instrumented execution as an obs.Span tree mirroring
+// the plan: one "operator" span per plan node (duration = cumulative
+// wall time, children included, the nesting flamegraphs expect), with
+// the operator's open/next-loop/close call split as "call" child spans
+// followed by the input operators' spans. Nodes that were never built
+// (e.g. the unchosen arm of a CHOOSE) appear with zero duration and a
+// not_executed attribute.
+func (in *Instrumentation) Spans(root *plan.Node) *obs.Span {
+	if in == nil || root == nil {
+		return nil
+	}
+	return in.spanOf(root)
+}
+
+func (in *Instrumentation) spanOf(n *plan.Node) *obs.Span {
+	name := n.Op
+	if n.Table != nil {
+		name += "(" + n.Table.Name + ")"
+	}
+	s := &obs.Span{Name: name, Kind: "operator"}
+	if st := in.OpStats(n); st != nil {
+		s.DurNanos = st.TotalNanos()
+		s.Attrs = map[string]string{
+			"rows":    strconv.FormatInt(st.Rows, 10),
+			"self_ns": strconv.FormatInt(in.SelfNanos(n), 10),
+		}
+		if k := in.Kind(n); k != "" {
+			s.Attrs["operator"] = k
+		}
+		if st.MemHighWater > 0 {
+			s.Attrs["mem_high_water"] = strconv.FormatInt(st.MemHighWater, 10)
+		}
+		if st.CacheHits+st.CacheMisses > 0 {
+			s.Attrs["cache_hits"] = strconv.FormatInt(st.CacheHits, 10)
+			s.Attrs["cache_misses"] = strconv.FormatInt(st.CacheMisses, 10)
+		}
+		if len(st.WorkerRows) > 0 {
+			workers := ""
+			for i, r := range st.WorkerRows {
+				if i > 0 {
+					workers += ","
+				}
+				workers += strconv.FormatInt(r, 10)
+			}
+			s.Attrs["worker_rows"] = workers
+		}
+		s.Children = append(s.Children,
+			&obs.Span{Name: "open", Kind: "call", DurNanos: st.OpenNanos,
+				Attrs: map[string]string{"calls": strconv.FormatInt(st.Opens, 10)}},
+			&obs.Span{Name: "next", Kind: "call", DurNanos: st.NextNanos,
+				Attrs: map[string]string{"calls": strconv.FormatInt(st.Nexts, 10)}},
+			&obs.Span{Name: "close", Kind: "call", DurNanos: st.CloseNanos,
+				Attrs: map[string]string{"calls": strconv.FormatInt(st.Closes, 10)}},
+		)
+	} else {
+		s.Attrs = map[string]string{"not_executed": "true"}
+	}
+	for _, c := range n.Inputs {
+		s.Children = append(s.Children, in.spanOf(c))
+	}
+	return s
+}

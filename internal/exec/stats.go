@@ -223,6 +223,21 @@ func operatorKind(s Stream) string {
 	return fmt.Sprintf("%T", s)
 }
 
+// MemHighWater returns the largest per-operator memory high-water mark
+// observed during the instrumented execution; 0 when uninstrumented.
+func (in *Instrumentation) MemHighWater() int64 {
+	if in == nil {
+		return 0
+	}
+	var hw int64
+	for _, st := range in.stats {
+		if st.MemHighWater > hw {
+			hw = st.MemHighWater
+		}
+	}
+	return hw
+}
+
 // SelfNanos is an operator's exclusive wall time: its cumulative time
 // minus its plan children's, clamped at zero (timer granularity can
 // make the difference slightly negative).

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionConformance parses WriteTo output line by line against
+// the exposition-format contract: every line is a # HELP comment, a
+// # TYPE comment, or a sample; HELP immediately precedes its TYPE;
+// every sample belongs to the most recently declared family; and no
+// family is declared twice.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("a_total", "statements executed, total")
+	r.Counter("a_total").Inc()
+	r.Describe("b_total", "errors with a\nnewline and a \\ backslash")
+	r.CounterWith("b_total", "phase", "exec").Add(3)
+	r.Describe("g", "a gauge")
+	r.Gauge("g").Set(-1)
+	r.Describe("h_seconds", "latency")
+	r.Histogram("h_seconds", DefaultLatencyBuckets).Observe(0.2)
+	r.Counter("undescribed_total").Inc() // no HELP line is fine; TYPE is mandatory
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	helpRe := regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.+)$`)
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [0-9.eE+-]+(Inf)?$`)
+
+	declared := map[string]bool{}
+	var pendingHelp, family string
+	sawHelp := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := helpRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			if strings.ContainsAny(m[2], "\n") {
+				t.Fatalf("unescaped newline in HELP: %q", line)
+			}
+			pendingHelp = m[1]
+			sawHelp[m[1]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if declared[m[1]] {
+				t.Fatalf("family %s declared twice", m[1])
+			}
+			declared[m[1]] = true
+			if pendingHelp != "" && pendingHelp != m[1] {
+				t.Fatalf("HELP for %s not followed by its TYPE (got %s)", pendingHelp, m[1])
+			}
+			pendingHelp = ""
+			family = m[1]
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("unparseable sample line: %q", line)
+			}
+			// Histogram samples carry the family name plus a suffix.
+			if !strings.HasPrefix(m[1], family) {
+				t.Fatalf("sample %s outside its family block (current family %s)", m[1], family)
+			}
+		}
+	}
+	for _, name := range []string{"a_total", "b_total", "g", "h_seconds"} {
+		if !sawHelp[name] {
+			t.Errorf("described metric %s emitted no # HELP line", name)
+		}
+		if !declared[name] {
+			t.Errorf("metric %s emitted no # TYPE line", name)
+		}
+	}
+	// The escaped HELP text must round-trip the newline and backslash.
+	if !strings.Contains(b.String(), `errors with a\nnewline and a \\ backslash`) {
+		t.Errorf("HELP escaping drifted:\n%s", b.String())
+	}
+}
+
+// TestServerShutdown: graceful shutdown drains and closes the listener;
+// a second shutdown is a no-op error-wise.
+func TestServerShutdown(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up").Inc()
+	s, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+	if err := s.Shutdown(ctx); err != nil && !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -20,6 +21,7 @@ type Registry struct {
 	gauges     map[metricKey]*Gauge
 	gaugeFuncs map[string]func() int64
 	hists      map[string]*Histogram
+	help       map[string]string
 }
 
 // metricKey identifies one metric series: a name plus an optional
@@ -35,8 +37,22 @@ func NewRegistry() *Registry {
 		gauges:     map[metricKey]*Gauge{},
 		gaugeFuncs: map[string]func() int64{},
 		hists:      map[string]*Histogram{},
+		help:       map[string]string{},
 	}
 }
+
+// Describe attaches a one-line description to a metric name; WriteTo
+// emits it as the metric's # HELP line. Call it once when the metric is
+// created; re-describing a name replaces the text.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}
+
+// helpEscaper applies the Prometheus HELP escaping rules (backslash and
+// newline; HELP text does not escape quotes).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
 
 // Counter is a monotonically increasing metric.
 type Counter struct {
@@ -184,6 +200,67 @@ func (r *Registry) CounterValue(name, label, value string) int64 {
 	return c.Value()
 }
 
+// Sample is one metric series value in a registry snapshot, the row
+// format of the SYS.METRICS virtual table. Histograms expand into one
+// sample per bucket (Kind "histogram_bucket", Label "le") plus their
+// _sum and _count.
+type Sample struct {
+	Name       string
+	Kind       string // counter | gauge | histogram_bucket | histogram_sum | histogram_count
+	Label      string
+	LabelValue string
+	Value      float64
+	Help       string
+}
+
+// Snapshot dumps every metric series, sorted by name then label value,
+// in the same order WriteTo renders them.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	var out []Sample
+	for k, c := range r.counters {
+		out = append(out, Sample{Name: k.name, Kind: "counter", Label: k.label,
+			LabelValue: k.value, Value: float64(c.Value()), Help: r.help[k.name]})
+	}
+	for k, g := range r.gauges {
+		out = append(out, Sample{Name: k.name, Kind: "gauge", Label: k.label,
+			LabelValue: k.value, Value: float64(g.Value()), Help: r.help[k.name]})
+	}
+	for name, fn := range r.gaugeFuncs {
+		out = append(out, Sample{Name: name, Kind: "gauge",
+			Value: float64(fn()), Help: r.help[name]})
+	}
+	for name, h := range r.hists {
+		ht := r.help[name]
+		h.mu.Lock()
+		var run int64
+		for i, b := range h.bounds {
+			run += h.buckets[i]
+			out = append(out, Sample{Name: name, Kind: "histogram_bucket", Label: "le",
+				LabelValue: strconv.FormatFloat(b, 'g', -1, 64), Value: float64(run), Help: ht})
+		}
+		out = append(out, Sample{Name: name, Kind: "histogram_bucket", Label: "le",
+			LabelValue: "+Inf", Value: float64(h.count), Help: ht})
+		out = append(out, Sample{Name: name, Kind: "histogram_sum", Value: h.sum, Help: ht})
+		out = append(out, Sample{Name: name, Kind: "histogram_count", Value: float64(h.count), Help: ht})
+		h.mu.Unlock()
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].LabelValue < out[j].LabelValue
+	})
+	return out
+}
+
 // WriteTo renders every metric in the Prometheus text exposition
 // format, sorted by name then label value, with # TYPE headers.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
@@ -226,6 +303,10 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		h.mu.Unlock()
 		hists = append(hists, hs)
 	}
+	help := make(map[string]string, len(r.help))
+	for name, text := range r.help {
+		help[name] = text
+	}
 	r.mu.Unlock()
 
 	var total int64
@@ -240,6 +321,11 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if h := help[name]; h != "" {
+			if err := emit("# HELP %s %s\n", name, helpEscaper.Replace(h)); err != nil {
+				return total, err
+			}
+		}
 		if err := emit("# TYPE %s %s\n", name, typ[name]); err != nil {
 			return total, err
 		}
@@ -264,6 +350,11 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	}
 	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 	for _, h := range hists {
+		if ht := help[h.name]; ht != "" {
+			if err := emit("# HELP %s %s\n", h.name, helpEscaper.Replace(ht)); err != nil {
+				return total, err
+			}
+		}
 		if err := emit("# TYPE %s histogram\n", h.name); err != nil {
 			return total, err
 		}

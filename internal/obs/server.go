@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler serves the registry at /metrics (Prometheus text format) and
@@ -43,5 +45,30 @@ func StartServer(addr string, r *Registry) (*Server, error) {
 // Addr reports the bound address, for addr ":0" callers.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the listener down.
+// DefaultShutdownTimeout bounds a graceful Shutdown when the caller's
+// context carries no deadline of its own.
+const DefaultShutdownTimeout = 5 * time.Second
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections and waits for in-flight scrapes to finish, up to the
+// context's deadline (DefaultShutdownTimeout is applied when ctx has
+// none). On deadline it falls back to Close, the hard stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultShutdownTimeout)
+		defer cancel()
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		closeErr := s.srv.Close()
+		if closeErr != nil && err == context.DeadlineExceeded {
+			return closeErr
+		}
+		return err
+	}
+	return nil
+}
+
+// Close shuts the listener down immediately, aborting in-flight
+// requests; prefer Shutdown for a graceful drain.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,84 @@
+package obs
+
+import "encoding/json"
+
+// This file defines the structured statement-trace export format: a
+// per-statement span tree with the compile/execute phases from Trace,
+// one span per operator (with its open/next-loop/close split as child
+// spans), and wait events attached as annotations. The tree is plain
+// data, JSON-marshalable with the standard library, and convertible to
+// flamegraph folded-stack format by walking Children.
+
+// Span is one node of a statement span tree. Durations are cumulative
+// (a parent's duration includes its children), which is the nesting
+// flamegraph converters expect; self time is duration minus the sum of
+// child durations.
+type Span struct {
+	// Name identifies the span: the statement kind for the root, the
+	// phase name for phase spans, the operator kind (e.g. "HSJOIN") for
+	// operator spans, and "open"/"next"/"close" for an operator's
+	// call-site split.
+	Name string `json:"name"`
+	// Kind is the span class: "statement", "phase", "operator" or
+	// "call".
+	Kind     string            `json:"kind"`
+	DurNanos int64             `json:"dur_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Waits    []WaitAnnotation  `json:"waits,omitempty"`
+	Children []*Span           `json:"children,omitempty"`
+}
+
+// WaitAnnotation attaches one wait-event class total to a span.
+type WaitAnnotation struct {
+	Event   string `json:"event"`
+	Count   int64  `json:"count"`
+	Nanos   int64  `json:"total_ns"`
+	MaxNans int64  `json:"max_ns"`
+}
+
+// WaitAnnotations converts a statement wait-set snapshot into span
+// annotations.
+func WaitAnnotations(stats []WaitStat) []WaitAnnotation {
+	var out []WaitAnnotation
+	for _, st := range stats {
+		out = append(out, WaitAnnotation{
+			Event: st.Event.String(), Count: st.Count,
+			Nanos: st.Nanos, MaxNans: st.MaxNanos,
+		})
+	}
+	return out
+}
+
+// StatementSpan is the exported record for one statement: the SQL, the
+// outcome, and the span tree rooted at the statement span (phase spans
+// as children; the operator tree nested under the "execute" phase).
+type StatementSpan struct {
+	SQL          string `json:"sql"`
+	Kind         string `json:"kind"`
+	Error        string `json:"error,omitempty"`
+	PlanCacheHit bool   `json:"plan_cache_hit,omitempty"`
+	TotalNanos   int64  `json:"total_ns"`
+	Root         *Span  `json:"root"`
+}
+
+// JSON renders the statement span as a single JSON document.
+func (s *StatementSpan) JSON() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// PhaseSpans converts a Trace's phase timings into phase spans, in
+// phase order, omitting phases that never ran.
+func PhaseSpans(tr *Trace) []*Span {
+	if tr == nil {
+		return nil
+	}
+	var out []*Span
+	for p := Phase(0); p < NumPhases; p++ {
+		d := tr.Phases[p]
+		if d == 0 {
+			continue
+		}
+		out = append(out, &Span{Name: p.String(), Kind: "phase", DurNanos: int64(d)})
+	}
+	return out
+}

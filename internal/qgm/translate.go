@@ -1251,6 +1251,9 @@ func translateInsert(cat *catalog.Catalog, s *sql.InsertStmt) (*Graph, error) {
 	if !ok {
 		return nil, fmt.Errorf("qgm: unknown table %s", s.Table)
 	}
+	if tbl.System {
+		return nil, &catalog.SystemObjectError{Name: tbl.Name, Op: "INSERT"}
+	}
 	cols := make([]int, 0, len(tbl.Cols))
 	if len(s.Cols) == 0 {
 		for i := range tbl.Cols {
@@ -1374,6 +1377,9 @@ func translateUpdate(cat *catalog.Catalog, s *sql.UpdateStmt) (*Graph, error) {
 		}
 		tbl = tt
 	}
+	if tbl.System {
+		return nil, &catalog.SystemObjectError{Name: tbl.Name, Op: "UPDATE"}
+	}
 	up := t.g.NewBox(KindUpdate)
 	up.TargetTable = tbl
 	sc := newScope(nil)
@@ -1437,6 +1443,9 @@ func translateDelete(cat *catalog.Catalog, s *sql.DeleteStmt) (*Graph, error) {
 			return nil, fmt.Errorf("qgm: unknown table %s", s.Table)
 		}
 		tbl = tt
+	}
+	if tbl.System {
+		return nil, &catalog.SystemObjectError{Name: tbl.Name, Op: "DELETE"}
 	}
 	del := t.g.NewBox(KindDelete)
 	del.TargetTable = tbl

@@ -165,7 +165,13 @@ func FiringCounts(trace []Fired) map[string]int {
 func (e *Engine) Rewrite(g *qgm.Graph, opt Options) ([]Fired, error) {
 	ctx := &Context{Graph: g}
 	active := e.activeRules(opt)
-	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	// Seed the rule-order RNG lazily: only the Statistical strategy
+	// draws from it, and seeding math/rand costs ~10µs — too much to
+	// pay on every statement's rewrite phase.
+	var rng *rand.Rand
+	if opt.Strategy == Statistical {
+		rng = rand.New(rand.NewSource(opt.Seed + 1))
+	}
 	var trace []Fired
 
 	for {

@@ -130,6 +130,30 @@ func (p *Parser) ident() (string, error) {
 	return name, p.advance()
 }
 
+// qualifiedIdent consumes a possibly schema-qualified table name —
+// IDENT or IDENT "." IDENT — and returns it as the single dotted
+// catalog key (e.g. "SYS.STATEMENTS"). Only table-name positions parse
+// the qualified form; column references resolve dots as alias
+// qualifiers instead.
+func (p *Parser) qualifiedIdent() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	ok, err := p.acceptSymbol(".")
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return name, nil
+	}
+	rest, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	return name + "." + rest, nil
+}
+
 func (p *Parser) parseStatement() (Statement, error) {
 	switch {
 	case p.isKeyword("EXPLAIN"):
@@ -145,7 +169,7 @@ func (p *Parser) parseStatement() (Statement, error) {
 				// EXPLAIN ANALYZE <ident> explains the ANALYZE statement
 				// itself (no statement starts with a bare identifier);
 				// any statement keyword means EXPLAIN ANALYZE <stmt>.
-				name, err := p.ident()
+				name, err := p.qualifiedIdent()
 				if err != nil {
 					return nil, err
 				}
@@ -174,7 +198,7 @@ func (p *Parser) parseStatement() (Statement, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		name, err := p.ident()
+		name, err := p.qualifiedIdent()
 		if err != nil {
 			return nil, err
 		}
@@ -583,7 +607,7 @@ func (p *Parser) parsePrimaryTableRef() (TableRef, error) {
 		}
 		return ref, nil
 	}
-	name, err := p.ident()
+	name, err := p.qualifiedIdent()
 	if err != nil {
 		return nil, err
 	}
@@ -1196,7 +1220,7 @@ func (p *Parser) parseInsert() (Statement, error) {
 	if err := p.expect("INTO"); err != nil {
 		return nil, err
 	}
-	name, err := p.ident()
+	name, err := p.qualifiedIdent()
 	if err != nil {
 		return nil, err
 	}
@@ -1251,7 +1275,7 @@ func (p *Parser) parseUpdate() (Statement, error) {
 	if err := p.expect("UPDATE"); err != nil {
 		return nil, err
 	}
-	name, err := p.ident()
+	name, err := p.qualifiedIdent()
 	if err != nil {
 		return nil, err
 	}
@@ -1304,7 +1328,7 @@ func (p *Parser) parseDelete() (Statement, error) {
 	if err := p.expect("FROM"); err != nil {
 		return nil, err
 	}
-	name, err := p.ident()
+	name, err := p.qualifiedIdent()
 	if err != nil {
 		return nil, err
 	}
@@ -1339,7 +1363,7 @@ func (p *Parser) parseCreate() (Statement, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		name, err := p.ident()
+		name, err := p.qualifiedIdent()
 		if err != nil {
 			return nil, err
 		}
@@ -1416,7 +1440,7 @@ func (p *Parser) parseCreate() (Statement, error) {
 		if err := p.expect("ON"); err != nil {
 			return nil, err
 		}
-		table, err := p.ident()
+		table, err := p.qualifiedIdent()
 		if err != nil {
 			return nil, err
 		}
@@ -1440,7 +1464,7 @@ func (p *Parser) parseCreate() (Statement, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		name, err := p.ident()
+		name, err := p.qualifiedIdent()
 		if err != nil {
 			return nil, err
 		}
@@ -1483,7 +1507,7 @@ func (p *Parser) parseDrop() (Statement, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	name, err := p.ident()
+	name, err := p.qualifiedIdent()
 	if err != nil {
 		return nil, err
 	}
@@ -1492,7 +1516,7 @@ func (p *Parser) parseDrop() (Statement, error) {
 		if err := p.expect("ON"); err != nil {
 			return nil, err
 		}
-		ds.Table, err = p.ident()
+		ds.Table, err = p.qualifiedIdent()
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,9 @@ package disk
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // pool is the bounded buffer pool: a fixed budget of page frames keyed
@@ -25,6 +28,13 @@ type pool struct {
 	misses   int64
 	evicts   int64
 	overflow int64 // frames allocated beyond capacity
+
+	// waitProf, when set (Store.SetWaitObs, before concurrent use),
+	// receives BUFPOOL_LOAD for page reads on the miss path and
+	// BUFPOOL_WAIT for hitters blocked on another getter's in-flight
+	// load. Reads have no statement bracket, so pool waits are profiled
+	// DB-wide only, never attributed per statement.
+	waitProf *obs.WaitProfile
 }
 
 type frameKey struct {
@@ -59,6 +69,8 @@ func newPool(capacity int) *pool {
 // miss. The miss path publishes the frame before loading (so concurrent
 // getters coalesce on one read) and runs load outside the pool lock;
 // hitters wait on the ready channel before touching buf.
+//
+// starburst:waits BUFPOOL_LOAD BUFPOOL_WAIT
 func (p *pool) get(key frameKey, pageSize int, load func(buf []byte) error) (*frame, error) {
 	p.mu.Lock()
 	if fr, ok := p.frames[key]; ok {
@@ -66,7 +78,15 @@ func (p *pool) get(key frameKey, pageSize int, load func(buf []byte) error) (*fr
 		fr.ref = true
 		p.hits++
 		p.mu.Unlock()
-		<-fr.ready
+		select {
+		case <-fr.ready:
+			// Fast path: the load already finished; a pure hit pays no
+			// clock reads.
+		default:
+			start := time.Now()
+			<-fr.ready
+			p.waitProf.Record(obs.WaitBufPoolWait, time.Since(start).Nanoseconds())
+		}
 		if fr.loadErr != nil {
 			p.mu.Lock()
 			fr.pins--
@@ -84,7 +104,13 @@ func (p *pool) get(key frameKey, pageSize int, load func(buf []byte) error) (*fr
 	p.frames[key] = fr
 	p.mu.Unlock()
 
-	fr.loadErr = load(fr.buf)
+	if p.waitProf != nil {
+		start := time.Now()
+		fr.loadErr = load(fr.buf)
+		p.waitProf.Record(obs.WaitBufPoolLoad, time.Since(start).Nanoseconds())
+	} else {
+		fr.loadErr = load(fr.buf)
+	}
 	close(fr.ready)
 	if fr.loadErr != nil {
 		p.mu.Lock()

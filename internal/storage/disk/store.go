@@ -10,7 +10,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -72,6 +74,14 @@ type Store struct {
 	statWALRecords int64
 	statWALSyncs   int64
 	statCkpts      int64
+
+	// waitProf, when set, receives WAL and buffer-pool wait events
+	// (DB-wide, always on). stmtWaits additionally attributes WAL waits
+	// to the statement currently holding the write bracket — writeMu
+	// serializes writers, so one pointer is enough; reads of it race
+	// only with the engine swapping statements, hence the atomic.
+	waitProf  *obs.WaitProfile
+	stmtWaits atomic.Pointer[obs.WaitSet]
 }
 
 // Options configures a Store; zero values select defaults.
@@ -342,16 +352,51 @@ func (s *Store) crash(ce *storage.CrashError) {
 }
 
 // ---------------------------------------------------------------------
+// Wait events
+
+// SetWaitObs points WAL and buffer-pool instrumentation at a wait
+// profile. Call once right after Open, before any concurrent use.
+func (s *Store) SetWaitObs(p *obs.WaitProfile) {
+	s.waitProf = p
+	s.pool.waitProf = p
+}
+
+// SetStmtWaits attributes subsequent WAL waits to ws (pass nil to
+// detach). The engine calls this inside the statement bracket, which
+// writeMu serializes, so a single slot suffices.
+func (s *Store) SetStmtWaits(ws *obs.WaitSet) {
+	s.stmtWaits.Store(ws)
+}
+
+// recordWait charges one elapsed wait to the store-wide profile and to
+// the statement currently holding the write bracket, if any.
+func (s *Store) recordWait(e obs.WaitEvent, start time.Time) {
+	if s.waitProf == nil {
+		return
+	}
+	d := time.Since(start).Nanoseconds()
+	s.waitProf.Record(e, d)
+	s.stmtWaits.Load().Record(e, d)
+}
+
+// ---------------------------------------------------------------------
 // WAL plumbing
 
 // walAppend logs one record (no fsync) after clearing the WALAPPEND
 // fault point. Caller must not hold s.mu.
+//
+// starburst:waits WAL_APPEND
 func (s *Store) walAppend(table string, r *walRecord) (uint64, error) {
 	if err := s.checkFault(table, storage.FaultWALAppend); err != nil {
 		return 0, err
 	}
+	var start time.Time
+	if s.waitProf != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.recordWait(obs.WaitWALAppend, start)
 	before := s.wal.bytes
 	lsn, err := s.wal.append(r)
 	if err != nil {
@@ -369,6 +414,8 @@ func (s *Store) walAppend(table string, r *walRecord) (uint64, error) {
 // after the fsync: a crash in the window after the sync but before the
 // acknowledgment is exactly the "committed but never reported" case the
 // torture oracle must tolerate.
+//
+// starburst:waits WAL_SYNC
 func (s *Store) walSync(table string) error {
 	s.mu.Lock()
 	upTo := s.wal.nextLSN - 1
@@ -380,12 +427,17 @@ func (s *Store) walSync(table string) error {
 	if err := s.checkFault(table, storage.FaultWALSync); err != nil {
 		return err
 	}
+	var start time.Time
+	if s.waitProf != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	err := s.wal.sync(upTo)
 	if err == nil {
 		s.statWALSyncs++
 	}
 	s.mu.Unlock()
+	s.recordWait(obs.WaitWALSync, start)
 	if err != nil {
 		return err
 	}
@@ -419,6 +471,7 @@ func (s *Store) BeginStmt() error {
 // a checkpoint afterwards. Always releases the statement bracket.
 func (s *Store) CommitStmt() error {
 	defer s.writeMu.Unlock()
+	defer s.stmtWaits.Store(nil) // before the bracket opens to the next statement
 	s.mu.Lock()
 	st := s.curStmt
 	s.curStmt = nil
@@ -456,6 +509,7 @@ func (s *Store) CommitStmt() error {
 // the group's records never replay. Always releases the bracket.
 func (s *Store) AbortStmt() {
 	defer s.writeMu.Unlock()
+	defer s.stmtWaits.Store(nil)
 	s.mu.Lock()
 	s.curStmt = nil
 	s.mu.Unlock()

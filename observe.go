@@ -121,8 +121,11 @@ func (db *DB) slowLogger() *slog.Logger {
 }
 
 // instrumentWanted reports whether statements should run with
-// per-operator stats (needed by the armed slow-query log).
-func (db *DB) instrumentWanted() bool { return db.slowNanos.Load() > 0 }
+// per-operator stats (needed by the armed slow-query log and by the
+// operator spans of an installed span exporter).
+func (db *DB) instrumentWanted() bool {
+	return db.slowNanos.Load() > 0 || db.spanExp.Load() != nil
+}
 
 // stmtKind classifies a statement for the statements-by-kind counter.
 func stmtKind(stmt sql.Statement) string {
@@ -159,6 +162,14 @@ type observation struct {
 	trace *obs.Trace
 	instr *exec.Instrumentation
 	root  *plan.Node
+	// waits accumulates the statement's wait events; shared with every
+	// worker goroutine through exec.Ctx (nil only for untracked runs).
+	waits *obs.WaitSet
+	// rows is the statement's output size (rows affected for DML, rows
+	// returned otherwise); feeds SYS.STATEMENTS.
+	rows int64
+	// cacheHit records that the statement was served from the plan cache.
+	cacheHit bool
 }
 
 // observe records a finished statement into the metrics registry and,
@@ -176,6 +187,11 @@ func (db *DB) observe(o *observation, phase string, err error) {
 		if errors.As(err, &rerr) {
 			m.CounterWith(MetricBudgetTrips, "budget", rerr.Budget).Inc()
 		}
+	}
+	db.stmts.record(normalizeSQL(o.query), o.kind, elapsed.Nanoseconds(), o.rows,
+		o.instr.MemHighWater(), o.cacheHit, err != nil, o.waits.Snapshot())
+	if exp := db.spanExporter(); exp != nil {
+		exp(db.buildSpan(o, err, elapsed))
 	}
 	if th := db.slowNanos.Load(); th > 0 && elapsed.Nanoseconds() >= th {
 		m.Counter(MetricSlowQueries).Inc()
@@ -202,6 +218,12 @@ func (db *DB) emitSlow(o *observation, elapsed time.Duration, err error) {
 				slog.Duration("self", time.Duration(op.SelfNanos)),
 				slog.Int64("rows", op.Rows)))
 		}
+	}
+	for i, w := range o.waits.TopWaits(3) {
+		attrs = append(attrs, slog.Group(fmt.Sprintf("wait%d", i+1),
+			slog.String("event", w.Event.String()),
+			slog.Duration("total", time.Duration(w.Nanos)),
+			slog.Int64("count", w.Count)))
 	}
 	if err != nil {
 		attrs = append(attrs, slog.String("error", err.Error()))
@@ -235,7 +257,7 @@ func (db *DB) recordCtx(ctx *exec.Ctx, tr *obs.Trace) {
 // budgets and parallelism knobs, so concurrent sessions execute under
 // their own configuration.
 func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params map[string]Value,
-	tr *obs.Trace, instrument bool, set settings) (*Result, *exec.Instrumentation, error) {
+	tr *obs.Trace, instrument bool, set settings, waits *obs.WaitSet) (*Result, *exec.Instrumentation, error) {
 	if goCtx == nil {
 		goCtx = context.Background()
 	}
@@ -274,6 +296,9 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 			return nil, instr, err
 		}
 		stmtOpen = true
+		// WAL waits inside the bracket are attributed to this statement;
+		// the store detaches the wait set when the bracket resolves.
+		db.store.SetStmtWaits(waits)
 		defer func() {
 			if stmtOpen {
 				db.store.AbortStmt()
@@ -281,6 +306,7 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 		}()
 	}
 	ctx := exec.NewCtx(db.cat, params)
+	ctx.SetWaits(db.waitProf, waits)
 	ctx.Arm(goCtx, limits)
 	db.armParallel(ctx, set)
 	t0 = time.Now()
@@ -318,10 +344,14 @@ func (db *DB) explainAnalyze(goCtx context.Context, inner sql.Statement, phase *
 	}
 	o.root = compiled.Root
 	*phase = "exec"
-	res, instr, err := db.runObserved(goCtx, compiled, params, tr, true, set)
+	res, instr, err := db.runObserved(goCtx, compiled, params, tr, true, set, o.waits)
 	o.instr = instr
 	if err != nil {
 		return nil, err
+	}
+	o.rows = res.Affected
+	if o.rows == 0 {
+		o.rows = int64(len(res.Rows))
 	}
 
 	var b strings.Builder

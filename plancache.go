@@ -2,6 +2,7 @@ package starburst
 
 import (
 	"container/list"
+	"sort"
 	"strings"
 	"sync"
 
@@ -61,6 +62,9 @@ type cacheEntry struct {
 	kind string
 	// gen is the catalog version the plan compiled against.
 	gen int64
+	// hits counts lookups served by this entry (under the cache lock);
+	// surfaced per entry through SYS.PLAN_CACHE.
+	hits int64
 }
 
 // planCache is the shared, bounded LRU. All methods are safe for
@@ -120,6 +124,7 @@ func (c *planCache) get(key string, curGen int64) (*cacheEntry, bool) {
 	}
 	c.lru.MoveToFront(el)
 	c.stats.Hits++
+	e.hits++
 	c.metrics.hits.Inc()
 	return e, true
 }
@@ -166,6 +171,41 @@ func (c *planCache) reset() {
 	c.byKey = map[string]*list.Element{}
 	c.lru.Init()
 	c.stats = PlanCacheStats{Capacity: c.cap}
+}
+
+// cacheEntryInfo is one SYS.PLAN_CACHE row: the normalized statement
+// text (the key with its settings fingerprint stripped), the statement
+// kind, the catalog generation the plan compiled against, and the
+// entry's hit count.
+type cacheEntryInfo struct {
+	name string
+	kind string
+	gen  int64
+	hits int64
+}
+
+// entries snapshots every live entry, sorted by statement text then
+// kind (two sessions with different fingerprints may cache the same
+// text).
+func (c *planCache) entries() []cacheEntryInfo {
+	c.mu.Lock()
+	out := make([]cacheEntryInfo, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		name := e.key
+		if i := strings.IndexByte(name, 0); i >= 0 {
+			name = name[:i]
+		}
+		out = append(out, cacheEntryInfo{name: name, kind: e.kind, gen: e.gen, hits: e.hits})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].kind < out[j].kind
+	})
+	return out
 }
 
 // snapshot returns current cache statistics.

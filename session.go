@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rewrite"
 )
@@ -78,16 +79,41 @@ func (db *DB) cacheKey(query string, set settings) string {
 // statements concurrently; see the concurrency contract on DB.Query.
 type Session struct {
 	db *DB
+	// id identifies the session in SYS.SESSIONS.
+	id int64
 
 	mu  sync.Mutex
 	set settings
+
+	// cur is the in-flight statement text, nil when idle; stmts counts
+	// statements executed. Both feed SYS.SESSIONS.
+	cur   atomic.Pointer[string]
+	stmts atomic.Int64
 }
 
 // NewSession opens a session initialized with the DB's current default
-// settings.
+// settings. Sessions appear in SYS.SESSIONS until Closed.
 func (db *DB) NewSession() *Session {
-	return &Session{db: db, set: db.snapshot()}
+	s := &Session{db: db, set: db.snapshot()}
+	s.id = db.sessions.add(s)
+	return s
 }
+
+// ID returns the session's SYS.SESSIONS identifier.
+func (s *Session) ID() int64 { return s.id }
+
+// Close removes the session from SYS.SESSIONS. The handle stays usable
+// (statements still execute) but is no longer listed; Close is
+// idempotent.
+func (s *Session) Close() { s.db.sessions.remove(s.id) }
+
+// begin/end bracket one statement for the SYS.SESSIONS live view.
+func (s *Session) begin(query string) {
+	s.cur.Store(&query)
+	s.stmts.Add(1)
+}
+
+func (s *Session) end() { s.cur.Store(nil) }
 
 // DB returns the shared database this session is a handle on.
 func (s *Session) DB() *DB { return s.db }
@@ -102,11 +128,15 @@ func (s *Session) snapshot() settings {
 // Query parses, compiles and executes one statement under this
 // session's settings. It is the session-level twin of DB.Query.
 func (s *Session) Query(ctx context.Context, query string, params map[string]Value) (*Result, error) {
+	s.begin(query)
+	defer s.end()
 	return s.db.query(ctx, query, params, s.snapshot())
 }
 
 // Exec is Query without a context, kept for symmetry with DB.Exec.
 func (s *Session) Exec(query string, params map[string]Value) (*Result, error) {
+	s.begin(query)
+	defer s.end()
 	return s.db.query(context.Background(), query, params, s.snapshot())
 }
 

@@ -185,6 +185,17 @@ type DB struct {
 	// tracing, slow-query log (see observe.go).
 	obsState
 
+	// waitProf is the DB-wide wait-event profile; always on, feeds the
+	// STMT IS NULL rows of SYS.WAITS (see introspect.go).
+	waitProf *obs.WaitProfile
+	// stmts is the statement-statistics accumulator (SYS.STATEMENTS).
+	stmts stmtStats
+	// sessions tracks open sessions (SYS.SESSIONS).
+	sessions sessionReg
+	// spanExp is the installed statement-trace exporter, nil when span
+	// export is off (see SetSpanExporter).
+	spanExp atomic.Pointer[SpanExporter]
+
 	// Rewrite configures the query rewrite phase; the zero value runs
 	// all rule classes sequentially to fixpoint.
 	Rewrite rewrite.Options
@@ -221,9 +232,12 @@ func Open(opts ...Option) *DB {
 		builder:  exec.NewBuilder(cat),
 	}
 	db.metrics = obs.NewRegistry()
+	db.waitProf = obs.NewWaitProfile()
 	for _, opt := range opts {
 		opt(db)
 	}
+	db.registerIntrospection()
+	db.describeMetrics()
 	return db
 }
 
@@ -325,7 +339,7 @@ func (db *DB) Exec(query string, params map[string]Value) (*Result, error) {
 // folded plain errors into *QueryError.
 func (db *DB) query(goCtx context.Context, query string, params map[string]Value, set settings) (res *Result, err error) {
 	phase := "parse"
-	o := &observation{query: query, kind: "INVALID", start: time.Now()}
+	o := &observation{query: query, kind: "INVALID", start: time.Now(), waits: obs.NewWaitSet()}
 	defer func() { db.observe(o, phase, err) }()
 	defer func() { err = wrapQueryError(phase, err) }()
 	defer recoverQueryError(&phase, &err)
@@ -335,7 +349,7 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 	}
 
 	var tr *obs.Trace
-	if set.tracing || db.slowNanos.Load() > 0 {
+	if set.tracing || db.slowNanos.Load() > 0 || db.spanExp.Load() != nil {
 		tr = obs.NewTrace()
 	}
 
@@ -345,10 +359,11 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 	// move before the plan runs.
 	if db.cache != nil {
 		key := db.cacheKey(query, set)
-		db.stmtMu.RLock()
+		db.lockStmtShared(o.waits)
 		if e, ok := db.cache.get(key, db.cat.Version()); ok {
 			defer db.stmtMu.RUnlock()
 			o.kind, o.root, o.trace = e.kind, e.compiled.Root, tr
+			o.cacheHit = true
 			if tr != nil {
 				tr.PlanCacheHit = true
 			}
@@ -367,7 +382,7 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 	o.kind = stmtKind(stmt)
 	switch s := stmt.(type) {
 	case *sql.ExplainStmt:
-		db.stmtMu.RLock()
+		db.lockStmtShared(o.waits)
 		defer db.stmtMu.RUnlock()
 		if s.Analyze {
 			if tr == nil {
@@ -391,13 +406,13 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 		// the catalog changes, and the version bump inside the catalog
 		// invalidates affected plan-cache entries lazily.
 		phase = "ddl"
-		db.stmtMu.Lock()
+		db.lockStmtExcl(o.waits)
 		defer db.stmtMu.Unlock()
 		return db.execDDLDurable(stmt, query)
 	default:
 		_ = s
 	}
-	db.stmtMu.RLock()
+	db.lockStmtShared(o.waits)
 	defer db.stmtMu.RUnlock()
 	compiled, err := db.compile(stmt, &phase, tr, set)
 	if err != nil {
@@ -434,10 +449,14 @@ func cacheableKind(kind string) bool {
 // starburst:locks db.stmtMu:read
 func (db *DB) finishRun(goCtx context.Context, compiled *plan.Compiled, params map[string]Value,
 	tr *obs.Trace, o *observation, set settings) (*Result, error) {
-	res, instr, err := db.runObserved(goCtx, compiled, params, tr, false, set)
+	res, instr, err := db.runObserved(goCtx, compiled, params, tr, false, set, o.waits)
 	o.instr = instr
 	if err != nil {
 		return nil, err
+	}
+	o.rows = res.Affected
+	if o.rows == 0 {
+		o.rows = int64(len(res.Rows))
 	}
 	if set.tracing {
 		res.Trace = tr
@@ -483,7 +502,7 @@ func (db *DB) prepare(query string, snap func() settings) (st *Stmt, err error) 
 		return nil, err
 	}
 	kind := stmtKind(stmt)
-	db.stmtMu.RLock()
+	db.lockStmtShared(nil) // no statement in flight; profile-only
 	defer db.stmtMu.RUnlock()
 	var key string
 	if db.cache != nil && cacheableKind(kind) {
@@ -510,16 +529,16 @@ func (db *DB) prepare(query string, snap func() settings) (st *Stmt, err error) 
 func (s *Stmt) Query(goCtx context.Context, params map[string]Value) (res *Result, err error) {
 	set := s.snap()
 	phase := "exec"
-	o := &observation{query: s.query, kind: s.kind, start: time.Now(), root: s.compiled.Root}
+	o := &observation{query: s.query, kind: s.kind, start: time.Now(), root: s.compiled.Root, waits: obs.NewWaitSet()}
 	defer func() { s.db.observe(o, phase, err) }()
 	defer func() { err = wrapQueryError(phase, err) }()
 	defer recoverQueryError(&phase, &err)
 	var tr *obs.Trace
-	if set.tracing || s.db.slowNanos.Load() > 0 {
+	if set.tracing || s.db.slowNanos.Load() > 0 || s.db.spanExp.Load() != nil {
 		tr = obs.NewTrace()
 		o.trace = tr
 	}
-	s.db.stmtMu.RLock()
+	s.db.lockStmtShared(o.waits)
 	defer s.db.stmtMu.RUnlock()
 	return s.db.finishRun(goCtx, s.compiled, params, tr, o, set)
 }
@@ -574,7 +593,7 @@ func (db *DB) compile(stmt sql.Statement, phase *string, tr *obs.Trace, set sett
 // settings and the caller's cancellation context (see runObserved in
 // observe.go for the full path; run is the untraced shorthand).
 func (db *DB) run(goCtx context.Context, compiled *plan.Compiled, params map[string]Value) (*Result, error) {
-	res, _, err := db.runObserved(goCtx, compiled, params, nil, false, db.snapshot())
+	res, _, err := db.runObserved(goCtx, compiled, params, nil, false, db.snapshot(), nil)
 	return res, err
 }
 
