@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-json fmt race check faults torture bench bench-compare obs introspect api
+.PHONY: all build test vet lint lint-json fmt race check faults torture bench bench-compare obs introspect vectorize api
 
 all: check
 
@@ -26,10 +26,11 @@ race:
 # concurrency contracts: lock-discipline over the starburst:locks
 # annotations, goroutine-hygiene (joined goroutines, select-guarded
 # sends), error-discard (Close/IterErr/Rollback propagation),
-# budget-tick (row loops charge the execution budget), and wait-event
+# budget-tick (row loops charge the execution budget), wait-event
 # (starburst:waits-annotated blocking sites must record the declared
-# wait events). Findings are suppressible only with a justified
-# //lint:ignore.
+# wait events), and vector-boxing (columnar kernels stay unboxed and
+# respect the selection vector). Findings are suppressible only with a
+# justified //lint:ignore.
 lint:
 	$(GO) run ./cmd/starburst-lint ./...
 	$(GO) test ./cmd/starburst-lint -count=1
@@ -86,22 +87,35 @@ introspect:
 	$(GO) test ./ -count=1 -race -run 'TestSlowQueryLogWaits|TestSysConcurrent'
 	$(GO) test ./internal/obs -count=1
 
-# bench records the Figure-1 phase, parallel-execution, plan-cache,
-# disk-storage and wait-instrumentation benchmarks as JSON for the perf
-# trajectory across PRs.
-bench:
-	BENCH_JSON=BENCH_PR8.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+# vectorize runs the columnar-execution gate: the three-way
+# row == batch == columnar equivalence corpus (serial and DOP 4, under
+# the race detector), the columnar fault/cancel/budget matrix, the
+# build-engagement guard, the batch buffer-hygiene regression tests,
+# and the ColBatch unit tests.
+vectorize:
+	$(GO) test ./ -count=1 -run 'TestColumnar'
+	$(GO) test ./ -count=1 -race -run 'TestColumnarEquivalenceCorpus|TestColumnarAggregates|TestCardinalityFeedback'
+	$(GO) test ./internal/datum -count=1
+	$(GO) test ./internal/exec -count=1
 
-# bench-compare regenerates BENCH_PR8.json and diffs it against the
-# PR-7 baseline, failing on a >10% serial regression of the end-to-end
-# paper query (always-on statement stats and wait instrumentation must
-# stay off the hot path), a parallel speedup below 2x, a batched-path
-# alloc saving below 25%, a plan-cache hit speedup below 5x, or a disk
-# write path more than 3x the heap's.
+# bench records the Figure-1 phase, parallel-execution, plan-cache,
+# disk-storage, columnar-execution and cardinality-feedback benchmarks
+# as JSON for the perf trajectory across PRs.
+bench:
+	BENCH_JSON=BENCH_PR9.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+
+# bench-compare regenerates BENCH_PR9.json and diffs it against the
+# PR-8 baseline, failing on a >5% serial regression of the end-to-end
+# paper query (columnar dispatch must stay off plans it cannot help),
+# a columnar scan→filter→aggregate speedup below 1.5x over the
+# row-batch path, a parallel speedup below 2x, a batched-path alloc
+# saving below 25%, a plan-cache hit speedup below 5x, or a disk write
+# path more than 3x the heap's.
 bench-compare: bench
-	$(GO) run ./cmd/benchcmp BENCH_PR7.json BENCH_PR8.json
+	$(GO) run ./cmd/benchcmp BENCH_PR8.json BENCH_PR9.json
 
 # check is the full gate CI runs: formatting, vet, build, race-enabled
 # tests, the lint suite (analyzers + fixture self-tests), the
-# introspection gate, and the exported-API golden diff.
-check: fmt vet build race lint introspect api
+# introspection gate, the columnar-execution gate, and the
+# exported-API golden diff.
+check: fmt vet build race lint introspect vectorize api

@@ -46,6 +46,14 @@ func TestEmitBenchJSON(t *testing.T) {
 		{"HeapInsert", BenchmarkHeapInsert},
 		{"DiskScan", BenchmarkDiskScan},
 		{"HeapScan", BenchmarkHeapScan},
+		// PR-9 columnar execution: the fused scan→filter→aggregate
+		// kernels vs the row-batch path, and the cardinality-feedback
+		// loop's steady-state and replan-cycle costs.
+		{"ColScanFilterAgg", BenchmarkColScanFilterAgg},
+		{"RowScanFilterAgg", BenchmarkRowScanFilterAgg},
+		{"FeedbackOffExec", BenchmarkFeedbackOffExec},
+		{"FeedbackArmedExec", BenchmarkFeedbackArmedExec},
+		{"FeedbackReplan", BenchmarkFeedbackReplan},
 	}
 	out := map[string]map[string]int64{}
 	for _, bm := range benches {

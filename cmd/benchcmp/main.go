@@ -3,8 +3,12 @@
 // parallel-execution work:
 //
 //   - no serial regression: the end-to-end paper query (Fig1EndToEnd)
-//     in the new file must be within 10% of the old file's ns/op —
-//     adding exchanges and batching must not tax serial plans;
+//     in the new file must be within 5% of the old file's ns/op —
+//     adding exchanges, batching, and columnar dispatch must not tax
+//     serial plans;
+//   - vectorization pays: ColScanFilterAgg must run in at most 2/3 of
+//     RowScanFilterAgg's ns/op (≥1.5x on the fused
+//     scan→filter→aggregate kernels vs the row-batch path);
 //   - parallel speedup: ParallelScanDOP4 must run in at most half the
 //     ns/op of ParallelScanDOP1 (≥2x on the I/O-bound scan);
 //   - batching pays: ScanFilterProjectBatched must allocate at most
@@ -95,8 +99,16 @@ func main() {
 
 	if r := ratio(old, new, "Fig1EndToEnd", "ns_per_op"); r == 0 {
 		fail("Fig1EndToEnd missing from one of the files")
-	} else if r > 1.10 {
-		fail("serial regression: Fig1EndToEnd ns/op ratio %.2f exceeds 1.10", r)
+	} else if r > 1.05 {
+		fail("serial regression: Fig1EndToEnd ns/op ratio %.2f exceeds 1.05", r)
+	}
+
+	cs, rs := new["ColScanFilterAgg"]["ns_per_op"], new["RowScanFilterAgg"]["ns_per_op"]
+	switch {
+	case cs == 0 || rs == 0:
+		fail("ColScanFilterAgg/RowScanFilterAgg missing from %s", os.Args[2])
+	case float64(cs) > float64(rs)/1.5:
+		fail("columnar speedup below 1.5x: columnar %dns vs row %dns", cs, rs)
 	}
 
 	d1, d4 := new["ParallelScanDOP1"]["ns_per_op"], new["ParallelScanDOP4"]["ns_per_op"]
@@ -142,5 +154,5 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("ok: serial within 10%, parallel ≥2x, batched allocs ≤75%, cache hit ≥5x, disk insert ≤3x / scan ≤2x heap")
+	fmt.Println("ok: serial within 5%, columnar ≥1.5x, parallel ≥2x, batched allocs ≤75%, cache hit ≥5x, disk insert ≤3x / scan ≤2x heap")
 }

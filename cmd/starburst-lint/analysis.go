@@ -56,6 +56,7 @@ var analyzers = []*analyzer{
 	errorDiscardAnalyzer,
 	budgetTickAnalyzer,
 	waitEventAnalyzer,
+	vectorBoxingAnalyzer,
 }
 
 // unit is one type-checked package queued for analysis.

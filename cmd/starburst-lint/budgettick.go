@@ -62,9 +62,10 @@ func runBudgetTick(p *pass) {
 	}
 }
 
-// isTickCall matches method calls named tick or countRow — the budget
-// checkpoints on exec.Ctx (fixtures may declare their own Ctx; the
-// name is the contract).
+// isTickCall matches method calls named tick, tickRows, or countRow —
+// the budget checkpoints on exec.Ctx (fixtures may declare their own
+// Ctx; the name is the contract). tickRows is the batch-amortized
+// form: one call charges a whole batch of rows.
 func isTickCall(p *pass, call *ast.CallExpr) bool {
 	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -75,5 +76,5 @@ func isTickCall(p *pass, call *ast.CallExpr) bool {
 		return false
 	}
 	name := sel.Obj().Name()
-	return name == "tick" || name == "countRow"
+	return name == "tick" || name == "tickRows" || name == "countRow"
 }

@@ -34,7 +34,12 @@
 //     the module, and every storage-iterator consumer consults
 //     storage.IterErr.
 //   - budget-tick: every row-producing loop in internal/exec and
-//     internal/storage calls Ctx.tick/countRow.
+//     internal/storage calls Ctx.tick/tickRows/countRow.
+//   - wait-event: starburst:waits-annotated blocking sites must call
+//     a wait recorder and reference each declared event's constant.
+//   - vector-boxing: vector kernels (*kernel*-named functions in
+//     internal/exec) must not box per-element datum.Values and must
+//     not range raw column lanes past the selection vector.
 //
 // Findings can be suppressed with a justified directive on the same
 // line or the line above:

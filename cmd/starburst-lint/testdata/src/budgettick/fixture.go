@@ -11,8 +11,9 @@ import "repro/internal/storage"
 // tick/countRow method names.
 type Ctx struct{}
 
-func (c *Ctx) tick() error     { return nil }
-func (c *Ctx) countRow() error { return nil }
+func (c *Ctx) tick() error          { return nil }
+func (c *Ctx) tickRows(n int) error { return nil }
+func (c *Ctx) countRow() error      { return nil }
 
 func firing(ctx *Ctx, rel storage.Relation) (int64, error) {
 	n := int64(0)
@@ -38,6 +39,25 @@ func clean(ctx *Ctx, rel storage.Relation) (int64, error) {
 			break
 		}
 		if err := ctx.tick(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, storage.IterErr(it)
+}
+
+func cleanBatched(ctx *Ctx, rel storage.Relation) (int64, error) {
+	// The batch-amortized checkpoint: one tickRows call charges the
+	// whole refill.
+	n := int64(0)
+	it := rel.Scan()
+	defer it.Close()
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := ctx.tickRows(1); err != nil {
 			return n, err
 		}
 		n++

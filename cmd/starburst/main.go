@@ -122,7 +122,7 @@ func (sh *shell) runScript(script string) error {
 
 func (sh *shell) repl(in io.Reader) {
 	fmt.Fprintln(sh.out, "Starburst reproduction shell — Hydrogen statements end with ';'")
-	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \cache  \trace on|off  \q (quit)`)
+	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \cache  \trace on|off  \vectorize  \feedback  \q (quit)`)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -191,6 +191,20 @@ func (sh *shell) command(cmd string) (quit bool) {
 	case `\trace off`, `\trace`:
 		sh.db.SetSpanExporter(nil)
 		fmt.Fprintln(sh.out, "statement trace export is off")
+	case `\vectorize`:
+		sh.db.SetVectorized(!sh.db.Vectorized())
+		if sh.db.Vectorized() {
+			fmt.Fprintln(sh.out, "vectorized execution is on")
+		} else {
+			fmt.Fprintln(sh.out, "vectorized execution is off")
+		}
+	case `\feedback`:
+		sh.db.SetCardinalityFeedback(!sh.db.CardinalityFeedback())
+		if sh.db.CardinalityFeedback() {
+			fmt.Fprintln(sh.out, "cardinality feedback is on (statements run instrumented)")
+		} else {
+			fmt.Fprintln(sh.out, "cardinality feedback is off")
+		}
 	default:
 		fmt.Fprintln(sh.out, "unknown command", cmd)
 	}

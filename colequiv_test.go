@@ -1,0 +1,258 @@
+package starburst
+
+// Columnar-execution equivalence and robustness: the random query
+// corpus must return identical results row-at-a-time, row-batched, and
+// columnar (serial and at DOP 4) — vectorization changes the plan's
+// execution shape, never its meaning — and the columnar operators must
+// survive the same fault / cancellation / budget matrix as the row
+// path. This file runs under -race in CI alongside parallel_test.go.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// execMode is one execution configuration of the same DB.
+type execMode struct {
+	name  string
+	vec   bool
+	batch int // 0 keeps the default size
+}
+
+// threeWayModes is the row == batch == columnar comparison set, with
+// degenerate and odd batch sizes to stress container-boundary reuse.
+var threeWayModes = []execMode{
+	{name: "row", vec: false, batch: 1},
+	{name: "batch", vec: false, batch: 0},
+	{name: "batch-odd", vec: false, batch: 3},
+	{name: "columnar", vec: true, batch: 0},
+	{name: "columnar-tiny", vec: true, batch: 2},
+}
+
+// runMode executes q under one mode at the given DOP.
+func runMode(t *testing.T, db *DB, m execMode, dop int, q string) string {
+	t.Helper()
+	db.SetVectorized(m.vec)
+	db.SetBatchSize(m.batch)
+	db.SetParallelism(dop)
+	res, err := db.Exec(q, nil)
+	if err != nil {
+		t.Fatalf("mode %s dop=%d: %s: %v", m.name, dop, q, err)
+	}
+	return canonical(res)
+}
+
+// TestColumnarEquivalenceCorpus runs the random corpus through every
+// execution mode, serial and parallel, against the row-at-a-time
+// serial baseline.
+func TestColumnarEquivalenceCorpus(t *testing.T) {
+	db := genParallelDB(t, 17)
+	gen := &queryGen{rng: rand.New(rand.NewSource(29))}
+	for i := 0; i < 50; i++ {
+		q := gen.query()
+		if i%7 == 3 {
+			q = gen.lateralQuery()
+		}
+		want := runMode(t, db, threeWayModes[0], 1, q)
+		for _, m := range threeWayModes[1:] {
+			for _, dop := range []int{1, 4} {
+				if got := runMode(t, db, m, dop, q); got != want {
+					t.Fatalf("mode %s dop=%d diverged on %s\nrow:  %s\ngot:  %s",
+						m.name, dop, q, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarAggregates aims the mode matrix at the columnar group
+// operator specifically: the corpus generator emits no aggregates, and
+// the fused hash-aggregate kernels (typed COUNT/SUM/AVG lanes, boxed
+// MIN/MAX fallback, NULL group keys) deserve directed coverage.
+func TestColumnarAggregates(t *testing.T) {
+	db := genParallelDB(t, 19)
+	queries := []string{
+		"SELECT k, COUNT(*), SUM(v) FROM ta GROUP BY k",
+		"SELECT k, MIN(v), MAX(v), AVG(v) FROM tb GROUP BY k",
+		"SELECT s, COUNT(v) FROM ta GROUP BY s",
+		"SELECT COUNT(*) FROM ta",
+		"SELECT SUM(v), AVG(v) FROM tb WHERE k > 3",
+		"SELECT k, COUNT(*) FROM ta WHERE v >= 5 AND s IS NOT NULL GROUP BY k",
+		"SELECT DISTINCT k FROM tc",
+		"SELECT x.k, COUNT(*) FROM ta x, tb y WHERE x.k = y.k GROUP BY x.k",
+	}
+	for _, q := range queries {
+		want := runMode(t, db, threeWayModes[0], 1, q)
+		for _, m := range threeWayModes[1:] {
+			for _, dop := range []int{1, 4} {
+				if got := runMode(t, db, m, dop, q); got != want {
+					t.Fatalf("mode %s dop=%d diverged on %s\nrow:  %s\ngot:  %s",
+						m.name, dop, q, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarBuildEngages guards the corpus against vacuity: a
+// vectorized build of scan / filter / project / aggregate plans must
+// actually produce columnar streams, and a row build must not.
+func TestColumnarBuildEngages(t *testing.T) {
+	db := genDB(t, 1)
+	for _, q := range []string{
+		"SELECT k, v, s FROM ta",
+		"SELECT k FROM ta WHERE v > 5 AND k <> 3",
+		"SELECT v FROM tb WHERE k IS NOT NULL",
+	} {
+		compiled := preparedPlan(q)(t, db)
+		st, err := db.builder.Vectorized(true).Build(compiled.Root, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if _, ok := st.(exec.ColBatchStream); !ok {
+			t.Fatalf("vectorized build of %q produced %T, not a ColBatchStream", q, st)
+		}
+		st, err = db.builder.Vectorized(false).Build(compiled.Root, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if _, ok := st.(exec.ColBatchStream); ok {
+			t.Fatalf("row build of %q produced a ColBatchStream (%T)", q, st)
+		}
+	}
+}
+
+// TestColumnarFaultMatrix injects storage faults under each columnar
+// operator (the vectorized path is the default, so db.Exec runs it):
+// the statement must fail with a FaultError, leak no iterators, and
+// leave the DB reusable.
+func TestColumnarFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name  string
+		sql   string
+		fault *Fault
+	}{
+		{name: "col-scan", sql: `SELECT id FROM items`,
+			fault: &Fault{Table: "items", Op: FaultScan, Err: "boom"}},
+		{name: "col-scan-midbatch", sql: `SELECT id FROM items`,
+			fault: &Fault{Table: "items", Op: FaultScan, After: 3, Err: "boom"}},
+		{name: "col-filter", sql: `SELECT id FROM items WHERE qty > 20 AND id <> 5`,
+			fault: &Fault{Table: "items", Op: FaultScan, After: 2, Err: "boom"}},
+		{name: "col-project", sql: `SELECT qty, tag FROM items WHERE qty >= 0`,
+			fault: &Fault{Table: "items", Op: FaultScan, Err: "boom"}},
+		{name: "col-agg", sql: `SELECT tag, COUNT(*), SUM(qty) FROM items WHERE qty > 0 GROUP BY tag`,
+			fault: &Fault{Table: "items", Op: FaultScan, After: 4, Err: "boom"}},
+		{name: "col-join-filter", sql: `SELECT o.oid FROM orders o, items i WHERE o.item = i.id AND i.qty > 10`,
+			fault: &Fault{Table: "orders", Op: FaultScan, Err: "boom"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			db := robustDB(t)
+			if !db.Vectorized() {
+				t.Fatal("vectorized execution is not the default")
+			}
+			db.InjectFaults(c.fault)
+			_, err := db.Exec(c.sql, nil)
+			var fe *FaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("want FaultError, got %v", err)
+			}
+			if n := db.Faults().OpenIterators(); n != 0 {
+				t.Fatalf("%d iterators leaked", n)
+			}
+			db.ClearFaults()
+			mustExec(t, db, c.sql)
+		})
+	}
+}
+
+// TestColumnarCancelAndBudgets drives the cancellation path and every
+// resource budget through vectorized statements: the batch-amortized
+// tick must still observe deadlines, row quotas, and the memory
+// charge, and cancellation must not strand the arena scan.
+func TestColumnarCancelAndBudgets(t *testing.T) {
+	t.Run("cancel", func(t *testing.T) {
+		db := robustDB(t)
+		db.InjectFaults(&Fault{Table: "items", Op: FaultScan, Latency: 10 * time.Second})
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err := db.ExecContext(ctx, `SELECT tag, COUNT(*) FROM items WHERE qty > 0 GROUP BY tag`, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+			t.Fatalf("cancellation took %v, want < 100ms", elapsed)
+		}
+		if n := db.Faults().OpenIterators(); n != 0 {
+			t.Fatalf("%d iterators leaked", n)
+		}
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		db := bigDB(t)
+		db.SetLimits(Limits{Timeout: time.Millisecond})
+		_, err := db.Exec(`SELECT COUNT(*) FROM nums a, nums b, nums c WHERE a.n < b.n AND b.n < c.n`, nil)
+		var re *ResourceError
+		if !errors.As(err, &re) || re.Budget != "time" {
+			t.Fatalf("want ResourceError(time), got %v", err)
+		}
+	})
+
+	t.Run("rows", func(t *testing.T) {
+		db := bigDB(t)
+		db.SetLimits(Limits{MaxRows: 100})
+		_, err := db.Exec(`SELECT COUNT(*) FROM nums WHERE n >= 0`, nil)
+		var re *ResourceError
+		if !errors.As(err, &re) || re.Budget != "rows" {
+			t.Fatalf("want ResourceError(rows), got %v", err)
+		}
+		db.SetLimits(Limits{MaxRows: 1000_000})
+		mustExec(t, db, `SELECT COUNT(*) FROM nums WHERE n >= 0`)
+	})
+
+	t.Run("mem", func(t *testing.T) {
+		db := bigDB(t)
+		db.SetLimits(Limits{MaxMem: 100})
+		_, err := db.Exec(`SELECT n, COUNT(*) FROM nums GROUP BY n`, nil)
+		var re *ResourceError
+		if !errors.As(err, &re) || re.Budget != "mem" {
+			t.Fatalf("want ResourceError(mem), got %v", err)
+		}
+		db.SetLimits(Limits{MaxMem: 1 << 20})
+		mustExec(t, db, `SELECT n, COUNT(*) FROM nums GROUP BY n`)
+	})
+}
+
+// TestColumnarFaultMatrixUnderTinyBatches repeats the fault sweep with
+// the batch width degenerate, so fault indices land on batch
+// boundaries as well as inside them.
+func TestColumnarFaultMatrixUnderTinyBatches(t *testing.T) {
+	for after := 0; after <= 6; after++ {
+		db := robustDB(t)
+		db.SetBatchSize(2)
+		db.InjectFaults(&Fault{Table: "items", Op: FaultScan, After: int64(after), Err: "boom"})
+		_, err := db.Exec(`SELECT tag, SUM(qty) FROM items WHERE qty > 0 GROUP BY tag`, nil)
+		var fe *FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("after=%d: want FaultError, got %v", after, err)
+		}
+		if n := db.Faults().OpenIterators(); n != 0 {
+			t.Fatalf("after=%d: %d iterators leaked", after, n)
+		}
+		db.ClearFaults()
+		res := mustExec(t, db, fmt.Sprintf(`SELECT COUNT(*) FROM items WHERE id > %d`, after%3))
+		if res.Rows[0][0].Int() == 0 {
+			t.Fatalf("after=%d: DB unusable after cleared fault", after)
+		}
+	}
+}

@@ -62,6 +62,12 @@ type Table struct {
 	// System marks an engine-registered introspection table (the SYS
 	// schema): read-only, excluded from user DDL, volatile.
 	System bool
+
+	// fb holds the observed-cardinality overlays (see feedback.go),
+	// guarded by fbMu: folds happen after statements finish, concurrent
+	// with compilations consulting the overlays.
+	fbMu sync.Mutex
+	fb   cardFeedback
 }
 
 // ColIndex resolves a column name (case-insensitive) to its ordinal, or
@@ -567,5 +573,8 @@ func (c *Catalog) Analyze(t *Table) error {
 		t.Stats.ColMax[i] = maxs[i]
 	}
 	c.BumpVersion()
+	// Freshly measured statistics supersede corrections learned against
+	// the stale ones.
+	t.clearCardOverlays()
 	return nil
 }

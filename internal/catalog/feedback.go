@@ -1,0 +1,116 @@
+package catalog
+
+import "sort"
+
+// Observed-cardinality feedback: bounded, decayed corrections to a
+// table's ANALYZE statistics, learned from executed statements. Each
+// overlay records how many rows a scan of this table actually produced
+// under one predicate fingerprint; the optimizer prefers an overlay
+// over its selectivity model when one exists (see optimizer.costScan).
+// Overlays never replace ANALYZE statistics — they sit beside them, and
+// a fresh ANALYZE clears them (measured statistics supersede learned
+// corrections).
+
+// maxCardOverlays bounds the per-table overlay set; when full, the
+// least recently touched entry is evicted. The bound keeps a plan
+// cache's worth of hot predicates corrected without letting an ad-hoc
+// workload grow per-table state without limit.
+const maxCardOverlays = 16
+
+// cardOverlay is one learned correction.
+type cardOverlay struct {
+	rows  float64 // decayed observed output cardinality
+	folds int64   // observations folded into rows
+	stamp int64   // recency, for eviction
+}
+
+// CardOverlay is a read-only snapshot of one overlay entry.
+type CardOverlay struct {
+	// Key is the predicate fingerprint ("" for an unpredicated scan).
+	Key string
+	// Rows is the current (decayed) observed cardinality.
+	Rows float64
+	// Folds counts the observations folded in.
+	Folds int64
+}
+
+// cardFeedback is the per-table overlay store. It has its own mutex:
+// observations fold in after a statement finishes (outside the catalog
+// lock) while concurrent compilations consult it.
+type cardFeedback struct {
+	entries map[string]*cardOverlay
+	stamp   int64
+}
+
+// ObserveCard folds one observed scan cardinality into the table's
+// overlay for the given predicate fingerprint. An existing entry decays
+// toward the observation — new = (old + observed) / 2 — so one outlier
+// execution cannot swing the estimate, while a sustained shift
+// converges geometrically. A new key evicts the least recently touched
+// entry when the table is at its overlay bound.
+func (t *Table) ObserveCard(key string, rows float64) {
+	if rows < 1 {
+		rows = 1
+	}
+	t.fbMu.Lock()
+	defer t.fbMu.Unlock()
+	fb := &t.fb
+	fb.stamp++
+	if e, ok := fb.entries[key]; ok {
+		e.rows = (e.rows + rows) / 2
+		e.folds++
+		e.stamp = fb.stamp
+		return
+	}
+	if fb.entries == nil {
+		fb.entries = map[string]*cardOverlay{}
+	}
+	if len(fb.entries) >= maxCardOverlays {
+		var victim string
+		oldest := int64(1<<63 - 1)
+		for k, e := range fb.entries {
+			if e.stamp < oldest || (e.stamp == oldest && k < victim) {
+				victim, oldest = k, e.stamp
+			}
+		}
+		delete(fb.entries, victim)
+	}
+	fb.entries[key] = &cardOverlay{rows: rows, folds: 1, stamp: fb.stamp}
+}
+
+// ObservedCard reports the learned cardinality for a predicate
+// fingerprint, refreshing its recency so entries the optimizer still
+// consults outlive ones it no longer asks about.
+func (t *Table) ObservedCard(key string) (float64, bool) {
+	t.fbMu.Lock()
+	defer t.fbMu.Unlock()
+	e, ok := t.fb.entries[key]
+	if !ok {
+		return 0, false
+	}
+	t.fb.stamp++
+	e.stamp = t.fb.stamp
+	return e.rows, true
+}
+
+// CardOverlays snapshots the table's overlay set, sorted by key.
+func (t *Table) CardOverlays() []CardOverlay {
+	t.fbMu.Lock()
+	defer t.fbMu.Unlock()
+	out := make([]CardOverlay, 0, len(t.fb.entries))
+	for k, e := range t.fb.entries {
+		out = append(out, CardOverlay{Key: k, Rows: e.rows, Folds: e.folds})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// clearCardOverlays drops every learned correction; ANALYZE calls it
+// because freshly measured statistics supersede feedback derived from
+// the stale ones.
+func (t *Table) clearCardOverlays() {
+	t.fbMu.Lock()
+	defer t.fbMu.Unlock()
+	t.fb.entries = nil
+	t.fb.stamp = 0
+}

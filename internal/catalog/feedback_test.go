@@ -1,0 +1,56 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCardOverlayDecayAndBound(t *testing.T) {
+	var tab Table
+
+	// First observation lands verbatim; repeats decay halfway toward
+	// each new observation.
+	tab.ObserveCard("k", 1000)
+	if r, ok := tab.ObservedCard("k"); !ok || r != 1000 {
+		t.Fatalf("after 1 fold: %v %v", r, ok)
+	}
+	tab.ObserveCard("k", 500)
+	if r, _ := tab.ObservedCard("k"); r != 750 {
+		t.Fatalf("decay = %v, want 750", r)
+	}
+	if ovs := tab.CardOverlays(); len(ovs) != 1 || ovs[0].Folds != 2 {
+		t.Fatalf("overlays = %+v", ovs)
+	}
+
+	// Observations clamp below one row (a scan that produced nothing
+	// still keys a real overlay, not a zero that poisons ratios).
+	tab.ObserveCard("empty", 0)
+	if r, _ := tab.ObservedCard("empty"); r != 1 {
+		t.Fatalf("zero observation = %v, want 1", r)
+	}
+
+	// The store is bounded: filling past the cap evicts the least
+	// recently touched key, and touching protects from eviction.
+	for i := 0; i < maxCardOverlays; i++ {
+		tab.ObserveCard(fmt.Sprintf("f%02d", i), float64(i+1))
+	}
+	if _, ok := tab.ObservedCard("k"); ok {
+		t.Fatal("oldest keys survived past the bound")
+	}
+	tab.ObservedCard("f00") // refresh: f00 must now outlive f01
+	tab.ObserveCard("newcomer", 42)
+	if _, ok := tab.ObservedCard("f00"); !ok {
+		t.Fatal("recently touched overlay was evicted")
+	}
+	if _, ok := tab.ObservedCard("f01"); ok {
+		t.Fatal("least recently touched overlay survived")
+	}
+	if n := len(tab.CardOverlays()); n != maxCardOverlays {
+		t.Fatalf("store grew to %d entries (bound %d)", n, maxCardOverlays)
+	}
+
+	tab.clearCardOverlays()
+	if n := len(tab.CardOverlays()); n != 0 {
+		t.Fatalf("clear left %d entries", n)
+	}
+}

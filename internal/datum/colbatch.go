@@ -1,0 +1,491 @@
+// Columnar batch representation: typed column vectors plus a selection
+// vector, the data layout behind the vectorized execution spine. A
+// ColBatch decomposes rows into per-column arrays so execution kernels
+// can run tight per-type loops (no per-row interface dispatch, no Value
+// boxing) over the hot scan→filter→aggregate spine, while staying
+// convertible back to []Row at any operator boundary that is not
+// columnar-native.
+//
+// Hash and key helpers here are byte-identical to the row-oriented
+// Hash/HashRow/RowKey above: a hash computed from a vector lane must
+// agree with one computed from the boxed value, because join filters
+// built from boxed build rows are probed with lane-computed hashes.
+package datum
+
+import (
+	"math"
+	"strconv"
+)
+
+// NullBitmap records NULL positions in a column vector, one bit per
+// element. The zero value is an empty bitmap (no NULLs).
+type NullBitmap []uint64
+
+// Get reports whether element i is NULL. Positions beyond the bitmap's
+// allocated words read as not-NULL, so a batch with no NULLs never
+// allocates words.
+func (nb NullBitmap) Get(i int) bool {
+	w := i >> 6
+	if w >= len(nb) {
+		return false
+	}
+	return nb[w]>>(uint(i)&63)&1 != 0
+}
+
+// Set marks element i as NULL, growing the bitmap as needed.
+func (nb *NullBitmap) Set(i int) {
+	w := i >> 6
+	for w >= len(*nb) {
+		*nb = append(*nb, 0)
+	}
+	(*nb)[w] |= 1 << (uint(i) & 63)
+}
+
+// Any reports whether any of the first n elements is NULL. Kernels use
+// it to hoist the per-element NULL branch out of hot loops.
+func (nb NullBitmap) Any(n int) bool {
+	full := n >> 6
+	if full > len(nb) {
+		full = len(nb)
+	}
+	for w := 0; w < full; w++ {
+		if nb[w] != 0 {
+			return true
+		}
+	}
+	if rest := n & 63; rest != 0 && full < len(nb) {
+		return nb[full]&(1<<uint(rest)-1) != 0
+	}
+	return false
+}
+
+func (nb NullBitmap) clear() {
+	for i := range nb {
+		nb[i] = 0
+	}
+}
+
+// ColVec is one typed column vector. Exactly one data lane is active,
+// selected by Typ: Ints for TInt, Floats for TFloat, Strs for TString,
+// Bools for TBool. NULL elements occupy a zero slot in the lane with the
+// corresponding Nulls bit set.
+//
+// Boxed is the escape hatch: vectors of user-defined types, and vectors
+// that receive a value whose type does not match the lane (possible when
+// an expression's declared type is looser than the stored values), fall
+// back to a plain []Value representation. Kernels must check Boxed once
+// per batch and take a generic path; appends never fail.
+type ColVec struct {
+	Typ    TypeID
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Nulls  NullBitmap
+	Boxed  []Value
+}
+
+func (v *ColVec) reset(typ TypeID) {
+	v.Typ = typ
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	// Clear string headers and boxed values so a reused batch does not
+	// pin payloads from a prior batch past their lifetime.
+	clear(v.Strs)
+	v.Strs = v.Strs[:0]
+	v.Bools = v.Bools[:0]
+	v.Nulls.clear()
+	clear(v.Boxed)
+	v.Boxed = v.Boxed[:0]
+	if !laneType(typ) {
+		// User-defined and NULL-typed columns are boxed from the start;
+		// Boxed non-nil marks the vector as boxed.
+		if v.Boxed == nil {
+			v.Boxed = make([]Value, 0, 8)
+		}
+	} else {
+		v.Boxed = nil
+	}
+}
+
+// laneType reports whether typ has a dedicated vector lane.
+func laneType(typ TypeID) bool {
+	switch typ {
+	case TBool, TInt, TFloat, TString:
+		return true
+	}
+	return false
+}
+
+// Len returns the number of elements appended to the vector.
+func (v *ColVec) Len() int {
+	if v.Boxed != nil {
+		return len(v.Boxed)
+	}
+	switch v.Typ {
+	case TBool:
+		return len(v.Bools)
+	case TInt:
+		return len(v.Ints)
+	case TFloat:
+		return len(v.Floats)
+	case TString:
+		return len(v.Strs)
+	}
+	return 0
+}
+
+// promote converts the vector to boxed representation, materializing
+// every element appended so far.
+func (v *ColVec) promote() {
+	n := v.Len()
+	boxed := make([]Value, n)
+	for i := 0; i < n; i++ {
+		boxed[i] = v.ValueAt(i)
+	}
+	v.Boxed = boxed
+}
+
+// AppendValue appends one value. A value whose type does not match the
+// lane promotes the whole vector to boxed representation rather than
+// failing, so fill loops have no error path.
+func (v *ColVec) AppendValue(x Value) {
+	if v.Boxed != nil {
+		v.Boxed = append(v.Boxed, x)
+		return
+	}
+	if x.typ == TNull {
+		v.Nulls.Set(v.Len())
+		switch v.Typ {
+		case TBool:
+			v.Bools = append(v.Bools, false)
+		case TInt:
+			v.Ints = append(v.Ints, 0)
+		case TFloat:
+			v.Floats = append(v.Floats, 0)
+		case TString:
+			v.Strs = append(v.Strs, "")
+		}
+		return
+	}
+	if x.typ != v.Typ {
+		v.promote()
+		v.Boxed = append(v.Boxed, x)
+		return
+	}
+	switch v.Typ {
+	case TBool:
+		v.Bools = append(v.Bools, x.b)
+	case TInt:
+		v.Ints = append(v.Ints, x.i)
+	case TFloat:
+		v.Floats = append(v.Floats, x.f)
+	case TString:
+		v.Strs = append(v.Strs, x.s)
+	}
+}
+
+// ValueAt boxes element i back into a Value. This is the row-adaptation
+// path; kernels read lanes directly instead.
+func (v *ColVec) ValueAt(i int) Value {
+	if v.Boxed != nil {
+		return v.Boxed[i]
+	}
+	if v.Nulls.Get(i) {
+		return Null
+	}
+	switch v.Typ {
+	case TBool:
+		return Value{typ: TBool, b: v.Bools[i]}
+	case TInt:
+		return Value{typ: TInt, i: v.Ints[i]}
+	case TFloat:
+		return Value{typ: TFloat, f: v.Floats[i]}
+	case TString:
+		return Value{typ: TString, s: v.Strs[i]}
+	}
+	return Null
+}
+
+// ColBatch is a batch of rows in columnar layout: one ColVec per output
+// column plus an optional selection vector. Sel == nil means every row
+// in [0, Len()) is live; otherwise Sel lists live row indices in
+// ascending order. Operators filter by shrinking Sel, never by moving
+// column data.
+//
+// Ownership follows the BatchStream contract: the producer owns the
+// batch and invalidates it at the next NextColBatch call. Consumers that
+// retain data must materialize rows (MaterializeInto allocates fresh
+// backing arrays).
+type ColBatch struct {
+	Vecs []ColVec
+	Sel  []int
+	n    int
+}
+
+// NewColBatch returns an empty batch with one vector per type.
+func NewColBatch(types []TypeID) *ColBatch {
+	b := &ColBatch{Vecs: make([]ColVec, len(types))}
+	for i, t := range types {
+		b.Vecs[i].reset(t)
+	}
+	return b
+}
+
+// Reset empties the batch for refill, keeping lane capacity.
+func (b *ColBatch) Reset() {
+	for i := range b.Vecs {
+		b.Vecs[i].reset(b.Vecs[i].Typ)
+	}
+	b.Sel = nil
+	b.n = 0
+}
+
+// Len returns the number of rows appended (live or not).
+func (b *ColBatch) Len() int { return b.n }
+
+// NumLive returns the number of selected rows.
+func (b *ColBatch) NumLive() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// AppendRow decomposes one row into the column vectors. The row's
+// values are copied; r may be reused by the caller.
+func (b *ColBatch) AppendRow(r Row) {
+	for i := range b.Vecs {
+		b.Vecs[i].AppendValue(r[i])
+	}
+	b.n++
+}
+
+// AliasFrom rebuilds b as a projection of src without moving column
+// data: output column j becomes a header copy of src.Vecs[srcs[j]] when
+// srcs[j] >= 0, and otherwise holds the constant consts[j] replicated
+// to src's length in a vector b owns. The selection vector and length
+// carry over, and b is invalidated alongside src. b must have been
+// created by NewColBatch with one type per output column so constant
+// vectors start with the right lane.
+func (b *ColBatch) AliasFrom(src *ColBatch, srcs []int, consts []Value) {
+	for j, s := range srcs {
+		if s >= 0 {
+			b.Vecs[j] = src.Vecs[s]
+			continue
+		}
+		// Constant column: extend-only fill. Elements beyond the current
+		// length are never read, so a shorter batch after a longer one
+		// needs no truncation.
+		v := &b.Vecs[j]
+		for v.Len() < src.n {
+			v.AppendValue(consts[j])
+		}
+	}
+	b.Sel = src.Sel
+	b.n = src.n
+}
+
+// MaterializeInto appends the live rows to dst as ordinary rows backed
+// by one fresh arena; the returned rows remain valid after the batch is
+// reused. This is the fallback boundary from columnar to row-batch
+// execution.
+func (b *ColBatch) MaterializeInto(dst []Row) []Row {
+	live := b.NumLive()
+	if live == 0 {
+		return dst
+	}
+	w := len(b.Vecs)
+	arena := make([]Value, 0, live*w)
+	appendOne := func(i int) {
+		start := len(arena)
+		for c := range b.Vecs {
+			arena = append(arena, b.Vecs[c].ValueAt(i))
+		}
+		dst = append(dst, Row(arena[start:len(arena):len(arena)]))
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			appendOne(i)
+		}
+	} else {
+		for i := 0; i < b.n; i++ {
+			appendOne(i)
+		}
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------
+// Lane-direct hashing, byte-identical to Hash/HashRow.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	// rowHashSeed matches the seed hard-coded in HashRow.
+	rowHashSeed = 1469598103934665603
+)
+
+func fnvBytes(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// fnvTagged64 hashes the 9-byte tag+little-endian encoding used by
+// writeUint64.
+func fnvTagged64(h uint64, tag byte, u uint64) uint64 {
+	h = (h ^ uint64(tag)) * fnvPrime
+	for i := 0; i < 8; i++ {
+		h = (h ^ (u >> (8 * i) & 0xff)) * fnvPrime
+	}
+	return h
+}
+
+func hashNull() uint64 {
+	h := uint64(fnvOffset)
+	return (h ^ 0) * fnvPrime
+}
+
+func hashBool(b bool) uint64 {
+	h := uint64(fnvOffset)
+	if b {
+		return fnvBytes(h, []byte{1, 1})
+	}
+	return fnvBytes(h, []byte{1, 0})
+}
+
+func hashNumBits(bits uint64) uint64 { return fnvTagged64(fnvOffset, 2, bits) }
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	h = (h ^ 3) * fnvPrime
+	return fnvString(h, s)
+}
+
+// hashAt hashes element i of the vector, identical to Hash(ValueAt(i)).
+func (v *ColVec) hashAt(i int) uint64 {
+	if v.Boxed != nil {
+		return Hash(v.Boxed[i])
+	}
+	if v.Nulls.Get(i) {
+		return hashNull()
+	}
+	switch v.Typ {
+	case TBool:
+		return hashBool(v.Bools[i])
+	case TInt:
+		return hashNumBits(math.Float64bits(float64(v.Ints[i])))
+	case TFloat:
+		return hashNumBits(math.Float64bits(v.Floats[i]))
+	case TString:
+		return hashString(v.Strs[i])
+	}
+	return hashNull()
+}
+
+// HashLive appends the HashRow-equivalent hash of the given columns for
+// every live row, in live order, and reports whether any live row has a
+// NULL in one of the columns alongside each hash. nullAny may be nil
+// when the caller does not care.
+func (b *ColBatch) HashLive(cols []int, out []uint64, nullAny []bool) ([]uint64, []bool) {
+	hashOne := func(i int) {
+		h := uint64(rowHashSeed)
+		isNull := false
+		for _, c := range cols {
+			v := &b.Vecs[c]
+			if v.Boxed == nil && v.Nulls.Get(i) || v.Boxed != nil && v.Boxed[i].typ == TNull {
+				isNull = true
+			}
+			h = h*fnvPrime ^ v.hashAt(i)
+		}
+		out = append(out, h)
+		if nullAny != nil {
+			nullAny = append(nullAny, isNull)
+		}
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			hashOne(i)
+		}
+	} else {
+		for i := 0; i < b.n; i++ {
+			hashOne(i)
+		}
+	}
+	return out, nullAny
+}
+
+// ---------------------------------------------------------------------
+// Lane-direct grouping keys, byte-identical to RowKey.
+
+// AppendKeyCols appends the canonical grouping key of the given columns
+// of row i to buf, producing exactly the bytes RowKey would for a row
+// holding those values. Used by the columnar hash aggregate so its
+// groups agree with the row-oriented groupOp.
+func (b *ColBatch) AppendKeyCols(buf []byte, cols []int, i int) []byte {
+	for _, c := range cols {
+		v := &b.Vecs[c]
+		if v.Boxed != nil {
+			buf = appendValueKey(buf, v.Boxed[i])
+			continue
+		}
+		if v.Nulls.Get(i) {
+			buf = append(buf, 'N', '|')
+			continue
+		}
+		switch v.Typ {
+		case TBool:
+			if v.Bools[i] {
+				buf = append(buf, 'T')
+			} else {
+				buf = append(buf, 'F')
+			}
+		case TInt:
+			buf = strconv.AppendFloat(buf, float64(v.Ints[i]), 'g', -1, 64)
+		case TFloat:
+			buf = strconv.AppendFloat(buf, v.Floats[i], 'g', -1, 64)
+		case TString:
+			buf = append(buf, 's')
+			buf = strconv.AppendQuote(buf, v.Strs[i])
+		default:
+			buf = append(buf, 'N')
+		}
+		buf = append(buf, '|')
+	}
+	return buf
+}
+
+// appendValueKey appends one value's RowKey encoding; shared by RowKey
+// and AppendKeyCols so the two stay in lockstep.
+func appendValueKey(buf []byte, v Value) []byte {
+	switch v.typ {
+	case TNull:
+		buf = append(buf, 'N')
+	case TBool:
+		if v.b {
+			buf = append(buf, 'T')
+		} else {
+			buf = append(buf, 'F')
+		}
+	case TInt:
+		buf = strconv.AppendFloat(buf, float64(v.i), 'g', -1, 64)
+	case TFloat:
+		buf = strconv.AppendFloat(buf, v.f, 'g', -1, 64)
+	case TString:
+		buf = append(buf, 's')
+		buf = strconv.AppendQuote(buf, v.s)
+	default:
+		buf = append(buf, 'u')
+		buf = append(buf, v.String()...)
+	}
+	return append(buf, '|')
+}

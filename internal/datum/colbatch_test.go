@@ -1,0 +1,236 @@
+package datum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randValue draws from every built-in type, NULL included, with a few
+// adversarial numerics (NaN payloads excluded: SQL has no NaN literal).
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return NewBool(rng.Intn(2) == 0)
+	case 2:
+		return NewInt(rng.Int63n(1000) - 500)
+	case 3:
+		return NewFloat(float64(rng.Int63n(1000))/8 - 50)
+	case 4:
+		return NewString(string(rune('a' + rng.Intn(26))))
+	default:
+		return NewFloat(math.Inf(1 - 2*rng.Intn(2)))
+	}
+}
+
+func fillBatch(rng *rand.Rand, types []TypeID, n int) (*ColBatch, []Row) {
+	b := NewColBatch(types)
+	var rows []Row
+	for i := 0; i < n; i++ {
+		r := make(Row, len(types))
+		for c, t := range types {
+			if rng.Intn(5) == 0 {
+				r[c] = Null
+				continue
+			}
+			switch t {
+			case TBool:
+				r[c] = NewBool(rng.Intn(2) == 0)
+			case TInt:
+				r[c] = NewInt(rng.Int63n(1000) - 500)
+			case TFloat:
+				r[c] = NewFloat(float64(rng.Int63n(1000))/8 - 50)
+			case TString:
+				r[c] = NewString(string(rune('a' + rng.Intn(26))))
+			}
+		}
+		b.AppendRow(r)
+		rows = append(rows, r)
+	}
+	return b, rows
+}
+
+func TestColBatchValueRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	types := []TypeID{TBool, TInt, TFloat, TString}
+	b, rows := fillBatch(rng, types, 200)
+	for i, r := range rows {
+		for c := range types {
+			got := b.Vecs[c].ValueAt(i)
+			if !Identical(got, r[c]) {
+				t.Fatalf("row %d col %d: got %s want %s", i, c, got, r[c])
+			}
+		}
+	}
+}
+
+// TestColBatchHashParity pins the contract the join filter depends on:
+// lane-direct hashes must agree byte-for-byte with HashRow over boxed
+// values, including the INT k == FLOAT k coercion and NULL handling.
+func TestColBatchHashParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	types := []TypeID{TBool, TInt, TFloat, TString}
+	b, rows := fillBatch(rng, types, 300)
+	cols := []int{1, 3, 2}
+	hashes, nulls := b.HashLive(cols, nil, nil)
+	if nulls != nil {
+		t.Fatalf("nulls should stay nil when not requested")
+	}
+	hashes, nulls = b.HashLive(cols, hashes[:0], []bool{}[:0])
+	for i, r := range rows {
+		want := HashRow(r, cols)
+		if hashes[i] != want {
+			t.Fatalf("row %d: lane hash %x != HashRow %x", i, hashes[i], want)
+		}
+		wantNull := false
+		for _, c := range cols {
+			wantNull = wantNull || r[c].IsNull()
+		}
+		if nulls[i] != wantNull {
+			t.Fatalf("row %d: nullAny %v want %v", i, nulls[i], wantNull)
+		}
+	}
+	// INT k and FLOAT k must collide (hash-join coercion contract).
+	ib := NewColBatch([]TypeID{TInt})
+	ib.AppendRow(Row{NewInt(42)})
+	fb := NewColBatch([]TypeID{TFloat})
+	fb.AppendRow(Row{NewFloat(42)})
+	hi, _ := ib.HashLive([]int{0}, nil, nil)
+	hf, _ := fb.HashLive([]int{0}, nil, nil)
+	if hi[0] != hf[0] {
+		t.Fatalf("INT 42 (%x) and FLOAT 42 (%x) must hash alike", hi[0], hf[0])
+	}
+}
+
+// TestColBatchKeyParity pins AppendKeyCols against RowKey, the contract
+// the columnar hash aggregate's grouping depends on.
+func TestColBatchKeyParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	types := []TypeID{TBool, TInt, TFloat, TString}
+	b, rows := fillBatch(rng, types, 300)
+	cols := []int{2, 0, 3, 1}
+	var buf []byte
+	for i, r := range rows {
+		key := Row{r[2], r[0], r[3], r[1]}
+		want := RowKey(key)
+		buf = b.AppendKeyCols(buf[:0], cols, i)
+		if string(buf) != want {
+			t.Fatalf("row %d: lane key %q != RowKey %q", i, buf, want)
+		}
+	}
+}
+
+func TestColBatchSelection(t *testing.T) {
+	b := NewColBatch([]TypeID{TInt})
+	for i := 0; i < 10; i++ {
+		b.AppendRow(Row{NewInt(int64(i))})
+	}
+	if b.NumLive() != 10 || b.Len() != 10 {
+		t.Fatalf("live=%d len=%d", b.NumLive(), b.Len())
+	}
+	b.Sel = []int{1, 4, 7}
+	if b.NumLive() != 3 {
+		t.Fatalf("live=%d want 3", b.NumLive())
+	}
+	rows := b.MaterializeInto(nil)
+	if len(rows) != 3 || rows[0][0].Int() != 1 || rows[1][0].Int() != 4 || rows[2][0].Int() != 7 {
+		t.Fatalf("materialized %v", rows)
+	}
+	h, _ := b.HashLive([]int{0}, nil, nil)
+	if len(h) != 3 || h[1] != HashRow(Row{NewInt(4)}, []int{0}) {
+		t.Fatalf("HashLive must follow Sel order: %v", h)
+	}
+}
+
+// TestColBatchBoxedPromotion: a value of the wrong type flips the vector
+// to boxed representation without losing earlier elements.
+func TestColBatchBoxedPromotion(t *testing.T) {
+	b := NewColBatch([]TypeID{TInt})
+	b.AppendRow(Row{NewInt(7)})
+	b.AppendRow(Row{Null})
+	b.AppendRow(Row{NewString("x")}) // mismatch → promote
+	v := &b.Vecs[0]
+	if v.Boxed == nil {
+		t.Fatal("expected boxed promotion")
+	}
+	want := []Value{NewInt(7), Null, NewString("x")}
+	for i, w := range want {
+		if !Identical(v.ValueAt(i), w) {
+			t.Fatalf("elem %d: got %s want %s", i, v.ValueAt(i), w)
+		}
+	}
+	// Hash and key paths must keep working after promotion.
+	h, _ := b.HashLive([]int{0}, nil, nil)
+	for i, w := range want {
+		if h[i] != HashRow(Row{w}, []int{0}) {
+			t.Fatalf("boxed hash %d mismatch", i)
+		}
+		key := b.AppendKeyCols(nil, []int{0}, i)
+		if string(key) != RowKey(Row{w}) {
+			t.Fatalf("boxed key %d mismatch: %q vs %q", i, key, RowKey(Row{w}))
+		}
+	}
+}
+
+// TestColBatchMaterializeRetainable: rows handed out survive batch reuse.
+func TestColBatchMaterializeRetainable(t *testing.T) {
+	b := NewColBatch([]TypeID{TInt, TString})
+	b.AppendRow(Row{NewInt(1), NewString("one")})
+	b.AppendRow(Row{NewInt(2), NewString("two")})
+	rows := b.MaterializeInto(nil)
+	b.Reset()
+	b.AppendRow(Row{NewInt(9), NewString("nine")})
+	if rows[0][0].Int() != 1 || rows[0][1].Str() != "one" ||
+		rows[1][0].Int() != 2 || rows[1][1].Str() != "two" {
+		t.Fatalf("retained rows corrupted by batch reuse: %v", rows)
+	}
+}
+
+// TestColBatchUserTypeBoxed: user-defined types run boxed from the start
+// and agree with the row-oriented hash/key functions.
+func TestColBatchUserTypeBoxed(t *testing.T) {
+	id, err := RegisterType(TypeDef{
+		Name:    "CB_POINT",
+		Compare: func(a, b any) int { return a.(int) - b.(int) },
+		Format:  func(a any) string { return "p" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewColBatch([]TypeID{id})
+	v := NewUser(id, 3)
+	b.AppendRow(Row{v})
+	if b.Vecs[0].Boxed == nil {
+		t.Fatal("user-typed vector must be boxed")
+	}
+	h, _ := b.HashLive([]int{0}, nil, nil)
+	if h[0] != HashRow(Row{v}, []int{0}) {
+		t.Fatal("user-type hash parity")
+	}
+}
+
+func TestNullBitmap(t *testing.T) {
+	var nb NullBitmap
+	if nb.Get(5) || nb.Any(1000) {
+		t.Fatal("empty bitmap must read clear")
+	}
+	nb.Set(63)
+	nb.Set(64)
+	nb.Set(200)
+	for _, i := range []int{63, 64, 200} {
+		if !nb.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if nb.Get(62) || nb.Get(65) || nb.Get(199) || nb.Get(201) {
+		t.Fatal("stray bits")
+	}
+	if nb.Any(63) {
+		t.Fatal("Any(63) must ignore bit 63")
+	}
+	if !nb.Any(64) || !nb.Any(201) {
+		t.Fatal("Any missed set bits")
+	}
+}

@@ -476,28 +476,10 @@ func RowsEqual(a, b Row) bool {
 func RowKey(r Row) string {
 	buf := make([]byte, 0, 16*len(r))
 	for _, v := range r {
-		switch v.typ {
-		case TNull:
-			buf = append(buf, 'N')
-		case TBool:
-			if v.b {
-				buf = append(buf, 'T')
-			} else {
-				buf = append(buf, 'F')
-			}
-		case TInt:
-			// Canonical numeric form shared with FLOAT.
-			buf = strconv.AppendFloat(buf, float64(v.i), 'g', -1, 64)
-		case TFloat:
-			buf = strconv.AppendFloat(buf, v.f, 'g', -1, 64)
-		case TString:
-			buf = append(buf, 's')
-			buf = strconv.AppendQuote(buf, v.s)
-		default:
-			buf = append(buf, 'u')
-			buf = append(buf, v.String()...)
-		}
-		buf = append(buf, '|')
+		// INT uses the canonical numeric form shared with FLOAT; the
+		// per-value encoding lives in appendValueKey (colbatch.go) so the
+		// columnar key builder stays byte-identical.
+		buf = appendValueKey(buf, v)
 	}
 	return string(buf)
 }

@@ -26,6 +26,16 @@ type BatchStream interface {
 	NextBatch(ctx *Ctx) ([]datum.Row, bool, error)
 }
 
+// clearTail nils the unused capacity of a reused row-pointer buffer.
+// Compaction and short refills leave earlier batches' row references
+// sitting beyond len(s); those stale rows (and the arenas they slice
+// into) stay reachable until the slot happens to be overwritten, and a
+// consumer that oversliced the container would read rows from a batch
+// that no longer exists.
+func clearTail(s []datum.Row) {
+	clear(s[len(s):cap(s)])
+}
+
 // nextBatchFrom pulls one batch from s: natively when s is
 // batch-capable, otherwise by looping Next into *buf (allocated on
 // first use and reused across calls). The returned slice follows the
@@ -48,10 +58,12 @@ func nextBatchFrom(ctx *Ctx, s Stream, buf *[]datum.Row) ([]datum.Row, bool, err
 			return nil, false, err
 		}
 		if !ok {
+			clearTail(out)
 			return out, false, nil
 		}
 		out = append(out, row)
 	}
+	clearTail(out)
 	return out, true, nil
 }
 
@@ -80,16 +92,19 @@ func (s *scanOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 				return nil, false, err
 			}
 			if !ok {
+				clearTail(out)
 				return out, false, nil
 			}
 			out = append(out, row)
 		}
+		clearTail(out)
 		return out, true, nil
 	}
 	buf := s.buf[:n]
 	for {
 		k := bsc.NextRows(buf)
 		if k == 0 {
+			clear(buf)
 			return nil, false, storage.IterErr(s.it)
 		}
 		// Filter in place: out shares buf's backing array, writing only
@@ -107,6 +122,9 @@ func (s *scanOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 				out = append(out, row)
 			}
 		}
+		// Dropped rows' references survive the in-place compaction; nil
+		// them so the buffer holds exactly the batch being handed out.
+		clearTail(out)
 		if len(out) > 0 {
 			return out, true, nil
 		}
@@ -135,6 +153,10 @@ func (f *filterOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 				out = append(out, row)
 			}
 		}
+		// Compaction leaves the dropped rows' references in the trailing
+		// slots; nil them so a shorter follow-up batch cannot expose (or
+		// pin) rows from an earlier, already-invalidated one.
+		clear(batch[len(out):])
 		if len(out) > 0 || !more {
 			return out, more, nil
 		}
@@ -151,6 +173,7 @@ func (p *projectOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 		return nil, false, err
 	}
 	if len(batch) == 0 {
+		clearTail(p.outBuf[:0])
 		return nil, more, nil
 	}
 	w := len(p.exprs)
@@ -173,6 +196,7 @@ func (p *projectOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 		}
 		out = append(out, datum.Row(dst))
 	}
+	clearTail(out)
 	return out, more, nil
 }
 
@@ -194,7 +218,11 @@ func (l *limitOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 		return nil, false, err
 	}
 	if int64(len(batch)) >= l.left {
+		over := batch[l.left:]
 		batch = batch[:l.left]
+		// Rows beyond the quota will never be delivered and the producer
+		// will never be pulled again; drop the references now.
+		clear(over)
 		l.left = 0
 		ctx.signalDone()
 		return batch, false, nil

@@ -1,0 +1,234 @@
+package exec
+
+// White-box regression tests for the batched path's buffer hygiene:
+// every reused row-pointer container (scan buffers, nextBatchFrom's
+// refill buffer, filter/limit compaction, project output) must nil the
+// slots beyond the batch it hands out. Before these fixes, in-place
+// compaction and short refills left references to rows of earlier,
+// already-invalidated batches in the trailing capacity — pinning their
+// arenas and exposing stale rows to any consumer that oversliced the
+// container. Batch size 2 keeps every partial-batch edge in reach.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// rowSrc is a tuple-only Stream (no NextBatch), forcing consumers
+// through nextBatchFrom's refill buffer.
+type rowSrc struct {
+	rows []datum.Row
+	pos  int
+}
+
+func (s *rowSrc) Open(*Ctx) error { s.pos = 0; return nil }
+
+func (s *rowSrc) Next(*Ctx) (datum.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *rowSrc) Close(*Ctx) error { return nil }
+
+func intRows(vals ...int64) []datum.Row {
+	rows := make([]datum.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = datum.Row{datum.NewInt(v)}
+	}
+	return rows
+}
+
+// vGE builds the bound predicate "col0 >= n".
+func vGE(n int64) expr.Expr {
+	return &expr.Cmp{
+		Op: expr.OpGe,
+		L:  &expr.Col{Slot: 0, Name: "v", Typ: datum.TInt},
+		R:  &expr.Const{Val: datum.NewInt(n)},
+	}
+}
+
+// requireTailClear fails unless every slot of the container beyond the
+// batch's length is nil.
+func requireTailClear(t *testing.T, where string, batch []datum.Row) {
+	t.Helper()
+	for i, r := range batch[len(batch):cap(batch)] {
+		if r != nil {
+			t.Fatalf("%s: stale row %v in container slot %d (batch len %d, cap %d)",
+				where, r, len(batch)+i, len(batch), cap(batch))
+		}
+	}
+}
+
+func batchCtx() *Ctx {
+	ctx := NewCtx(nil, nil)
+	ctx.SetBatchSize(2)
+	return ctx
+}
+
+// TestFilterBatchClearsDroppedRows is the core regression: filterOp
+// compacts survivors in place, and the slots its dropped rows occupied
+// must not keep referencing them.
+func TestFilterBatchClearsDroppedRows(t *testing.T) {
+	ctx := batchCtx()
+	f := &filterOp{
+		input: &rowSrc{rows: intRows(10, 20, 30, 1, 2)},
+		preds: []expr.Expr{vGE(10)},
+	}
+	if err := f.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1: both rows pass.
+	b, more, err := f.NextBatch(ctx)
+	if err != nil || !more || len(b) != 2 {
+		t.Fatalf("batch 1 = %v, %v, %v", b, more, err)
+	}
+	requireTailClear(t, "filter batch 1", b)
+	// Batch 2: [30, 1] compacts to [30]; slot 1 held the dropped row.
+	b, more, err = f.NextBatch(ctx)
+	if err != nil || !more || len(b) != 1 {
+		t.Fatalf("batch 2 = %v, %v, %v", b, more, err)
+	}
+	if b[0][0].Int() != 30 {
+		t.Fatalf("batch 2 rows = %v", b)
+	}
+	requireTailClear(t, "filter batch 2", b)
+	// Final pull: [2] compacts to empty, stream ends; the container must
+	// hold no references at all.
+	b, more, err = f.NextBatch(ctx)
+	if err != nil || more || len(b) != 0 {
+		t.Fatalf("batch 3 = %v, %v, %v", b, more, err)
+	}
+	requireTailClear(t, "filter exhausted", b)
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNextBatchFromClearsShortRefill covers the tuple-only refill path:
+// a final partial batch must not expose the previous batch's rows in
+// its trailing slots.
+func TestNextBatchFromClearsShortRefill(t *testing.T) {
+	ctx := batchCtx()
+	src := &rowSrc{rows: intRows(1, 2, 3)}
+	var buf []datum.Row
+	b, more, err := nextBatchFrom(ctx, src, &buf)
+	if err != nil || !more || len(b) != 2 {
+		t.Fatalf("batch 1 = %v, %v, %v", b, more, err)
+	}
+	requireTailClear(t, "refill batch 1", b)
+	// Final partial batch: one row; slot 1 held row 2 of batch 1.
+	b, more, err = nextBatchFrom(ctx, src, &buf)
+	if err != nil || more || len(b) != 1 {
+		t.Fatalf("batch 2 = %v, %v, %v", b, more, err)
+	}
+	requireTailClear(t, "refill partial", b)
+}
+
+// TestScanBatchClearsStaleRows drives scanOp's BatchScanner fast path:
+// in-place predicate compaction and chunk turnover must both leave the
+// reused page buffer clean past the returned batch.
+func TestScanBatchClearsStaleRows(t *testing.T) {
+	rel, err := storage.NewHeapManager(2).Create("T", 1, &storage.IOStats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{10, 20, 30, 1, 2, 3} {
+		if _, err := rel.Insert(datum.Row{datum.NewInt(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := batchCtx()
+	s := &scanOp{rel: rel, preds: []expr.Expr{vGE(10)}}
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		b, more, err := s.NextBatch(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen += len(b)
+		requireTailClear(t, fmt.Sprintf("scan after %d rows", seen), b)
+		if !more {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("scan produced %d rows, want 3", seen)
+	}
+	// Exhaustion clears the whole buffer, not just the last tail.
+	for i, r := range s.buf {
+		if r != nil {
+			t.Fatalf("scan buffer slot %d still holds %v after exhaustion", i, r)
+		}
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLimitBatchClearsOverQuotaRows: the trim drops rows that will
+// never be delivered, and the producer is never pulled again, so the
+// references would otherwise be pinned for the statement's lifetime.
+func TestLimitBatchClearsOverQuotaRows(t *testing.T) {
+	ctx := batchCtx()
+	l := &limitOp{
+		input: &rowSrc{rows: intRows(1, 2, 3, 4)},
+		nExpr: &expr.Const{Val: datum.NewInt(3)},
+	}
+	if err := l.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b, more, err := l.NextBatch(ctx)
+	if err != nil || !more || len(b) != 2 {
+		t.Fatalf("batch 1 = %v, %v, %v", b, more, err)
+	}
+	// Quota has one row left; the trim cuts [3, 4] down to [3].
+	b, more, err = l.NextBatch(ctx)
+	if err != nil || more || len(b) != 1 {
+		t.Fatalf("batch 2 = %v, %v, %v", b, more, err)
+	}
+	if b[0][0].Int() != 3 {
+		t.Fatalf("batch 2 rows = %v", b)
+	}
+	requireTailClear(t, "limit trim", b)
+	if err := l.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProjectBatchClearsShortOutput: a shorter batch reuses outBuf and
+// must not leave the previous batch's projected rows (and the arena
+// they pin) beyond the new length.
+func TestProjectBatchClearsShortOutput(t *testing.T) {
+	ctx := batchCtx()
+	p := &projectOp{
+		input: &rowSrc{rows: intRows(1, 2, 3)},
+		exprs: []expr.Expr{&expr.Col{Slot: 0, Name: "v", Typ: datum.TInt}},
+	}
+	if err := p.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b, more, err := p.NextBatch(ctx)
+	if err != nil || !more || len(b) != 2 {
+		t.Fatalf("batch 1 = %v, %v, %v", b, more, err)
+	}
+	requireTailClear(t, "project batch 1", b)
+	b, more, err = p.NextBatch(ctx)
+	if err != nil || more || len(b) != 1 {
+		t.Fatalf("batch 2 = %v, %v, %v", b, more, err)
+	}
+	requireTailClear(t, "project partial", b)
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

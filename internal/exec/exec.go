@@ -254,6 +254,9 @@ type Builder struct {
 	// repart, when set, rebinds REPART plan nodes to a reader over one
 	// partition of a shared repartition pool (also per-worker state).
 	repart *repartBinding
+	// vec enables columnar operator dispatch (see Vectorized); kernels
+	// are compiled per node and row fallback is per operator.
+	vec bool
 }
 
 // BuildFunc builds a Stream for a custom plan operator; inputs are the
@@ -287,6 +290,13 @@ func (b *Builder) buildNode(n *plan.Node, corr map[plan.ColRef]int) (Stream, err
 	case plan.OpScan:
 		if b.morsel != nil && b.morsel.node == n {
 			return b.buildMorselScan(n, corr)
+		}
+		if b.vectorize() {
+			if s, ok, err := b.tryColScan(n, corr); err != nil {
+				return nil, err
+			} else if ok {
+				return s, nil
+			}
 		}
 		return b.buildScan(n, corr)
 	case plan.OpGather:

@@ -205,6 +205,13 @@ func (b *Builder) buildFilter(n *plan.Node, corr map[plan.ColRef]int) (Stream, e
 	if err != nil {
 		return nil, err
 	}
+	if b.vectorize() {
+		if cin, ok := in.(ColBatchStream); ok {
+			if kernels, ok := compileColPreds(preds); ok {
+				return &colFilterOp{input: cin, preds: kernels}, nil
+			}
+		}
+	}
 	return &filterOp{input: in, preds: preds}, nil
 }
 
@@ -249,6 +256,11 @@ func (b *Builder) buildProject(n *plan.Node, corr map[plan.ColRef]int) (Stream, 
 	exprs, err = b.refineSubplans(exprs, n.Inputs[0].Cols, corr)
 	if err != nil {
 		return nil, err
+	}
+	if b.vectorize() {
+		if p, ok := tryColProject(in, exprs, n.Types); ok {
+			return p, nil
+		}
 	}
 	return &projectOp{input: in, exprs: exprs}, nil
 }
@@ -553,6 +565,11 @@ type hashJoinOp struct {
 	pred         expr.Expr
 	rightWidth   int
 
+	// filter, when set, is the pushed-down join filter hosted by a
+	// columnar scan in the probe (left) subtree; Open populates it from
+	// the build table's key hashes.
+	filter *joinFilter
+
 	table   map[uint64][]datum.Row
 	leftRow datum.Row
 	bucket  []datum.Row
@@ -575,14 +592,29 @@ func (b *Builder) buildHashJoin(n *plan.Node, corr map[plan.ColRef]int) (Stream,
 	if err != nil {
 		return nil, err
 	}
-	return &hashJoinOp{
+	j := &hashJoinOp{
 		left: l, right: r, kind: n.JoinKind,
 		lKeys: n.EquiLeft, rKeys: n.EquiRight,
 		pred: pred, rightWidth: len(n.Inputs[1].Cols),
-	}, nil
+	}
+	// Push a join filter into a columnar scan feeding the probe side:
+	// inner joins only (an outer join must surface unmatched probe
+	// rows, so the scan may not drop them).
+	if b.vectorize() && (n.JoinKind == "" || n.JoinKind == plan.KindRegular) && len(n.EquiLeft) > 0 {
+		if cs, keys := pushJoinFilter(l, n.EquiLeft); cs != nil {
+			j.filter = &joinFilter{}
+			cs.jf, cs.jfKeys = j.filter, keys
+		}
+	}
+	return j, nil
 }
 
 func (j *hashJoinOp) Open(ctx *Ctx) error {
+	if j.filter != nil {
+		// Deactivate before the probe side opens so a re-opened join
+		// never filters against the previous build's bits.
+		j.filter.ready.Store(false)
+	}
 	if err := j.left.Open(ctx); err != nil {
 		return err
 	}
@@ -608,6 +640,9 @@ func (j *hashJoinOp) Open(ctx *Ctx) error {
 		}
 		h := datum.HashRow(r, j.rKeys)
 		j.table[h] = append(j.table[h], r)
+	}
+	if j.filter != nil {
+		j.filter.populate(j.table)
 	}
 	j.leftRow = nil
 	return nil
@@ -838,6 +873,11 @@ func (b *Builder) buildGroup(n *plan.Node, corr map[plan.ColRef]int) (Stream, er
 			return nil, err
 		}
 		args[i] = bound
+	}
+	if b.vectorize() {
+		if g, ok := tryColGroup(in, n, args); ok {
+			return g, nil
+		}
 	}
 	return &groupOp{input: in, groupCols: n.GroupCols, aggs: n.Aggs, argExprs: args}, nil
 }

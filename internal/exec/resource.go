@@ -126,6 +126,22 @@ func (c *Ctx) countRow(st *obs.OpStats) error {
 	return nil
 }
 
+// tickRows counts n tuple boundaries in one atomic add — the columnar
+// path's batch-granular twin of tick. The slow path runs whenever the
+// batch crossed a tickInterval boundary, so budgets and cancellation
+// are enforced with the same amortized granularity as the row path no
+// matter how rows are chunked into batches.
+func (c *Ctx) tickRows(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	t := c.sh.ticks.Add(int64(n))
+	if t&^(tickInterval-1) == (t-int64(n))&^(tickInterval-1) {
+		return nil
+	}
+	return c.tickSlow(t)
+}
+
 func (c *Ctx) tickSlow(ticks int64) error {
 	if c.limits.MaxRows > 0 && ticks > c.limits.MaxRows {
 		return &ResourceError{Budget: "rows", Limit: c.limits.MaxRows, Used: ticks}

@@ -217,6 +217,14 @@ func operatorKind(s Stream) string {
 		return "morselScanOp"
 	case *repartReaderOp:
 		return "repartReaderOp"
+	case *colScanOp:
+		return "colScanOp"
+	case *colFilterOp:
+		return "colFilterOp"
+	case *colProjectOp:
+		return "colProjectOp"
+	case *colGroupOp:
+		return "colGroupOp"
 	case *statsOp:
 		return "statsOp"
 	}

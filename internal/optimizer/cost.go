@@ -224,8 +224,21 @@ func (o *Optimizer) conjunctSelectivity(preds []expr.Expr) float64 {
 func (o *Optimizer) costScan(t *catalog.Table, preds []expr.Expr) plan.Props {
 	rows, pages := tableStats(t)
 	sel := o.conjunctSelectivity(preds)
+	out := math.Max(1, rows*sel)
+	// An observed-cardinality overlay — the actual output of a prior
+	// execution of this scan shape, folded in by the feedback loop —
+	// outranks the selectivity model.
+	if obs, ok := t.ObservedCard(ScanPredsKey(preds)); ok {
+		out = math.Max(1, obs)
+		if rows < out {
+			// The observation also bounds the input: a scan cannot emit
+			// more rows than it read, so the stale base-table row count is
+			// at least the observed output.
+			rows = out
+		}
+	}
 	return plan.Props{
-		Rows: math.Max(1, rows*sel),
+		Rows: out,
 		Cost: pages*costPageIO + rows*(costRowCPU+float64(len(preds))*costPredCPU),
 	}
 }

@@ -1,0 +1,28 @@
+package optimizer
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// ScanPredsKey renders the canonical fingerprint of a table scan's
+// predicate set, the key of the observed-cardinality overlays
+// (catalog.Table.ObserveCard). Rendering is order-insensitive so the
+// same logical scan fingerprints identically however the compiler
+// ordered its conjuncts; the empty set (a full scan) keys to "".
+// Both the costing side (costScan) and the capture side (the DB's
+// post-statement feedback fold) must use this function, or learned
+// corrections would never be consulted.
+func ScanPredsKey(preds []expr.Expr) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	ss := make([]string, len(preds))
+	for i, p := range preds {
+		ss[i] = p.String()
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, " AND ")
+}

@@ -260,6 +260,38 @@ func (it *heapIterator) NextRows(dst []datum.Row) int {
 	return n
 }
 
+// NextCols implements ColScanner: the columnar twin of NextRows. Stored
+// rows decompose straight into b's typed vectors (the vectors are the
+// arena), with page-read accounting identical to tuple iteration.
+func (it *heapIterator) NextCols(b *datum.ColBatch, max int) int {
+	if max <= 0 {
+		return 0
+	}
+	it.rel.mu.RLock()
+	defer it.rel.mu.RUnlock()
+	n := 0
+	for n < max && it.page < it.pastEnd(len(it.rel.pages)) {
+		pg := it.rel.pages[it.page]
+		if it.slot == 0 {
+			it.rel.stats.ReadPage()
+		}
+		for n < max && it.slot < len(pg.rows) {
+			s := it.slot
+			it.slot++
+			if pg.rows[s] == nil {
+				continue
+			}
+			b.AppendRow(pg.rows[s])
+			n++
+		}
+		if it.slot >= len(pg.rows) {
+			it.page++
+			it.slot = 0
+		}
+	}
+	return n
+}
+
 func (it *heapIterator) Close() {}
 
 // ---------------------------------------------------------------------
@@ -484,6 +516,29 @@ func (it *fixedIterator) NextRows(dst []datum.Row) int {
 		start := len(arena)
 		arena = append(arena, it.rel.rows[i]...)
 		dst[n] = datum.Row(arena[start:len(arena):len(arena)])
+		n++
+	}
+	return n
+}
+
+// NextCols implements ColScanner (see heapIterator.NextCols).
+func (it *fixedIterator) NextCols(b *datum.ColBatch, max int) int {
+	if max <= 0 {
+		return 0
+	}
+	it.rel.mu.RLock()
+	defer it.rel.mu.RUnlock()
+	n := 0
+	for n < max && it.i < it.stop(len(it.rel.rows)) {
+		i := it.i
+		it.i++
+		if i%it.rel.rowsPerPage == 0 {
+			it.rel.stats.ReadPage()
+		}
+		if it.rel.rows[i] == nil {
+			continue
+		}
+		b.AppendRow(it.rel.rows[i])
 		n++
 	}
 	return n

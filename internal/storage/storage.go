@@ -110,6 +110,18 @@ type BatchScanner interface {
 	NextRows(dst []datum.Row) int
 }
 
+// ColScanner is an optional RowIterator capability: decompose up to max
+// stored records directly into the column vectors of b (which the
+// caller has Reset), returning how many rows were appended. Zero means
+// exhaustion, exactly like BatchScanner. The vectors are the arena —
+// values land in typed lanes with no per-row allocation. Page-read
+// accounting is identical to tuple iteration. Iterators that lack this
+// capability (fault-wrapped decorations, DISK, VIRTUAL) are adapted by
+// the executor through the row path instead.
+type ColScanner interface {
+	NextCols(b *datum.ColBatch, max int) int
+}
+
 // PageRangeScanner is an optional Relation capability: scan only pages
 // [lo, hi) of the relation. Exchange operators use it to split one
 // table scan into disjoint morsels claimed dynamically by parallel

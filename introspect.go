@@ -100,6 +100,7 @@ type stmtStatEntry struct {
 	maxNs     int64
 	memHW     int64 // largest per-operator memory high-water seen
 	cacheHits int64 // plan-cache hits
+	fbFolds   int64 // cardinality-feedback folds this statement caused
 	waits     [obs.NumWaitEvents]stmtWaitAgg
 }
 
@@ -111,7 +112,7 @@ type stmtStats struct {
 }
 
 func (s *stmtStats) record(name, kind string, nanos, rows, memHW int64,
-	cacheHit, errored bool, waits []obs.WaitStat) {
+	cacheHit, errored bool, fbFolds int64, waits []obs.WaitStat) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.m == nil {
@@ -143,6 +144,7 @@ func (s *stmtStats) record(name, kind string, nanos, rows, memHW int64,
 	if cacheHit {
 		e.cacheHits++
 	}
+	e.fbFolds += fbFolds
 	for _, w := range waits {
 		a := &e.waits[w.Event]
 		a.count += w.Count
@@ -285,7 +287,7 @@ func (db *DB) registerIntrospection() {
 		{"SYS.STATEMENTS", []catalog.Column{
 			str("NAME"), str("KIND"), num("CALLS"), num("ERRORS"), num("ROWS"),
 			num("TOTAL_NS"), num("MIN_NS"), num("MAX_NS"), num("MEAN_NS"),
-			num("MEM_HW"), num("PLAN_CACHE_HITS"),
+			num("MEM_HW"), num("PLAN_CACHE_HITS"), num("FEEDBACK_FOLDS"),
 		}, db.sysStatements},
 		{"SYS.SESSIONS", []catalog.Column{
 			num("ID"), str("STATE"),
@@ -340,6 +342,7 @@ func (db *DB) sysStatements() ([]datum.Row, error) {
 			datum.NewInt(e.calls), datum.NewInt(e.errs), datum.NewInt(e.rows),
 			datum.NewInt(e.totalNs), datum.NewInt(e.minNs), datum.NewInt(e.maxNs),
 			datum.NewInt(mean), datum.NewInt(e.memHW), datum.NewInt(e.cacheHits),
+			datum.NewInt(e.fbFolds),
 		})
 	}
 	return rows, nil

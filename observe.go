@@ -121,10 +121,11 @@ func (db *DB) slowLogger() *slog.Logger {
 }
 
 // instrumentWanted reports whether statements should run with
-// per-operator stats (needed by the armed slow-query log and by the
-// operator spans of an installed span exporter).
+// per-operator stats (needed by the armed slow-query log, by the
+// operator spans of an installed span exporter, and by the
+// cardinality-feedback loop's actual-row capture).
 func (db *DB) instrumentWanted() bool {
-	return db.slowNanos.Load() > 0 || db.spanExp.Load() != nil
+	return db.slowNanos.Load() > 0 || db.spanExp.Load() != nil || db.cardFeedback.Load()
 }
 
 // stmtKind classifies a statement for the statements-by-kind counter.
@@ -188,8 +189,15 @@ func (db *DB) observe(o *observation, phase string, err error) {
 			m.CounterWith(MetricBudgetTrips, "budget", rerr.Budget).Inc()
 		}
 	}
+	folds := int64(0)
+	if err == nil {
+		// Close the optimizer loop: fold diverging scan actuals into the
+		// catalog's observed-cardinality overlays (no-op unless feedback
+		// is enabled; see feedback.go).
+		folds = db.captureCardFeedback(o)
+	}
 	db.stmts.record(normalizeSQL(o.query), o.kind, elapsed.Nanoseconds(), o.rows,
-		o.instr.MemHighWater(), o.cacheHit, err != nil, o.waits.Snapshot())
+		o.instr.MemHighWater(), o.cacheHit, err != nil, folds, o.waits.Snapshot())
 	if exp := db.spanExporter(); exp != nil {
 		exp(db.buildSpan(o, err, elapsed))
 	}
@@ -273,7 +281,7 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 		db.faults.SetInterrupt(goCtx.Done())
 		defer db.faults.SetInterrupt(nil)
 	}
-	builder := db.builder
+	builder := db.builder.Vectorized(set.vectorize)
 	var instr *exec.Instrumentation
 	if instrument || db.instrumentWanted() {
 		instr = exec.NewInstrumentation()

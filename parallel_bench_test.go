@@ -105,6 +105,7 @@ func scanFilterProjectDB(b *testing.B) *DB {
 
 func benchScanFilterProject(b *testing.B, batchSize int) {
 	db := scanFilterProjectDB(b)
+	db.SetVectorized(false) // this pair measures the row path; see colbench_test.go
 	db.SetBatchSize(batchSize)
 	q := `SELECT k, v + w FROM sfp WHERE v < 400`
 	b.ReportAllocs()

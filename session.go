@@ -34,6 +34,8 @@ type settings struct {
 	skipRewrite bool
 	// rewrite configures the rewrite engine when it runs.
 	rewrite rewrite.Options
+	// vectorize enables columnar execution over eligible operators.
+	vectorize bool
 }
 
 // snapshot captures the DB-wide defaults as one statement's settings.
@@ -45,6 +47,7 @@ func (db *DB) snapshot() settings {
 		tracing:     db.tracing.Load(),
 		skipRewrite: db.SkipRewrite,
 		rewrite:     db.Rewrite,
+		vectorize:   db.Vectorized(),
 	}
 }
 
@@ -202,6 +205,22 @@ func (s *Session) Tracing() bool {
 	return s.set.tracing
 }
 
+// SetVectorized switches columnar (vectorized) execution on or off for
+// this session. On by default; plans are unaffected — the switch picks
+// between columnar and row operators at execution time, per operator.
+func (s *Session) SetVectorized(on bool) {
+	s.mu.Lock()
+	s.set.vectorize = on
+	s.mu.Unlock()
+}
+
+// Vectorized reports whether this session executes columnar.
+func (s *Session) Vectorized() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.vectorize
+}
+
 // SetSkipRewrite bypasses the query rewrite phase for this session.
 func (s *Session) SetSkipRewrite(skip bool) {
 	s.mu.Lock()
@@ -256,3 +275,19 @@ func WithPlanCache(capacity int) Option {
 func WithAudit(on bool) Option {
 	return func(db *DB) { db.SetAudit(on) }
 }
+
+// WithVectorized sets the DB-wide default for columnar execution (on
+// unless disabled; see Session.SetVectorized).
+func WithVectorized(on bool) Option {
+	return func(db *DB) { db.SetVectorized(on) }
+}
+
+// SetVectorized sets the DB-wide default for columnar (vectorized)
+// execution. On by default: eligible scan, filter, project and
+// aggregate operators run fused per-type kernels over column vectors,
+// falling back to row execution per operator when an expression has no
+// kernel. Plans and results are unaffected.
+func (db *DB) SetVectorized(on bool) { db.vecDisabled.Store(!on) }
+
+// Vectorized reports the DB-wide columnar execution default.
+func (db *DB) Vectorized() bool { return !db.vecDisabled.Load() }

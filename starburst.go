@@ -180,6 +180,12 @@ type DB struct {
 	// SetParallelism and SetBatchSize in parallel.go).
 	dop       atomic.Int32
 	batchSize atomic.Int32
+	// vecDisabled switches off columnar (vectorized) execution; stored
+	// inverted so the zero value keeps vectorization on by default (see
+	// SetVectorized in session.go).
+	vecDisabled atomic.Bool
+	// cardFeedback arms the cardinality-feedback loop (see feedback.go).
+	cardFeedback atomic.Bool
 
 	// obsState holds the observability knobs: metrics registry, phase
 	// tracing, slow-query log (see observe.go).
