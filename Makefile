@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-json fmt race check faults torture bench bench-compare obs introspect vectorize api
+.PHONY: all build test vet lint lint-json fmt race check faults torture bench bench-compare obs introspect vectorize api mvcc
 
 all: check
 
@@ -98,24 +98,34 @@ vectorize:
 	$(GO) test ./internal/datum -count=1
 	$(GO) test ./internal/exec -count=1
 
-# bench records the Figure-1 phase, parallel-execution, plan-cache,
-# disk-storage, columnar-execution and cardinality-feedback benchmarks
-# as JSON for the perf trajectory across PRs.
-bench:
-	BENCH_JSON=BENCH_PR9.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+# mvcc runs the transaction gate under the race detector: the
+# randomized concurrent-schedule generator with its snapshot-history
+# checker (readers during DDL, write-write conflict, rollback-heavy),
+# the deterministic Tx/Session API tests, the mid-statement fault
+# rollback, and the database/sql driver transaction conformance test.
+mvcc:
+	$(GO) test ./ -count=1 -race -run 'TestMVCC|TestTx|TestSession|TestDriverTransactions'
 
-# bench-compare regenerates BENCH_PR9.json and diffs it against the
-# PR-8 baseline, failing on a >5% serial regression of the end-to-end
-# paper query (columnar dispatch must stay off plans it cannot help),
-# a columnar scan→filter→aggregate speedup below 1.5x over the
-# row-batch path, a parallel speedup below 2x, a batched-path alloc
+# bench records the Figure-1 phase, parallel-execution, plan-cache,
+# disk-storage, columnar-execution, cardinality-feedback and
+# MVCC-concurrency benchmarks as JSON for the perf trajectory across
+# PRs.
+bench:
+	BENCH_JSON=BENCH_PR10.json $(GO) test ./ -count=1 -run TestEmitBenchJSON -v
+
+# bench-compare regenerates BENCH_PR10.json and diffs it against the
+# PR-9 baseline, failing on a >5% serial regression of the end-to-end
+# paper query (MVCC bookkeeping must stay off the serial fast path),
+# a concurrent mixed-workload speedup below 2x over the RWMutex
+# discipline, a columnar scan→filter→aggregate speedup below 1.5x over
+# the row-batch path, a parallel speedup below 2x, a batched-path alloc
 # saving below 25%, a plan-cache hit speedup below 5x, or a disk write
 # path more than 3x the heap's.
 bench-compare: bench
-	$(GO) run ./cmd/benchcmp BENCH_PR8.json BENCH_PR9.json
+	$(GO) run ./cmd/benchcmp BENCH_PR9.json BENCH_PR10.json
 
 # check is the full gate CI runs: formatting, vet, build, race-enabled
 # tests, the lint suite (analyzers + fixture self-tests), the
-# introspection gate, the columnar-execution gate, and the
-# exported-API golden diff.
-check: fmt vet build race lint introspect vectorize api
+# introspection gate, the columnar-execution gate, the MVCC
+# transaction gate, and the exported-API golden diff.
+check: fmt vet build race lint introspect vectorize mvcc api

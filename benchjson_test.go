@@ -54,6 +54,11 @@ func TestEmitBenchJSON(t *testing.T) {
 		{"FeedbackOffExec", BenchmarkFeedbackOffExec},
 		{"FeedbackArmedExec", BenchmarkFeedbackArmedExec},
 		{"FeedbackReplan", BenchmarkFeedbackReplan},
+		// PR-10 MVCC: the 8-goroutine mixed reader/writer/DDL workload
+		// under snapshot isolation vs the same stream replayed behind
+		// the retired DB-wide statement RWMutex.
+		{"ConcurrentMixedMVCC", BenchmarkConcurrentMixedMVCC},
+		{"ConcurrentMixedRWMutex", BenchmarkConcurrentMixedRWMutex},
 	}
 	out := map[string]map[string]int64{}
 	for _, bm := range benches {

@@ -20,7 +20,13 @@
 //     per statement) must run within 3x of HeapInsert, and DiskScan
 //     (buffer pool over slotted pages) within 2x of HeapScan. Both
 //     pairs must be present — the disk path is benchmarked, not
-//     optional.
+//     optional;
+//   - MVCC pays under contention: ConcurrentMixedMVCC (the
+//     8-goroutine mixed reader/writer/DDL workload under snapshot
+//     isolation) must run in at most half the ns/op of
+//     ConcurrentMixedRWMutex (the same stream replayed behind the
+//     retired DB-wide statement lock) — retiring the RWMutex must buy
+//     at least 2x mixed throughput.
 //
 // Every benchmark present in both files is printed as a diff table;
 // only the gates above fail the run.
@@ -151,8 +157,16 @@ func main() {
 		fail("disk scan path over 2x heap: disk %dns vs heap %dns", ds, hs)
 	}
 
+	mv, rw := new["ConcurrentMixedMVCC"]["ns_per_op"], new["ConcurrentMixedRWMutex"]["ns_per_op"]
+	switch {
+	case mv == 0 || rw == 0:
+		fail("ConcurrentMixedMVCC/RWMutex missing from %s", os.Args[2])
+	case float64(mv) > 0.5*float64(rw):
+		fail("MVCC mixed-workload speedup below 2x: MVCC %dns vs RWMutex %dns", mv, rw)
+	}
+
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("ok: serial within 5%, columnar ≥1.5x, parallel ≥2x, batched allocs ≤75%, cache hit ≥5x, disk insert ≤3x / scan ≤2x heap")
+	fmt.Println("ok: serial within 5%, columnar ≥1.5x, parallel ≥2x, batched allocs ≤75%, cache hit ≥5x, disk insert ≤3x / scan ≤2x heap, MVCC mixed ≥2x RWMutex")
 }

@@ -4,14 +4,19 @@ import (
 	"go/ast"
 )
 
-// api-bypass verifies, inside the module root package, that sql.Parse
-// is only called from the blessed unexported statement cores. They are
-// where the concurrency contract (stmtMu), the plan cache, settings
-// snapshots and the *QueryError wrapping live; a new exported method
-// that parses for itself silently skips all four.
+// api-bypass verifies, inside the module root package, that the public
+// surface funnels through the blessed unexported cores. sql.Parse may
+// only be called from the statement cores ((*DB).query, (*DB).prepare),
+// and txn.Manager.Begin — the only way to mint a transaction identity
+// and snapshot — may only be called from the transaction cores
+// ((*DB).beginTx, (*DB).autoTxOn). The cores are where the concurrency
+// contract (MVCC snapshot plus pinned catalog generation), the plan
+// cache, settings snapshots, the durable commit hook and *QueryError
+// wrapping live; a new exported method that parses or begins for
+// itself silently skips all of them.
 var apiBypassAnalyzer = &analyzer{
 	name: "api-bypass",
-	doc:  "in the root package, only (*DB).query and (*DB).prepare may call sql.Parse",
+	doc:  "in the root package, only (*DB).query and (*DB).prepare may call sql.Parse, and only (*DB).beginTx and (*DB).autoTxOn may call txn.Manager.Begin",
 	run:  runAPIBypass,
 }
 
@@ -23,20 +28,29 @@ var apiBypassCores = map[string]bool{
 	"DB.prepare": true,
 }
 
+// apiBypassTxnCores are the transaction cores: the only functions in
+// the module root package allowed to mint a transaction via
+// txn.Manager.Begin, so every statement — implicit or explicit —
+// carries a snapshot, a pinned catalog generation and the durable
+// commit hook.
+var apiBypassTxnCores = map[string]bool{
+	"DB.beginTx":  true,
+	"DB.autoTxOn": true,
+}
+
 func runAPIBypass(p *pass) {
 	if p.importPath != p.modPath {
 		return
 	}
 	sqlPath := p.modPath + "/internal/sql"
+	txnPath := p.modPath + "/internal/txn"
 	for _, f := range p.files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if apiBypassCores[funcLabel(fd)] {
-				continue
-			}
+			label := funcLabel(fd)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
@@ -47,13 +61,25 @@ func runAPIBypass(p *pass) {
 					return true
 				}
 				obj := p.info.Uses[se.Sel]
-				if obj == nil || obj.Name() != "Parse" ||
-					obj.Pkg() == nil || obj.Pkg().Path() != sqlPath {
+				if obj == nil || obj.Pkg() == nil {
 					return true
 				}
-				p.report(call.Pos(),
-					"%s calls sql.Parse outside the context-first core; route statements through (*DB).query or (*DB).prepare so the concurrency contract, plan cache, settings snapshot and QueryError wrapping all apply",
-					funcLabel(fd))
+				switch {
+				case obj.Name() == "Parse" && obj.Pkg().Path() == sqlPath:
+					if apiBypassCores[label] {
+						return true
+					}
+					p.report(call.Pos(),
+						"%s calls sql.Parse outside the context-first core; route statements through (*DB).query or (*DB).prepare so the concurrency contract, plan cache, settings snapshot and QueryError wrapping all apply",
+						label)
+				case obj.Name() == "Begin" && obj.Pkg().Path() == txnPath:
+					if apiBypassTxnCores[label] {
+						return true
+					}
+					p.report(call.Pos(),
+						"%s calls txn Manager.Begin outside the transaction core; mint transactions through (*DB).beginTx or (*DB).autoTxOn so every statement carries a snapshot, a pinned catalog generation and the durable commit hook",
+						label)
+				}
 				return true
 			})
 		}

@@ -16,7 +16,7 @@ type edge struct {
 
 // lockOp is one sync.Mutex/RWMutex acquisition found in a function
 // body, identified by the final field name of the receiver selector
-// (db.stmtMu.Lock() → field "stmtMu").
+// (m.commitMu.Lock() → field "commitMu").
 type lockOp struct {
 	field  string
 	method string // Lock, RLock, TryLock, TryRLock
@@ -267,7 +267,7 @@ func (g *callGraph) matchMethod(methods []*types.Func, m *types.Func) []*types.F
 }
 
 // finalSelectorName extracts the rightmost name of a selector chain:
-// db.stmtMu → "stmtMu", c.mu → "mu", mu → "mu".
+// mgr.commitMu → "commitMu", c.mu → "mu", mu → "mu".
 func finalSelectorName(e ast.Expr) string {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.SelectorExpr:

@@ -6,13 +6,15 @@ import (
 )
 
 // dml-direct-mutate flags calls to catalog.Catalog's Insert, Update or
-// Delete inside internal/exec. DML operators must mutate through the
-// undo-logged entry points (InsertLogged, UpdateLogged, DeleteLogged)
-// so a mid-statement error can roll the whole statement back; a direct
-// mutation silently escapes statement atomicity.
+// Delete inside internal/exec. Those are the unversioned recovery and
+// system paths; DML operators must mutate through the MVCC transaction
+// entry points (InsertTx, UpdateTx, DeleteTx) so every write joins the
+// statement's transaction — versioned for visibility, tracked for
+// commit stamping, and logged for rollback. A direct mutation silently
+// escapes snapshot isolation and statement atomicity.
 var dmlDirectAnalyzer = &analyzer{
 	name: "dml-direct-mutate",
-	doc:  "no direct catalog.Insert/Update/Delete in internal/exec; DML goes through the undo-logged entry points",
+	doc:  "no direct catalog.Insert/Update/Delete in internal/exec; DML goes through the InsertTx/UpdateTx/DeleteTx transaction entry points",
 	run:  runDmlDirect,
 }
 
@@ -47,7 +49,7 @@ func runDmlDirect(p *pass) {
 				return true
 			}
 			p.report(call.Pos(),
-				"direct catalog.%s in internal/exec bypasses statement atomicity; mutate through %sLogged with an UndoLog",
+				"direct catalog.%s in internal/exec bypasses snapshot isolation and statement atomicity; mutate through %sTx with the statement's TxnState",
 				name, name)
 			return true
 		})

@@ -11,8 +11,9 @@ import (
 // store exists. Three rules:
 //
 //  1. in internal/...: no silently dropped error return from Close,
-//     IterErr, or undo-log Rollback — an ExprStmt/defer/go call whose
-//     error result vanishes, or a blank assignment `_ = x.Close()`;
+//     IterErr, or transaction Rollback — an ExprStmt/defer/go call
+//     whose error result vanishes, or a blank assignment
+//     `_ = x.Close()`;
 //  2. module-wide: no silently dropped error return from Sync, Flush,
 //     or (*os.File).Close — a dropped flush/sync error is silent data
 //     loss, the OS's last chance to report a failed write;
@@ -27,7 +28,10 @@ import (
 var errorDiscardAnalyzer = &analyzer{
 	name: "error-discard",
 	doc:  "no dropped errors from Close/IterErr/Rollback (internal) or Sync/Flush/os.File Close (module-wide), and every storage-iterator consumer consults storage.IterErr",
-	run:  runErrorDiscard,
+	// (Rollback here is the MVCC transaction rollback on
+	// catalog.TxnState; the rule is name-based so any future
+	// rollback-shaped API is fenced too.)
+	run: runErrorDiscard,
 }
 
 var leakProneNames = map[string]bool{"Close": true, "IterErr": true, "Rollback": true}
@@ -61,7 +65,7 @@ func runErrorDiscard(p *pass) {
 			if inInternal {
 				if name, ok := leakProneResult(p, call); ok {
 					p.report(call.Pos(),
-						"%s returns an error that is silently discarded; the leak-prone set (Close, IterErr, undo-log Rollback) must be propagated — join it with the primary error if one is already in flight",
+						"%s returns an error that is silently discarded; the leak-prone set (Close, IterErr, transaction Rollback) must be propagated — join it with the primary error if one is already in flight",
 						name)
 					return true
 				}

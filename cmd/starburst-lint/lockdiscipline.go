@@ -2,6 +2,7 @@ package main
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
@@ -13,34 +14,47 @@ import (
 //	// starburst:locks <path>.<field>:read|write
 //
 // declares "this function runs with that lock held in that mode" —
-// e.g. the statement helpers called by (*DB).query after it takes
-// stmtMu. write mode doubles as a requirement: reaching a :write
+// e.g. the durable commit hook called by txn.Manager.Commit under
+// commitMu. write mode doubles as a requirement: reaching a :write
 // function from a :read root means write-guarded state is mutated
-// under a read lock. Three rules, each walked over the call graph from
-// every annotated root:
+// under a read lock. A second annotation marks MVCC snapshot-capture
+// points:
+//
+//	// starburst:snapshot-capture <path>.<field>
+//
+// declares "this function captures a snapshot against the watermark
+// that <lock> guards, and must never run while <lock> is held" — the
+// watermark only exposes fully stamped transactions once the commit
+// mutex is released, so a snapshot taken inside the commit path can
+// order against a half-published commit. Four rules, each walked over
+// the call graph from every annotated root:
 //
 //  1. a :read root must not reach a :write-annotated function,
 //  2. no reachable function may re-acquire the named lock (the classic
 //     RLock-under-Lock self-deadlock),
 //  3. no channel send may execute while the lock is held — restricted
 //     to functions in the root's own package, since cross-package
-//     worker sends are goroutine-hygiene's territory.
+//     worker sends are goroutine-hygiene's territory,
+//  4. no reachable function may be a snapshot-capture point for the
+//     held lock.
 var lockDisciplineAnalyzer = &analyzer{
 	name: "lock-discipline",
-	doc:  "call-graph enforcement of starburst:locks annotations: no write-annotated callee from a read context, no nested re-acquisition, no send while holding the lock",
+	doc:  "call-graph enforcement of starburst:locks annotations: no write-annotated callee from a read context, no nested re-acquisition, no send while holding the lock, no snapshot capture under the commit mutex",
 	run:  runLockDiscipline,
 }
 
 // lockAnno is one parsed starburst:locks annotation.
 type lockAnno struct {
-	lock  string // as written, e.g. "db.stmtMu"
-	field string // final component, e.g. "stmtMu"
+	lock  string // as written, e.g. "mgr.commitMu"
+	field string // final component, e.g. "commitMu"
 	write bool
 }
 
 var (
 	lockAnnoStart = regexp.MustCompile(`^//\s*starburst:locks\b`)
 	lockAnnoRe    = regexp.MustCompile(`^//\s*starburst:locks\s+(\S+):(read|write)\s*$`)
+	snapAnnoStart = regexp.MustCompile(`^//\s*starburst:snapshot-capture\b`)
+	snapAnnoRe    = regexp.MustCompile(`^//\s*starburst:snapshot-capture\s+(\S+)\s*$`)
 )
 
 // lockAnnotations parses the starburst:locks annotations in a doc
@@ -69,6 +83,28 @@ func lockAnnotations(p *pass, fd *ast.FuncDecl) []lockAnno {
 	return out
 }
 
+// snapshotCaptures parses the starburst:snapshot-capture annotations
+// in a doc comment (lock path only; the write flag is unused).
+func snapshotCaptures(fd *ast.FuncDecl) []lockAnno {
+	if fd == nil || fd.Doc == nil {
+		return nil
+	}
+	var out []lockAnno
+	for _, c := range fd.Doc.List {
+		m := snapAnnoRe.FindStringSubmatch(c.Text)
+		if m == nil {
+			continue
+		}
+		lock := m[1]
+		field := lock
+		if i := strings.LastIndex(lock, "."); i >= 0 {
+			field = lock[i+1:]
+		}
+		out = append(out, lockAnno{lock: lock, field: field})
+	}
+	return out
+}
+
 func runLockDiscipline(p *pass) {
 	if p.graph == nil {
 		return
@@ -78,6 +114,13 @@ func runLockDiscipline(p *pass) {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
+			}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if snapAnnoStart.MatchString(c.Text) && !snapAnnoRe.MatchString(c.Text) {
+						p.report(c.Pos(), "malformed starburst:snapshot-capture annotation %q; want \"// starburst:snapshot-capture <path>.<field>\"", c.Text)
+					}
+				}
 			}
 			annos := lockAnnotations(p, fd)
 			if len(annos) == 0 {
@@ -94,8 +137,8 @@ func runLockDiscipline(p *pass) {
 	}
 }
 
-// checkLockRoot applies the three lock rules to everything reachable
-// from one annotated root (the root itself included for rules 2 and 3).
+// checkLockRoot applies the four lock rules to everything reachable
+// from one annotated root (the root itself included for rules 2–4).
 func checkLockRoot(p *pass, root *types.Func, rootDecl *ast.FuncDecl, anno lockAnno) {
 	mode := "read"
 	if anno.write {
@@ -103,8 +146,15 @@ func checkLockRoot(p *pass, root *types.Func, rootDecl *ast.FuncDecl, anno lockA
 	}
 	rootName := funcLabel(rootDecl)
 
-	check := func(fn *types.Func, path []string) {
+	check := func(fn *types.Func, pos token.Pos, path []string) {
 		g := p.graph
+		for _, sa := range snapshotCaptures(g.decl[fn]) {
+			if sa.field == anno.field {
+				p.report(pos,
+					"%s captures a fresh MVCC snapshot while %s is held in %s mode by %s%s; the watermark only exposes fully stamped commits once the lock is released, so capture snapshots before entering the commit path",
+					fn.Name(), anno.lock, mode, rootName, viaPath(path))
+			}
+		}
 		for _, op := range g.acquires[fn] {
 			if op.field != anno.field {
 				continue
@@ -122,7 +172,7 @@ func checkLockRoot(p *pass, root *types.Func, rootDecl *ast.FuncDecl, anno lockA
 		}
 	}
 
-	check(root, nil)
+	check(root, rootDecl.Pos(), nil)
 	for _, r := range p.graph.reach(root) {
 		if !anno.write {
 			if callee := p.graph.decl[r.fn]; callee != nil {
@@ -135,7 +185,7 @@ func checkLockRoot(p *pass, root *types.Func, rootDecl *ast.FuncDecl, anno lockA
 				}
 			}
 		}
-		check(r.fn, r.path)
+		check(r.fn, r.pos, r.path)
 	}
 }
 

@@ -15,21 +15,25 @@
 //   - exec-panic: no naked panic in internal/exec — operators return
 //     errors through the Stream.
 //   - dml-direct-mutate: no direct catalog.Insert / Update / Delete in
-//     internal/exec — DML mutates through the undo-logged entry points.
+//     internal/exec — DML mutates through the InsertTx / UpdateTx /
+//     DeleteTx transaction entry points.
 //   - obs-bypass: every type in internal/exec implementing Stream must
 //     be a case in operatorKind, so instrumentation can name it.
 //   - ctx-shared-mutation: only the serial-only operator set may write
 //     non-atomic statement-wide Ctx fields.
 //   - api-bypass: in the root package, only the unexported statement
-//     cores ((*DB).query, (*DB).prepare) may call sql.Parse.
+//     cores ((*DB).query, (*DB).prepare) may call sql.Parse, and only
+//     the transaction cores ((*DB).beginTx, (*DB).autoTxOn) may mint
+//     transactions via txn.Manager.Begin.
 //   - lock-discipline: call-graph enforcement of the starburst:locks
 //     annotations — no write-annotated callee reachable from a read
 //     context, no nested re-acquisition of the annotated lock, no
-//     channel send while it is held.
+//     channel send while it is held, and no MVCC snapshot capture
+//     (starburst:snapshot-capture) under the commit mutex.
 //   - goroutine-hygiene: every go statement in internal/exec joins via
 //     a WaitGroup, every channel send is select-guarded.
 //   - error-discard: no silently dropped errors from the leak-prone
-//     set (Close, IterErr, undo-log Rollback) in internal/..., none
+//     set (Close, IterErr, transaction Rollback) in internal/..., none
 //     from the durability set (Sync, Flush, os.File Close) anywhere in
 //     the module, and every storage-iterator consumer consults
 //     storage.IterErr.

@@ -1,16 +1,24 @@
 //lintfixture:path repro
 
 // Package fixapi seeds api-bypass violations: sql.Parse called outside
-// the blessed statement cores, under the simulated root import path.
+// the blessed statement cores, and txn.Manager.Begin called outside
+// the transaction cores, under the simulated root import path.
 package fixapi
 
-import "repro/internal/sql"
+import (
+	"repro/internal/sql"
+	"repro/internal/txn"
+)
 
-type DB struct{}
+type DB struct{ mgr *txn.Manager }
 
-// The blessed cores may parse.
+// The blessed statement cores may parse.
 func (db *DB) query(q string) (sql.Statement, error)   { return sql.Parse(q) }
 func (db *DB) prepare(q string) (sql.Statement, error) { return sql.Parse(q) }
+
+// The blessed transaction cores may mint transactions.
+func (db *DB) beginTx() *txn.Txn  { return db.mgr.Begin(false) }
+func (db *DB) autoTxOn() *txn.Txn { return db.mgr.Begin(true) }
 
 // An exported entry point parsing for itself bypasses the core.
 func (db *DB) RunDirect(q string) error {
@@ -23,7 +31,18 @@ func sideDoor(q string) {
 	sql.Parse(q) // want api-bypass "sideDoor calls sql.Parse outside the context-first core"
 }
 
+// Minting a transaction outside the transaction cores skips the
+// snapshot and durability plumbing.
+func (db *DB) SideBegin() *txn.Txn {
+	return db.mgr.Begin(false) // want api-bypass "DB.SideBegin calls txn Manager.Begin outside the transaction core"
+}
+
 func suppressedDoor(q string) {
 	//lint:ignore api-bypass fixture: demonstrates a justified suppression
 	_, _ = sql.Parse(q)
+}
+
+func suppressedBegin(db *DB) {
+	//lint:ignore api-bypass fixture: demonstrates a justified suppression
+	db.mgr.Begin(true)
 }

@@ -1,7 +1,7 @@
 //lintfixture:path repro/internal/exec/fixdml
 
-// Package fixdml seeds dml-direct-mutate violations: un-logged catalog
-// mutation under the simulated internal/exec import path.
+// Package fixdml seeds dml-direct-mutate violations: unversioned
+// catalog mutation under the simulated internal/exec import path.
 package fixdml
 
 import (
@@ -20,15 +20,14 @@ func firing(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row
 	return c.Delete(t, rid) // want dml-direct-mutate "direct catalog.Delete"
 }
 
-func clean(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row) error {
-	var undo catalog.UndoLog
-	if _, err := c.InsertLogged(t, row, &undo); err != nil {
+func clean(c *catalog.Catalog, t *catalog.Table, rid storage.RID, row datum.Row, ts *catalog.TxnState) error {
+	if _, err := c.InsertTx(t, row, ts); err != nil {
 		return err
 	}
-	if err := c.UpdateLogged(t, rid, row, &undo); err != nil {
+	if err := c.UpdateTx(t, rid, row, ts); err != nil {
 		return err
 	}
-	return c.DeleteLogged(t, rid, &undo)
+	return c.DeleteTx(t, rid, ts)
 }
 
 func alsoClean(t *catalog.Table, row datum.Row) {

@@ -1,8 +1,9 @@
 //lintfixture:path repro/internal/fixerr
 
 // Package fixerr seeds error-discard violations: silently dropped
-// errors from the leak-prone set (Close, IterErr, undo-log Rollback)
-// and storage-iterator consumers that never consult storage.IterErr.
+// errors from the leak-prone set (Close, IterErr, transaction
+// Rollback) and storage-iterator consumers that never consult
+// storage.IterErr.
 package fixerr
 
 import (
@@ -41,12 +42,12 @@ func suppressedClose(r resource) {
 	r.Close()
 }
 
-func firingRollback(undo *catalog.UndoLog) {
-	_ = undo.Rollback() // want error-discard "silently discarded"
+func firingRollback(c *catalog.Catalog, ts *catalog.TxnState) {
+	_ = ts.Rollback(c) // want error-discard "silently discarded"
 }
 
-func cleanRollback(undo *catalog.UndoLog) error {
-	return undo.Rollback()
+func cleanRollback(c *catalog.Catalog, ts *catalog.TxnState) error {
+	return ts.Rollback(c)
 }
 
 func firingIter(rel storage.Relation) int64 {

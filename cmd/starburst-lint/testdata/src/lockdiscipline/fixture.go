@@ -1,52 +1,80 @@
 //lintfixture:path repro/fixlock
 
-// Package fixlock proves the PR-5 statement-lock contract is machine
-// checked: a read-lock context must not reach catalog-mutating
-// (write-annotated) code, re-acquire the statement lock, or hold it
-// across a channel send.
+// Package fixlock proves the MVCC-era lock contract is machine
+// checked: code annotated as running under the commit mutex must not
+// re-acquire it, block on a channel send, or capture a fresh MVCC
+// snapshot; and an admin-latch read context must not reach
+// write-annotated code.
 package fixlock
 
 import "sync"
 
-// DB mirrors the root package: one RWMutex guarding catalog state.
-type DB struct {
-	stmtMu sync.RWMutex
-	tables map[string]int
+// Manager mirrors the txn manager: commitMu serializes the commit
+// protocol and the watermark publish.
+type Manager struct {
+	commitMu  sync.Mutex
+	watermark int64
 }
 
-// queryLocked runs with the read lock held, like the statement core.
+// Begin captures a snapshot at the current watermark. The watermark
+// only exposes fully stamped commits once commitMu is released, so
+// Begin must never run under the commit mutex.
 //
-// starburst:locks db.stmtMu:read
-func (db *DB) queryLocked() {
-	db.lookup()
-	db.createTable() // want lock-discipline "annotated db.stmtMu:write"
+// starburst:snapshot-capture mgr.commitMu
+func (m *Manager) Begin() int64 { return m.watermark }
+
+// DB mirrors the root package: the admin latch plus the txn manager.
+type DB struct {
+	adminMu sync.RWMutex
+	mgr     *Manager
+	tables  map[string]int
+}
+
+// commitLocked runs the commit protocol with commitMu already held,
+// like the durable commit hook.
+//
+// starburst:locks mgr.commitMu:write
+func (db *DB) commitLocked() {
+	db.stamp()
 	db.reacquire()
 	ch := make(chan int)
-	ch <- 1 // want lock-discipline "channel send"
+	ch <- 1            // want lock-discipline "channel send"
+	_ = db.mgr.Begin() // want lock-discipline "captures a fresh MVCC snapshot"
 }
 
-// createTable mutates catalog state and so requires the write lock.
+func (db *DB) stamp() { db.tables["t"] = 1 }
+
+func (db *DB) reacquire() {
+	db.mgr.commitMu.Lock() // want lock-discipline "re-acquires Lock"
+	defer db.mgr.commitMu.Unlock()
+}
+
+// queryShared runs with the admin latch shared, like every statement.
 //
-// starburst:locks db.stmtMu:write
-func (db *DB) createTable() { db.tables["t"] = 1 }
+// starburst:locks db.adminMu:read
+func (db *DB) queryShared() {
+	db.lookup()
+	db.attachFaults() // want lock-discipline "annotated db.adminMu:write"
+}
+
+// attachFaults restructures live engine state in place and so requires
+// the latch exclusively.
+//
+// starburst:locks db.adminMu:write
+func (db *DB) attachFaults() { db.tables["t"] = 0 }
 
 func (db *DB) lookup() { _ = db.tables["t"] }
 
-func (db *DB) reacquire() {
-	db.stmtMu.RLock() // want lock-discipline "re-acquires RLock"
-	defer db.stmtMu.RUnlock()
-}
-
-// ddl runs exclusively; reaching the catalog mutator is fine.
+// ddl runs exclusively; reaching the exclusive-mode mutator is fine.
 //
-// starburst:locks db.stmtMu:write
-func (db *DB) ddl() { db.createTable() }
+// starburst:locks db.adminMu:write
+func (db *DB) ddl() { db.attachFaults() }
 
-// queryQuiet holds the read lock across a send that provably cannot
-// block; the suppression records why.
+// commitQuiet holds the commit mutex across a send that provably
+// cannot block; the suppression records why.
 //
-// starburst:locks db.stmtMu:read
-func (db *DB) queryQuiet() {
+// starburst:locks mgr.commitMu:write
+func (db *DB) commitQuiet() {
 	ch := make(chan int, 1)
 	//lint:ignore lock-discipline fixture: buffered send into an empty channel cannot block; demonstrates a justified suppression
 	ch <- 1

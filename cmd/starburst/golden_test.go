@@ -174,3 +174,77 @@ func TestVectorizeAndFeedbackToggles(t *testing.T) {
 		t.Errorf("\\feedback did not disarm: %q", out.String())
 	}
 }
+
+// TestShellTransactions drives a transaction through the backslash
+// sugar and the bare SQL statements: \begin opens a transaction on the
+// shell's session, updates stay private until \commit, and \rollback
+// discards a BEGIN-opened transaction's writes.
+func TestShellTransactions(t *testing.T) {
+	var out bytes.Buffer
+	sh := &shell{db: starburst.Open(), out: &out, errOut: &out}
+	for _, stmt := range []string{
+		"CREATE TABLE accts (id INT NOT NULL, bal INT NOT NULL);",
+		"INSERT INTO accts VALUES (1, 100);",
+		"INSERT INTO accts VALUES (2, 50);",
+	} {
+		if err := sh.execute(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if sh.command(`\begin`) {
+		t.Fatal("\\begin must not quit")
+	}
+	if sh.sess == nil || sh.sess.Tx() == nil {
+		t.Fatal("\\begin did not open a transaction on the shell session")
+	}
+	if err := sh.execute("UPDATE accts SET bal = bal - 30 WHERE id = 1;"); err != nil {
+		t.Fatal(err)
+	}
+	// The transfer is invisible outside the transaction until commit.
+	res, err := sh.db.Exec("SELECT bal FROM accts WHERE id = 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 100 {
+		t.Fatalf("uncommitted update leaked: outside view bal=%d, want 100", got)
+	}
+	sh.command(`\commit`)
+	if sh.sess.Tx() != nil {
+		t.Fatal("\\commit left a transaction open")
+	}
+	res, err = sh.db.Exec("SELECT bal FROM accts WHERE id = 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 70 {
+		t.Fatalf("committed update lost: bal=%d, want 70", got)
+	}
+
+	// SQL BEGIN and \rollback compose: the delete is discarded.
+	if err := sh.execute("BEGIN;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.execute("DELETE FROM accts WHERE id = 2;"); err != nil {
+		t.Fatal(err)
+	}
+	sh.command(`\rollback`)
+	if sh.sess.Tx() != nil {
+		t.Fatal("\\rollback left a transaction open")
+	}
+	res, err = sh.db.Exec("SELECT COUNT(*) FROM accts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 2 {
+		t.Fatalf("rolled-back delete applied: %d rows, want 2", got)
+	}
+
+	// \commit with nothing open reports the engine error instead of
+	// crashing the shell.
+	out.Reset()
+	sh.command(`\commit`)
+	if !strings.Contains(out.String(), "no transaction in progress") {
+		t.Errorf("\\commit outside a transaction: got %q", out.String())
+	}
+}

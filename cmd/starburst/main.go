@@ -96,15 +96,25 @@ func exitOn(err error) {
 	}
 }
 
-// shell is one REPL/script session: a DB, the sinks output goes to, and
-// the \timing toggle.
+// shell is one REPL/script session: a DB, the engine Session statements
+// run on (so BEGIN/COMMIT/ROLLBACK carry across lines), the sinks
+// output goes to, and the \timing toggle.
 type shell struct {
 	db     *starburst.DB
+	sess   *starburst.Session
 	out    io.Writer
 	errOut io.Writer
 	// timing appends "(elapsed)" to statement status lines; toggled by
 	// \timing. On by default.
 	timing bool
+}
+
+// session lazily opens the engine Session every statement runs on.
+func (sh *shell) session() *starburst.Session {
+	if sh.sess == nil {
+		sh.sess = sh.db.NewSession()
+	}
+	return sh.sess
 }
 
 func (sh *shell) runScript(script string) error {
@@ -122,12 +132,19 @@ func (sh *shell) runScript(script string) error {
 
 func (sh *shell) repl(in io.Reader) {
 	fmt.Fprintln(sh.out, "Starburst reproduction shell — Hydrogen statements end with ';'")
-	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \cache  \trace on|off  \vectorize  \feedback  \q (quit)`)
+	fmt.Fprintln(sh.out, `commands: \d (schema)  \io (I/O counters)  \timing (toggle)  \metrics  \cache  \trace on|off  \vectorize  \feedback  \begin \commit \rollback  \q (quit)`)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
-	prompt := "starburst> "
+	prompt := ""
 	for {
+		if buf.Len() == 0 {
+			// The * prompt marks an open transaction.
+			prompt = "starburst> "
+			if sh.sess != nil && sh.sess.Tx() != nil {
+				prompt = "starburst*> "
+			}
+		}
 		fmt.Fprint(sh.out, prompt)
 		if !sc.Scan() {
 			fmt.Fprintln(sh.out)
@@ -205,6 +222,12 @@ func (sh *shell) command(cmd string) (quit bool) {
 		} else {
 			fmt.Fprintln(sh.out, "cardinality feedback is off")
 		}
+	case `\begin`, `\commit`, `\rollback`:
+		// Sugar for the SQL transaction statements, so a transaction can
+		// be driven entirely from backslash commands.
+		if err := sh.execute(strings.TrimPrefix(cmd, `\`)); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
 	default:
 		fmt.Fprintln(sh.out, "unknown command", cmd)
 	}
@@ -255,7 +278,7 @@ func (sh *shell) execute(stmt string) error {
 		return nil
 	}
 	start := time.Now()
-	res, err := sh.db.Exec(stmt, nil)
+	res, err := sh.session().Exec(stmt, nil)
 	if err != nil {
 		var aerr *starburst.AuditError
 		if errors.As(err, &aerr) {

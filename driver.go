@@ -27,8 +27,13 @@ import (
 // instance. Each driver connection wraps its own Session.
 //
 // Parameters: sql.Named("x", v) binds :x; positional arguments bind
-// :p1, :p2, ... in order. Transactions are not supported — statements
-// are individually atomic (statement-level atomicity, PR 3).
+// :p1, :p2, ... in order. Transactions map onto the engine's MVCC
+// snapshot transactions: sdb.BeginTx opens a Session transaction, and
+// sql.LevelDefault / LevelSnapshot / LevelRepeatableRead select
+// snapshot isolation while sql.LevelReadCommitted selects per-statement
+// snapshots. Read-only transaction requests are accepted (every
+// transaction reads from a stable snapshot; writes are simply never
+// issued by the caller).
 
 // DriverName is the name this package registers with database/sql.
 const DriverName = "starburst"
@@ -97,11 +102,57 @@ func (c *sqlConn) Close() error {
 	return nil
 }
 
-// Begin implements driver.Conn. Transactions are not part of the
-// reproduction; statements are individually atomic.
+// Begin implements driver.Conn (legacy entry point; database/sql
+// prefers BeginTx).
 func (c *sqlConn) Begin() (driver.Tx, error) {
-	return nil, errors.New("starburst: transactions are not supported")
+	return c.BeginTx(context.Background(), driver.TxOptions{})
 }
+
+// BeginTx implements driver.ConnBeginTx: it opens an engine
+// transaction on this connection's session, mapping the
+// database/sql isolation level onto the engine's.
+func (c *sqlConn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	if c.sess == nil {
+		return nil, errClosed
+	}
+	iso, err := mapIsolation(sql.IsolationLevel(opts.Isolation))
+	if err != nil {
+		return nil, err
+	}
+	tx, err := c.sess.Begin(ctx, WithIsolation(iso))
+	if err != nil {
+		return nil, err
+	}
+	return sqlTx{tx: tx}, nil
+}
+
+// mapIsolation translates database/sql isolation levels to the
+// engine's. Snapshot isolation is the engine default and also serves
+// repeatable read (a snapshot never re-reads differently); levels the
+// engine cannot honor are rejected rather than silently weakened.
+func mapIsolation(l sql.IsolationLevel) (IsolationLevel, error) {
+	switch l {
+	case sql.LevelDefault, sql.LevelSnapshot, sql.LevelRepeatableRead:
+		return LevelSnapshot, nil
+	case sql.LevelReadCommitted:
+		return LevelReadCommitted, nil
+	default:
+		return 0, fmt.Errorf("starburst: isolation level %s is not supported", l)
+	}
+}
+
+// sqlTx adapts an engine Tx to driver.Tx. Statements issued on the
+// connection while the transaction is open run inside it: the session
+// routes them to its open transaction.
+type sqlTx struct {
+	tx *Tx
+}
+
+// Commit implements driver.Tx.
+func (t sqlTx) Commit() error { return t.tx.Commit() }
+
+// Rollback implements driver.Tx.
+func (t sqlTx) Rollback() error { return t.tx.Rollback() }
 
 // QueryContext implements driver.QueryerContext, so un-prepared
 // queries (including EXPLAIN) skip the prepare round trip.

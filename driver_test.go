@@ -1,6 +1,7 @@
 package starburst
 
 import (
+	"context"
 	gosql "database/sql"
 	"errors"
 	"testing"
@@ -132,9 +133,170 @@ func TestDriverEndToEnd(t *testing.T) {
 		t.Fatalf("driver error does not wrap *QueryError: %v", err)
 	}
 
-	// Transactions are explicitly unsupported.
-	if _, err := sdb.Begin(); err == nil {
-		t.Fatal("Begin must fail: transactions are unsupported")
+	// Unsupported isolation levels are rejected, not silently weakened.
+	if _, err := sdb.BeginTx(context.Background(),
+		&gosql.TxOptions{Isolation: gosql.LevelSerializable}); err == nil {
+		t.Fatal("BeginTx(serializable) must fail")
+	}
+}
+
+// TestDriverTransactions is the database/sql transaction conformance
+// round trip: commits become visible, rollbacks never do, statements
+// inside a transaction see their own writes, and concurrent
+// connections are snapshot-isolated from an open transaction.
+func TestDriverTransactions(t *testing.T) {
+	native := Open()
+	RegisterDSN("driver-txn", native)
+	sdb, err := gosql.Open(DriverName, "driver-txn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	if _, err := sdb.Exec(`CREATE TABLE acct (id INT NOT NULL, bal INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdb.Exec(`INSERT INTO acct VALUES (1, 100)`); err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(q string) int64 {
+		t.Helper()
+		var n int64
+		if err := sdb.QueryRow(q).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	// Commit publishes.
+	tx, err := sdb.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO acct VALUES (2, 50)`); err != nil {
+		t.Fatal(err)
+	}
+	// The transaction sees its own uncommitted write.
+	var n int64
+	if err := tx.QueryRow(`SELECT COUNT(*) FROM acct`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("tx sees %d rows of its own writes, want 2", n)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(`SELECT COUNT(*) FROM acct`); got != 2 {
+		t.Fatalf("after commit: %d rows, want 2", got)
+	}
+
+	// Rollback discards.
+	tx, err = sdb.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE acct SET bal = 0 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(`SELECT bal FROM acct WHERE id = 1`); got != 100 {
+		t.Fatalf("after rollback: bal = %d, want 100", got)
+	}
+
+	// Prepared statements inside the transaction join it (parameters
+	// bind in predicates, where the column gives them a type).
+	tx, err = sdb.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO acct VALUES (3, 25)`); err != nil {
+		t.Fatal(err)
+	}
+	upd, err := tx.Prepare(`UPDATE acct SET bal = 0 WHERE id = :p1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := upd.Exec(int64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.RowsAffected(); got != 1 {
+		t.Fatalf("prepared update inside tx affected %d rows, want 1 (joined the transaction?)", got)
+	}
+	upd.Close()
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(`SELECT COUNT(*) FROM acct`); got != 2 {
+		t.Fatalf("prepared write escaped rollback: %d rows, want 2", got)
+	}
+
+	// A concurrent connection is isolated from an open transaction, and
+	// a snapshot transaction opened before a concurrent commit keeps its
+	// stable view until it ends.
+	reader, err := sdb.BeginTx(context.Background(),
+		&gosql.TxOptions{Isolation: gosql.LevelRepeatableRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.QueryRow(`SELECT COUNT(*) FROM acct`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("reader snapshot: %d rows, want 2", n)
+	}
+	writer, err := sdb.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Exec(`INSERT INTO acct VALUES (4, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted writer rows are invisible to the reader.
+	if err := reader.QueryRow(`SELECT COUNT(*) FROM acct`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("reader saw uncommitted rows: %d, want 2", n)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Committed-after-snapshot rows stay invisible under snapshot
+	// isolation.
+	if err := reader.QueryRow(`SELECT COUNT(*) FROM acct`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("snapshot reader saw a later commit: %d rows, want 2", n)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(`SELECT COUNT(*) FROM acct`); got != 3 {
+		t.Fatalf("after all commits: %d rows, want 3", got)
+	}
+
+	// Read-committed transactions refresh per statement.
+	rc, err := sdb.BeginTx(context.Background(),
+		&gosql.TxOptions{Isolation: gosql.LevelReadCommitted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdb.Exec(`INSERT INTO acct VALUES (5, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.QueryRow(`SELECT COUNT(*) FROM acct`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("read-committed reader: %d rows, want 4", n)
+	}
+	if err := rc.Commit(); err != nil {
+		t.Fatal(err)
 	}
 }
 

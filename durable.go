@@ -2,6 +2,7 @@ package starburst
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -108,11 +109,64 @@ func (db *DB) Close() error {
 	if db.store == nil {
 		return nil
 	}
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
+	db.adminMu.Lock()
+	defer db.adminMu.Unlock()
 	st := db.store
 	db.store = nil
 	return st.Close()
+}
+
+// ---------------------------------------------------------------------
+// Transaction durability
+
+// txnDurableHook returns the commit hook for one transaction: the
+// function the transaction manager runs under the commit mutex, after
+// conflict-free validation but before the commit timestamp publishes.
+// Explicit transactions against a durable store append the WAL
+// transaction-commit record (and fsync) there, so a crash either keeps
+// the whole transaction or none of it. Implicit transactions ride the
+// per-statement WAL bracket and need no hook; in-memory DBs have
+// nothing to make durable.
+func (db *DB) txnDurableHook(tx *Tx) func(cts int64) error {
+	if db.store == nil || tx.ts.Txn.Implicit {
+		return nil
+	}
+	id := tx.ts.Txn.ID
+	return func(cts int64) error { return db.store.CommitTxn(id) }
+}
+
+// txnAborted tells the store a transaction ended without a commit
+// record, releasing its open-transaction entry (checkpoints are held
+// back while any tagged transaction is open).
+func (db *DB) txnAborted(tx *Tx) {
+	if db.store == nil || tx.ts.Txn.Implicit {
+		return
+	}
+	db.store.AbortTxn(tx.ts.Txn.ID)
+}
+
+// rollbackDurable applies a transaction's write-log compensations. For
+// an explicit transaction against a durable store the compensating
+// page mutations are bracketed in a WAL statement group tagged with
+// the transaction ID: the tag keeps them from replaying after a crash
+// (the transaction has no commit record, so neither its statements nor
+// their compensations replay), while an untagged group would replay
+// the compensations alone and corrupt the recovered pages.
+func (db *DB) rollbackDurable(tx *Tx) error {
+	if db.store == nil || tx.ts.Txn.Implicit || tx.ts.Writes() == 0 {
+		return tx.ts.Rollback(db.cat)
+	}
+	if err := db.store.BeginTxnStmt(tx.ts.Txn.ID); err != nil {
+		// The WAL bracket could not open (store closing); undo the
+		// in-memory state regardless.
+		return errors.Join(err, tx.ts.Rollback(db.cat))
+	}
+	err := tx.ts.Rollback(db.cat)
+	if err != nil {
+		db.store.AbortStmt()
+		return err
+	}
+	return db.store.CommitStmt()
 }
 
 // ---------------------------------------------------------------------
@@ -120,8 +174,9 @@ func (db *DB) Close() error {
 
 // execDDLDurable wraps execDDL in a WAL statement group: the raw SQL is
 // logged and replayed on recovery. ANALYZE is excluded (statistics are
-// volatile). Runs under the exclusive statement lock.
-// starburst:locks db.stmtMu:write
+// volatile). Serialization against other DDL comes from the catalog's
+// mutation lock; running statements are unaffected (they read their
+// pinned generations).
 func (db *DB) execDDLDurable(stmt sql.Statement, raw string) (*Result, error) {
 	if db.store == nil {
 		return db.execDDL(stmt)

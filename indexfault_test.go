@@ -72,11 +72,16 @@ func TestAccessMethodDMLAtomicity(t *testing.T) {
 		// Each inserted row lands in the heap, the btree, and the rtree.
 		{"insert", `INSERT INTO pts SELECT id + 100, x + 10.0, y + 10.0 FROM pts WHERE id <= 6`,
 			[]FaultOp{FaultInsert, FaultIxInsert}},
-		// id and x are both index keys: the update maintains both trees.
+		// id and x are both index keys: the update inserts new-key
+		// entries into both trees eagerly; old-key entries stay linked
+		// for older snapshots (GC unlinks them outside the statement).
 		{"update", `UPDATE pts SET id = id + 100, x = x + 100.0 WHERE y >= 2.0`,
-			[]FaultOp{FaultUpdate, FaultIxDelete, FaultIxInsert}},
+			[]FaultOp{FaultUpdate, FaultIxInsert}},
+		// MVCC deletes tombstone version entries only; physical deletes
+		// and index unlinks are deferred to GC, outside fault
+		// decoration. The scan phase is the statement's faultable work.
 		{"delete", `DELETE FROM pts WHERE x >= 1.0 AND x <= 3.0`,
-			[]FaultOp{FaultDelete, FaultIxDelete}},
+			[]FaultOp{FaultScan}},
 	}
 	for _, c := range cases {
 		for _, op := range c.ops {

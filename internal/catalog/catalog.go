@@ -4,6 +4,15 @@
 // "base system functions (e.g., catalog interface) can frequently be
 // used by the extension" (section 4) — all extensions flow through the
 // registries held here.
+//
+// Since the MVCC redesign the schema is versioned copy-on-write: every
+// DDL statement builds a new immutable generation (fresh name maps,
+// cloned Table structs for whatever it changed) and publishes it with
+// one atomic pointer swap. Readers resolve names lock-free against
+// whichever generation they pinned, so DDL never blocks a running
+// statement and a transaction's pinned generation stays stable for its
+// whole lifetime. Storage handles, version maps and feedback state are
+// shared across generations — a clone changes schema, not data.
 package catalog
 
 import (
@@ -16,6 +25,7 @@ import (
 	"repro/internal/datum"
 	"repro/internal/expr"
 	"repro/internal/storage"
+	"repro/internal/txn"
 )
 
 // Column describes one column of a table or view.
@@ -49,6 +59,9 @@ type Index struct {
 }
 
 // Table is a stored table: schema, storage handle, attachments, stats.
+// Table structs are immutable once published in a generation — DDL
+// clones them — except for the shared mutable state reachable through
+// Rel, MVCC and fb, which every generation's clone points at.
 type Table struct {
 	Name string
 	Cols []Column
@@ -63,11 +76,25 @@ type Table struct {
 	// schema): read-only, excluded from user DDL, volatile.
 	System bool
 
+	// MVCC is the table's row-version map, shared by every
+	// generation's clone (versions survive DDL). nil on system tables,
+	// which are unversioned snapshots by construction.
+	MVCC *txn.TableVersions
+
 	// fb holds the observed-cardinality overlays (see feedback.go),
-	// guarded by fbMu: folds happen after statements finish, concurrent
-	// with compilations consulting the overlays.
-	fbMu sync.Mutex
-	fb   cardFeedback
+	// shared across generations and internally synchronized: folds
+	// happen after statements finish, concurrent with compilations
+	// consulting the overlays.
+	fb *cardFeedback
+}
+
+// clone returns a schema-level copy sharing all mutable runtime state
+// (relation, version map, feedback). DDL mutates the clone, never the
+// published original.
+func (t *Table) clone() *Table {
+	nt := *t
+	nt.Indexes = append([]*Index(nil), t.Indexes...)
+	return &nt
 }
 
 // ColIndex resolves a column name (case-insensitive) to its ordinal, or
@@ -92,11 +119,31 @@ type View struct {
 	Text     string
 }
 
-// Catalog is one database's schema plus the extension registries.
+// generation is one immutable published schema: name maps plus the
+// version number plan caches key on.
+type generation struct {
+	tables  map[string]*Table
+	views   map[string]*View
+	version int64
+}
+
+// Catalog is one database's schema plus the extension registries. A
+// Catalog value is either the live catalog (root) or a pinned
+// read-only view of one generation returned by Pin; both share the
+// registries, the I/O counters and all table runtime state.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	views  map[string]*View
+	// mu serializes generation producers (DDL, ANALYZE, BumpVersion).
+	// Readers never take it.
+	mu  sync.Mutex
+	gen atomic.Pointer[generation]
+
+	// pinned, when non-nil, fixes every name lookup to one generation:
+	// the read view a transaction's statements compile and run against.
+	pinned *generation
+	// root points to the live catalog a pinned view derives from (nil
+	// on the root itself); current-generation lookups — DML index
+	// maintenance, GC — go through it.
+	root *Catalog
 
 	// Funcs is the registry of scalar/aggregate/set-predicate/table
 	// functions, seeded with built-ins.
@@ -110,33 +157,106 @@ type Catalog struct {
 	// they are created (see AttachFaults).
 	faults *storage.FaultInjector
 
-	// version counts schema and statistics generations: every DDL
-	// statement kind (CREATE/DROP TABLE, VIEW, INDEX), every statistics
-	// update (Analyze) and every storage re-decoration (fault
-	// attachment) bumps it. Plan caches key their entries on the version
-	// they compiled against and lazily evict entries whose generation no
-	// longer matches.
-	version atomic.Int64
+	// gcMu guards gc, the queue of row versions waiting for the GC
+	// horizon to pass so they can be frozen or reaped (see mvcc.go).
+	gcMu sync.Mutex
+	gc   []gcItem
 }
 
-// Version reports the current schema/statistics generation.
-func (c *Catalog) Version() int64 { return c.version.Load() }
+// live returns the catalog that owns the mutable state: the root
+// behind a pinned view, or c itself.
+func (c *Catalog) live() *Catalog {
+	if c.root != nil {
+		return c.root
+	}
+	return c
+}
+
+// current returns the generation lookups resolve against: the pinned
+// one on a read view, the latest otherwise.
+func (c *Catalog) current() *generation {
+	if c.pinned != nil {
+		return c.pinned
+	}
+	return c.gen.Load()
+}
+
+// Pin returns a read-only view of the current schema generation.
+// Statements of a transaction resolve every name against their pinned
+// view, so concurrent DDL — which publishes new generations — never
+// changes what a running transaction sees.
+func (c *Catalog) Pin() *Catalog {
+	l := c.live()
+	p := &Catalog{
+		pinned:  l.gen.Load(),
+		root:    l,
+		Funcs:   l.Funcs,
+		Storage: l.Storage,
+		IO:      l.IO,
+	}
+	p.gen.Store(p.pinned)
+	return p
+}
+
+// Pinned reports whether c is a pinned read view.
+func (c *Catalog) Pinned() bool { return c.pinned != nil }
+
+// Version reports the schema/statistics generation: the pinned
+// generation's on a read view, the live one otherwise.
+func (c *Catalog) Version() int64 { return c.current().version }
 
 // BumpVersion advances the schema generation, invalidating any plan
-// compiled against earlier generations. Catalog mutators call it
-// internally; it is exported for extensions that mutate storage out of
-// band (e.g. a storage manager whose contents change externally).
-func (c *Catalog) BumpVersion() { c.version.Add(1) }
+// compiled against earlier generations. Catalog mutators publish new
+// generations internally; it is exported for extensions that mutate
+// storage out of band (e.g. a storage manager whose contents change
+// externally).
+func (c *Catalog) BumpVersion() {
+	l := c.live()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	g := l.gen.Load()
+	l.publish(&generation{tables: g.tables, views: g.views, version: g.version + 1})
+}
+
+// publish swaps in a new generation (caller holds the live catalog's
+// mu).
+func (c *Catalog) publish(g *generation) { c.gen.Store(g) }
+
+// mutate clones the current generation's maps, applies fn to the
+// clone, and publishes it with the version bumped. fn returning an
+// error abandons the clone with nothing published.
+func (c *Catalog) mutate(fn func(g *generation) error) error {
+	l := c.live()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.gen.Load()
+	next := &generation{
+		tables:  make(map[string]*Table, len(cur.tables)+1),
+		views:   make(map[string]*View, len(cur.views)+1),
+		version: cur.version + 1,
+	}
+	for k, t := range cur.tables {
+		next.tables[k] = t
+	}
+	for k, v := range cur.views {
+		next.views[k] = v
+	}
+	if err := fn(next); err != nil {
+		return err
+	}
+	l.publish(next)
+	return nil
+}
 
 // New returns an empty catalog with built-in registries.
 func New() *Catalog {
-	return &Catalog{
-		tables:  map[string]*Table{},
-		views:   map[string]*View{},
+	c := &Catalog{
 		Funcs:   expr.NewRegistry(),
 		Storage: storage.NewRegistry(),
 		IO:      &storage.IOStats{},
 	}
+	c.gen.Store(&generation{tables: map[string]*Table{}, views: map[string]*View{}})
+	return c
 }
 
 func key(name string) string { return strings.ToUpper(name) }
@@ -173,7 +293,6 @@ func checkNotSystem(name, op string) error {
 
 // CreateTable creates a table under the named storage manager (empty
 // for the default heap).
-// starburst:locks db.stmtMu:write
 func (c *Catalog) CreateTable(name string, cols []Column, smName string) (*Table, error) {
 	if err := checkNotSystem(name, "CREATE TABLE"); err != nil {
 		return nil, err
@@ -204,53 +323,66 @@ func (c *Catalog) createTable(name string, cols []Column, smName string, system 
 		}
 		seen[k] = true
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := key(name)
-	if _, ok := c.tables[k]; ok {
-		return nil, fmt.Errorf("catalog: table %s already exists", name)
-	}
-	if _, ok := c.views[k]; ok {
-		return nil, fmt.Errorf("catalog: %s already exists as a view", name)
-	}
-	sm, err := c.Storage.StorageManager(smName)
+	var t *Table
+	err := c.mutate(func(g *generation) error {
+		k := key(name)
+		if _, ok := g.tables[k]; ok {
+			return fmt.Errorf("catalog: table %s already exists", name)
+		}
+		if _, ok := g.views[k]; ok {
+			return fmt.Errorf("catalog: %s already exists as a view", name)
+		}
+		sm, err := c.live().Storage.StorageManager(smName)
+		if err != nil {
+			return err
+		}
+		rel, err := sm.Create(name, len(cols), c.live().IO)
+		if err != nil {
+			return err
+		}
+		t = &Table{Name: strings.ToUpper(name), Cols: cols, SM: sm.Name(), Rel: rel, System: system, fb: &cardFeedback{}}
+		if !system {
+			t.MVCC = txn.NewTableVersions()
+		}
+		t.Stats.ColCard = make([]int64, len(cols))
+		t.Stats.ColMin = make([]datum.Value, len(cols))
+		t.Stats.ColMax = make([]datum.Value, len(cols))
+		g.tables[k] = t
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	rel, err := sm.Create(name, len(cols), c.IO)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{Name: strings.ToUpper(name), Cols: cols, SM: sm.Name(), Rel: rel, System: system}
-	t.Stats.ColCard = make([]int64, len(cols))
-	t.Stats.ColMin = make([]datum.Value, len(cols))
-	t.Stats.ColMax = make([]datum.Value, len(cols))
-	c.tables[k] = t
-	c.BumpVersion()
 	return t, nil
 }
 
-// DropTable removes a table and its attachments.
-// starburst:locks db.stmtMu:write
+// DropTable removes a table and its attachments from the schema.
+// Pinned generations keep resolving it; their scans stay valid against
+// the still-reachable relation.
 func (c *Catalog) DropTable(name string) error {
 	if err := checkNotSystem(name, "DROP TABLE"); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.tables[key(name)]; !ok {
-		return fmt.Errorf("catalog: no table %s", name)
-	}
-	delete(c.tables, key(name))
-	c.BumpVersion()
-	return nil
+	return c.mutate(func(g *generation) error {
+		if _, ok := g.tables[key(name)]; !ok {
+			return fmt.Errorf("catalog: no table %s", name)
+		}
+		delete(g.tables, key(name))
+		return nil
+	})
 }
 
-// Table resolves a table by name.
+// Table resolves a table by name in this catalog's generation.
 func (c *Catalog) Table(name string) (*Table, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	t, ok := c.tables[key(name)]
+	t, ok := c.current().tables[key(name)]
+	return t, ok
+}
+
+// currentTable resolves a table against the live (newest) generation:
+// the index set DML maintains and GC unlinks from is always the
+// current one, whatever generation the statement pinned.
+func (c *Catalog) currentTable(name string) (*Table, bool) {
+	t, ok := c.live().gen.Load().tables[key(name)]
 	return t, ok
 }
 
@@ -258,10 +390,8 @@ func (c *Catalog) Table(name string) (*Table, bool) {
 // listed by SystemTableNames instead: they snapshot live engine state,
 // so dump/compare tooling iterating TableNames must not see them.
 func (c *Catalog) TableNames() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []string
-	for _, t := range c.tables {
+	for _, t := range c.current().tables {
 		if t.System {
 			continue
 		}
@@ -273,10 +403,8 @@ func (c *Catalog) TableNames() []string {
 
 // SystemTableNames lists the SYS virtual tables, sorted.
 func (c *Catalog) SystemTableNames() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []string
-	for _, t := range c.tables {
+	for _, t := range c.current().tables {
 		if t.System {
 			out = append(out, t.Name)
 		}
@@ -286,52 +414,44 @@ func (c *Catalog) SystemTableNames() []string {
 }
 
 // CreateView records a view definition.
-// starburst:locks db.stmtMu:write
 func (c *Catalog) CreateView(name string, colNames []string, text string) error {
 	if err := checkNotSystem(name, "CREATE VIEW"); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := key(name)
-	if _, ok := c.views[k]; ok {
-		return fmt.Errorf("catalog: view %s already exists", name)
-	}
-	if _, ok := c.tables[k]; ok {
-		return fmt.Errorf("catalog: %s already exists as a table", name)
-	}
-	c.views[k] = &View{Name: strings.ToUpper(name), ColNames: colNames, Text: text}
-	c.BumpVersion()
-	return nil
+	return c.mutate(func(g *generation) error {
+		k := key(name)
+		if _, ok := g.views[k]; ok {
+			return fmt.Errorf("catalog: view %s already exists", name)
+		}
+		if _, ok := g.tables[k]; ok {
+			return fmt.Errorf("catalog: %s already exists as a table", name)
+		}
+		g.views[k] = &View{Name: strings.ToUpper(name), ColNames: colNames, Text: text}
+		return nil
+	})
 }
 
 // DropView removes a view.
-// starburst:locks db.stmtMu:write
 func (c *Catalog) DropView(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.views[key(name)]; !ok {
-		return fmt.Errorf("catalog: no view %s", name)
-	}
-	delete(c.views, key(name))
-	c.BumpVersion()
-	return nil
+	return c.mutate(func(g *generation) error {
+		if _, ok := g.views[key(name)]; !ok {
+			return fmt.Errorf("catalog: no view %s", name)
+		}
+		delete(g.views, key(name))
+		return nil
+	})
 }
 
-// View resolves a view by name.
+// View resolves a view by name in this catalog's generation.
 func (c *Catalog) View(name string) (*View, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	v, ok := c.views[key(name)]
+	v, ok := c.current().views[key(name)]
 	return v, ok
 }
 
 // ViewNames lists views, sorted.
 func (c *Catalog) ViewNames() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []string
-	for _, v := range c.views {
+	for _, v := range c.current().views {
 		out = append(out, v.Name)
 	}
 	sort.Strings(out)
@@ -340,97 +460,111 @@ func (c *Catalog) ViewNames() []string {
 
 // CreateIndex creates an attachment on a table using the named access
 // method (empty for B-tree) and backfills it from existing records.
-// starburst:locks db.stmtMu:write
+// Row writes are quiesced for the backfill (QuiesceWrites), so the new
+// attachment misses no concurrent write; readers are not blocked.
 func (c *Catalog) CreateIndex(name, tableName string, colNames []string, method string, unique bool) (*Index, error) {
 	if err := checkNotSystem(tableName, "CREATE INDEX"); err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	t, ok := c.tables[key(tableName)]
-	if !ok {
-		return nil, fmt.Errorf("catalog: no table %s", tableName)
-	}
-	for _, ix := range t.Indexes {
-		if strings.EqualFold(ix.Name, name) {
-			return nil, fmt.Errorf("catalog: index %s already exists", name)
-		}
-	}
-	if len(colNames) == 0 {
-		return nil, fmt.Errorf("catalog: index %s needs key columns", name)
-	}
-	keyCols := make([]int, len(colNames))
-	keyTypes := make([]datum.TypeID, len(colNames))
-	for i, cn := range colNames {
-		ord := t.ColIndex(cn)
-		if ord < 0 {
-			return nil, fmt.Errorf("catalog: no column %s in %s", cn, tableName)
-		}
-		keyCols[i] = ord
-		keyTypes[i] = t.Cols[ord].Type
-	}
-	am, err := c.Storage.AccessMethod(method)
-	if err != nil {
-		return nil, err
-	}
-	at, err := am.New(keyTypes, unique, c.IO)
-	if err != nil {
-		return nil, err
-	}
-	// A fault-wrapped access method cannot know the owning table at New
-	// time; name the counter bucket now.
-	if fa, ok := at.(*storage.FaultAttachment); ok && fa.Owner() == "" {
-		fa.SetOwner(t.Name)
-	}
-	ix := &Index{
-		Name:    strings.ToUpper(name),
-		Table:   t.Name,
-		KeyCols: keyCols,
-		Method:  am.Name(),
-		Caps:    am.Caps(),
-		Unique:  unique,
-		At:      at,
-	}
-	// Backfill from stored records.
-	it := t.Rel.Scan()
-	defer it.Close()
-	for {
-		row, rid, ok := it.Next()
+	var ix *Index
+	err := c.mutate(func(g *generation) error {
+		t, ok := g.tables[key(tableName)]
 		if !ok {
-			if err := storage.IterErr(it); err != nil {
-				return nil, fmt.Errorf("catalog: backfilling %s: %w", name, err)
+			return fmt.Errorf("catalog: no table %s", tableName)
+		}
+		for _, old := range t.Indexes {
+			if strings.EqualFold(old.Name, name) {
+				return fmt.Errorf("catalog: index %s already exists", name)
 			}
-			break
 		}
-		if err := at.Insert(extractKey(row, keyCols), rid); err != nil {
-			return nil, fmt.Errorf("catalog: backfilling %s: %w", name, err)
+		if len(colNames) == 0 {
+			return fmt.Errorf("catalog: index %s needs key columns", name)
 		}
+		keyCols := make([]int, len(colNames))
+		keyTypes := make([]datum.TypeID, len(colNames))
+		for i, cn := range colNames {
+			ord := t.ColIndex(cn)
+			if ord < 0 {
+				return fmt.Errorf("catalog: no column %s in %s", cn, tableName)
+			}
+			keyCols[i] = ord
+			keyTypes[i] = t.Cols[ord].Type
+		}
+		am, err := c.live().Storage.AccessMethod(method)
+		if err != nil {
+			return err
+		}
+		at, err := am.New(keyTypes, unique, c.live().IO)
+		if err != nil {
+			return err
+		}
+		// A fault-wrapped access method cannot know the owning table at
+		// New time; name the counter bucket now.
+		if fa, ok := at.(*storage.FaultAttachment); ok && fa.Owner() == "" {
+			fa.SetOwner(t.Name)
+		}
+		ix = &Index{
+			Name:    strings.ToUpper(name),
+			Table:   t.Name,
+			KeyCols: keyCols,
+			Method:  am.Name(),
+			Caps:    am.Caps(),
+			Unique:  unique,
+			At:      at,
+		}
+		// Backfill from stored records with row writes held off, so the
+		// attachment ends exactly consistent with the relation. Every
+		// physical row is indexed, whatever its version state — index
+		// entries cover all images, and scans apply visibility.
+		if t.MVCC != nil {
+			t.MVCC.QuiesceWrites()
+			defer t.MVCC.ResumeWrites()
+		}
+		it := t.Rel.Scan()
+		defer it.Close()
+		for {
+			row, rid, ok := it.Next()
+			if !ok {
+				if err := storage.IterErr(it); err != nil {
+					return fmt.Errorf("catalog: backfilling %s: %w", name, err)
+				}
+				break
+			}
+			if err := at.Insert(extractKey(row, keyCols), rid); err != nil {
+				return fmt.Errorf("catalog: backfilling %s: %w", name, err)
+			}
+		}
+		nt := t.clone()
+		nt.Indexes = append(nt.Indexes, ix)
+		g.tables[key(tableName)] = nt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	t.Indexes = append(t.Indexes, ix)
-	c.BumpVersion()
 	return ix, nil
 }
 
 // DropIndex removes an attachment.
-// starburst:locks db.stmtMu:write
 func (c *Catalog) DropIndex(tableName, name string) error {
 	if err := checkNotSystem(tableName, "DROP INDEX"); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	t, ok := c.tables[key(tableName)]
-	if !ok {
-		return fmt.Errorf("catalog: no table %s", tableName)
-	}
-	for i, ix := range t.Indexes {
-		if strings.EqualFold(ix.Name, name) {
-			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
-			c.BumpVersion()
-			return nil
+	return c.mutate(func(g *generation) error {
+		t, ok := g.tables[key(tableName)]
+		if !ok {
+			return fmt.Errorf("catalog: no table %s", tableName)
 		}
-	}
-	return fmt.Errorf("catalog: no index %s on %s", name, tableName)
+		for i, ix := range t.Indexes {
+			if strings.EqualFold(ix.Name, name) {
+				nt := t.clone()
+				nt.Indexes = append(nt.Indexes[:i], nt.Indexes[i+1:]...)
+				g.tables[key(tableName)] = nt
+				return nil
+			}
+		}
+		return fmt.Errorf("catalog: no index %s on %s", name, tableName)
+	})
 }
 
 func extractKey(row datum.Row, cols []int) datum.Row {
@@ -443,24 +577,13 @@ func extractKey(row datum.Row, cols []int) datum.Row {
 
 // Insert stores a row in a table, enforcing NOT NULL and type
 // compatibility, coercing numerics, and maintaining every attachment.
+// The row is written frozen — visible to every snapshot — which is
+// what recovery, backfill and system paths want; transactional DML
+// goes through InsertTx.
 func (c *Catalog) Insert(t *Table, row datum.Row) (storage.RID, error) {
-	if len(row) != len(t.Cols) {
-		return storage.RID{}, fmt.Errorf("catalog: %s: %d values for %d columns", t.Name, len(row), len(t.Cols))
-	}
-	coerced := make(datum.Row, len(row))
-	for i, v := range row {
-		if v.IsNull() {
-			if t.Cols[i].NotNull {
-				return storage.RID{}, fmt.Errorf("catalog: %s.%s is NOT NULL", t.Name, t.Cols[i].Name)
-			}
-			coerced[i] = v
-			continue
-		}
-		cv, err := datum.Coerce(v, t.Cols[i].Type)
-		if err != nil {
-			return storage.RID{}, fmt.Errorf("catalog: %s.%s: %w", t.Name, t.Cols[i].Name, err)
-		}
-		coerced[i] = cv
+	coerced, err := coerceRow(t, row)
+	if err != nil {
+		return storage.RID{}, err
 	}
 	rid, err := t.Rel.Insert(coerced)
 	if err != nil {
@@ -477,7 +600,42 @@ func (c *Catalog) Insert(t *Table, row datum.Row) (storage.RID, error) {
 	return rid, nil
 }
 
-// Delete removes the record at rid and its index entries.
+// coerceRow validates arity, NOT NULL and types, coercing numerics.
+func coerceRow(t *Table, row datum.Row) (datum.Row, error) {
+	if len(row) != len(t.Cols) {
+		return nil, fmt.Errorf("catalog: %s: %d values for %d columns", t.Name, len(row), len(t.Cols))
+	}
+	coerced := make(datum.Row, len(row))
+	for i, v := range row {
+		if v.IsNull() {
+			if t.Cols[i].NotNull {
+				return nil, fmt.Errorf("catalog: %s.%s is NOT NULL", t.Name, t.Cols[i].Name)
+			}
+			coerced[i] = v
+			continue
+		}
+		cv, err := datum.Coerce(v, t.Cols[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %s.%s: %w", t.Name, t.Cols[i].Name, err)
+		}
+		coerced[i] = cv
+	}
+	return coerced, nil
+}
+
+// checkNotNull enforces NOT NULL on an update image.
+func checkNotNull(t *Table, row datum.Row) error {
+	for i, v := range row {
+		if v.IsNull() && t.Cols[i].NotNull {
+			return fmt.Errorf("catalog: %s.%s is NOT NULL", t.Name, t.Cols[i].Name)
+		}
+	}
+	return nil
+}
+
+// Delete removes the record at rid and its index entries, physically
+// and for every snapshot (recovery and system paths; transactional DML
+// goes through DeleteTx).
 func (c *Catalog) Delete(t *Table, rid storage.RID) error {
 	row, ok := t.Rel.Fetch(rid)
 	if !ok {
@@ -491,16 +649,16 @@ func (c *Catalog) Delete(t *Table, rid storage.RID) error {
 	return t.Rel.Delete(rid)
 }
 
-// Update replaces the record at rid, maintaining attachments.
+// Update replaces the record at rid in place for every snapshot,
+// maintaining attachments (recovery and system paths; transactional
+// DML goes through UpdateTx).
 func (c *Catalog) Update(t *Table, rid storage.RID, newRow datum.Row) error {
 	old, ok := t.Rel.Fetch(rid)
 	if !ok {
 		return fmt.Errorf("catalog: %s: no record %s", t.Name, rid)
 	}
-	for i, v := range newRow {
-		if v.IsNull() && t.Cols[i].NotNull {
-			return fmt.Errorf("catalog: %s.%s is NOT NULL", t.Name, t.Cols[i].Name)
-		}
+	if err := checkNotNull(t, newRow); err != nil {
+		return err
 	}
 	for _, ix := range t.Indexes {
 		oldKey := extractKey(old, ix.KeyCols)
@@ -518,12 +676,12 @@ func (c *Catalog) Update(t *Table, rid storage.RID, newRow datum.Row) error {
 	return t.Rel.Update(rid, newRow)
 }
 
-// Analyze recomputes optimizer statistics for a table. The scan error
-// (surfaced through storage.IterErr — e.g. an injected fault) aborts
-// the refresh: stats computed from a partial scan would silently skew
-// every subsequent plan.
-//
-// starburst:locks db.stmtMu:write
+// Analyze recomputes optimizer statistics for a table and publishes
+// them as a new schema generation (statistics are part of the
+// copy-on-write schema: a compiled plan's stats never change under
+// it). The scan error (surfaced through storage.IterErr — e.g. an
+// injected fault) aborts the refresh: stats computed from a partial
+// scan would silently skew every subsequent plan.
 func (c *Catalog) Analyze(t *Table) error {
 	if t.System {
 		// Statistics over a SYS snapshot would be stale by the next
@@ -563,18 +721,94 @@ func (c *Catalog) Analyze(t *Table) error {
 			}
 		}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	t.Stats.Rows = rows
-	t.Stats.Pages = t.Rel.PageCount()
-	for i := range distinct {
-		t.Stats.ColCard[i] = int64(len(distinct[i]))
-		t.Stats.ColMin[i] = mins[i]
-		t.Stats.ColMax[i] = maxs[i]
+	err := c.mutate(func(g *generation) error {
+		cur, ok := g.tables[key(t.Name)]
+		if !ok {
+			return fmt.Errorf("catalog: no table %s", t.Name)
+		}
+		nt := cur.clone()
+		nt.Stats.Rows = rows
+		nt.Stats.Pages = nt.Rel.PageCount()
+		nt.Stats.ColCard = make([]int64, n)
+		nt.Stats.ColMin = make([]datum.Value, n)
+		nt.Stats.ColMax = make([]datum.Value, n)
+		for i := range distinct {
+			nt.Stats.ColCard[i] = int64(len(distinct[i]))
+			nt.Stats.ColMin[i] = mins[i]
+			nt.Stats.ColMax[i] = maxs[i]
+		}
+		g.tables[key(t.Name)] = nt
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	c.BumpVersion()
 	// Freshly measured statistics supersede corrections learned against
 	// the stale ones.
 	t.clearCardOverlays()
 	return nil
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection wiring
+
+// AttachFaults decorates this catalog's storage with the fault
+// injector: every registered storage manager and access method is
+// wrapped through its own registry (re-registration under the same name
+// — the LIND87 extension path), and every existing relation and
+// attachment is wrapped in place. The in-place rewrap mutates shared
+// Table state, so the caller must have quiesced all statements (the
+// engine holds its admin latch exclusively).
+// starburst:locks db.adminMu:write
+func (c *Catalog) AttachFaults(fi *storage.FaultInjector) {
+	l := c.live()
+	for _, name := range l.Storage.StorageManagerNames() {
+		if m, err := l.Storage.StorageManager(name); err == nil {
+			l.Storage.ReplaceStorageManager(fi.WrapManager(m))
+		}
+	}
+	for _, name := range l.Storage.AccessMethodNames() {
+		if m, err := l.Storage.AccessMethod(name); err == nil {
+			l.Storage.ReplaceAccessMethod(fi.WrapMethod(m))
+		}
+	}
+	l.mu.Lock()
+	g := l.gen.Load()
+	l.faults = fi
+	for _, t := range g.tables {
+		t.Rel = fi.WrapRelation(t.Name, t.Rel)
+		for _, ix := range t.Indexes {
+			ix.At = fi.WrapAttachment(t.Name, ix.At)
+		}
+	}
+	l.publish(&generation{tables: g.tables, views: g.views, version: g.version + 1})
+	l.mu.Unlock()
+}
+
+// DetachFaults removes fault decoration everywhere it was attached.
+// Same quiescence requirement as AttachFaults.
+// starburst:locks db.adminMu:write
+func (c *Catalog) DetachFaults() {
+	l := c.live()
+	for _, name := range l.Storage.StorageManagerNames() {
+		if m, err := l.Storage.StorageManager(name); err == nil {
+			l.Storage.ReplaceStorageManager(storage.UnwrapManager(m))
+		}
+	}
+	for _, name := range l.Storage.AccessMethodNames() {
+		if m, err := l.Storage.AccessMethod(name); err == nil {
+			l.Storage.ReplaceAccessMethod(storage.UnwrapMethod(m))
+		}
+	}
+	l.mu.Lock()
+	g := l.gen.Load()
+	l.faults = nil
+	for _, t := range g.tables {
+		t.Rel = storage.UnwrapRelation(t.Rel)
+		for _, ix := range t.Indexes {
+			ix.At = storage.UnwrapAttachment(ix.At)
+		}
+	}
+	l.publish(&generation{tables: g.tables, views: g.views, version: g.version + 1})
+	l.mu.Unlock()
 }

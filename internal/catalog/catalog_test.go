@@ -112,6 +112,9 @@ func TestIndexLifecycleAndMaintenance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// DDL publishes a new copy-on-write generation; re-resolve the
+	// table so the index set is visible to the legacy DML helpers.
+	tbl, _ = c.Table("T")
 	if ix.Method != "BTREE" || !ix.Unique || ix.KeyCols[0] != 0 {
 		t.Errorf("index = %+v", ix)
 	}
@@ -219,6 +222,8 @@ func TestAnalyze(t *testing.T) {
 	if err := c.Analyze(tbl); err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
+	// ANALYZE publishes its statistics on a new catalog generation.
+	tbl, _ = c.Table("T")
 	s := tbl.Stats
 	if s.Rows != 100 {
 		t.Errorf("Rows = %d", s.Rows)
@@ -242,6 +247,7 @@ func TestAnalyzeWithNulls(t *testing.T) {
 	if err := c.Analyze(tbl); err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
+	tbl, _ = c.Table("T")
 	if tbl.Stats.ColCard[1] != 0 {
 		t.Error("all-NULL column has 0 distinct values")
 	}

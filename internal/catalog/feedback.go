@@ -1,6 +1,9 @@
 package catalog
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Observed-cardinality feedback: bounded, decayed corrections to a
 // table's ANALYZE statistics, learned from executed statements. Each
@@ -34,10 +37,12 @@ type CardOverlay struct {
 	Folds int64
 }
 
-// cardFeedback is the per-table overlay store. It has its own mutex:
-// observations fold in after a statement finishes (outside the catalog
-// lock) while concurrent compilations consult it.
+// cardFeedback is the per-table overlay store, shared by every catalog
+// generation's clone of the table. It has its own mutex: observations
+// fold in after a statement finishes (outside the catalog lock) while
+// concurrent compilations consult it.
 type cardFeedback struct {
+	mu      sync.Mutex
 	entries map[string]*cardOverlay
 	stamp   int64
 }
@@ -52,9 +57,9 @@ func (t *Table) ObserveCard(key string, rows float64) {
 	if rows < 1 {
 		rows = 1
 	}
-	t.fbMu.Lock()
-	defer t.fbMu.Unlock()
-	fb := &t.fb
+	fb := t.fb
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
 	fb.stamp++
 	if e, ok := fb.entries[key]; ok {
 		e.rows = (e.rows + rows) / 2
@@ -82,23 +87,25 @@ func (t *Table) ObserveCard(key string, rows float64) {
 // fingerprint, refreshing its recency so entries the optimizer still
 // consults outlive ones it no longer asks about.
 func (t *Table) ObservedCard(key string) (float64, bool) {
-	t.fbMu.Lock()
-	defer t.fbMu.Unlock()
-	e, ok := t.fb.entries[key]
+	fb := t.fb
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	e, ok := fb.entries[key]
 	if !ok {
 		return 0, false
 	}
-	t.fb.stamp++
-	e.stamp = t.fb.stamp
+	fb.stamp++
+	e.stamp = fb.stamp
 	return e.rows, true
 }
 
 // CardOverlays snapshots the table's overlay set, sorted by key.
 func (t *Table) CardOverlays() []CardOverlay {
-	t.fbMu.Lock()
-	defer t.fbMu.Unlock()
-	out := make([]CardOverlay, 0, len(t.fb.entries))
-	for k, e := range t.fb.entries {
+	fb := t.fb
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	out := make([]CardOverlay, 0, len(fb.entries))
+	for k, e := range fb.entries {
 		out = append(out, CardOverlay{Key: k, Rows: e.rows, Folds: e.folds})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
@@ -109,8 +116,9 @@ func (t *Table) CardOverlays() []CardOverlay {
 // because freshly measured statistics supersede feedback derived from
 // the stale ones.
 func (t *Table) clearCardOverlays() {
-	t.fbMu.Lock()
-	defer t.fbMu.Unlock()
-	t.fb.entries = nil
-	t.fb.stamp = 0
+	fb := t.fb
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.entries = nil
+	fb.stamp = 0
 }

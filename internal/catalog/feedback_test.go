@@ -6,7 +6,9 @@ import (
 )
 
 func TestCardOverlayDecayAndBound(t *testing.T) {
-	var tab Table
+	// The overlay store is allocated at table creation and shared by
+	// every generation's clone of the table.
+	tab := Table{fb: &cardFeedback{}}
 
 	// First observation lands verbatim; repeats decay halfway toward
 	// each new observation.

@@ -84,7 +84,7 @@ func (s *scanOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 	bsc, fast := s.it.(storage.BatchScanner)
 	if !fast {
 		// Tuple-at-a-time store: reuse the row-pointer buffer but pull
-		// through Next (which ticks and filters).
+		// through Next (which ticks, resolves visibility and filters).
 		out := s.buf[:0]
 		for len(out) < n {
 			row, ok, err := s.Next(ctx)
@@ -102,7 +102,25 @@ func (s *scanOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 	}
 	buf := s.buf[:n]
 	for {
-		k := bsc.NextRows(buf)
+		k, frozen := frozenFill(s.tv, func() int { return bsc.NextRows(buf) })
+		if !frozen {
+			// Unfrozen versions present: the arena fast path cannot
+			// apply per-row visibility; resolve tuple-at-a-time.
+			out := s.buf[:0]
+			for len(out) < n {
+				row, ok, err := s.Next(ctx)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					clearTail(out)
+					return out, false, nil
+				}
+				out = append(out, row)
+			}
+			clearTail(out)
+			return out, true, nil
+		}
 		if k == 0 {
 			clear(buf)
 			return nil, false, storage.IterErr(s.it)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/txn"
 )
 
 // ColBatchStream is a batch stream that can also hand out its batches
@@ -125,6 +126,7 @@ func (f *rowFeed) nextBatch(ctx *Ctx, src colBatchSource) ([]datum.Row, bool, er
 // filter against them, emitting batches that are already filtered.
 type colScanOp struct {
 	rel   storage.Relation
+	tv    *txn.TableVersions
 	types []datum.TypeID
 	preds []colPred
 
@@ -180,35 +182,44 @@ func (s *colScanOp) NextColBatch(ctx *Ctx) (*datum.ColBatch, bool, error) {
 // iterator error (a faulted scan must not read as a clean EOF).
 func (s *colScanOp) fill(ctx *Ctx, max int) (int, error) {
 	if cs, ok := s.it.(storage.ColScanner); ok {
-		k := cs.NextCols(s.batch, max)
-		if k == 0 {
-			return 0, storage.IterErr(s.it)
+		k, frozen := frozenFill(s.tv, func() int { return cs.NextCols(s.batch, max) })
+		if frozen {
+			if k == 0 {
+				return 0, storage.IterErr(s.it)
+			}
+			return k, ctx.tickRows(k)
 		}
-		return k, ctx.tickRows(k)
-	}
-	if bs, ok := s.it.(storage.BatchScanner); ok {
+		// Unfrozen versions: fall through to the row loop, which
+		// resolves visibility per row.
+	} else if bs, ok := s.it.(storage.BatchScanner); ok {
 		if cap(s.rowBuf) < max {
 			s.rowBuf = make([]datum.Row, max)
 		}
 		buf := s.rowBuf[:max]
-		k := bs.NextRows(buf)
-		if k == 0 {
-			return 0, storage.IterErr(s.it)
+		k, frozen := frozenFill(s.tv, func() int { return bs.NextRows(buf) })
+		if frozen {
+			if k == 0 {
+				return 0, storage.IterErr(s.it)
+			}
+			for _, r := range buf[:k] {
+				s.batch.AppendRow(r)
+			}
+			clear(buf)
+			return k, ctx.tickRows(k)
 		}
-		for _, r := range buf[:k] {
-			s.batch.AppendRow(r)
-		}
-		clear(buf)
-		return k, ctx.tickRows(k)
 	}
 	k := 0
 	for k < max {
-		r, _, ok := s.it.Next()
+		r, rid, ok := s.it.Next()
 		if !ok {
 			break
 		}
 		if err := ctx.tick(); err != nil {
 			return k, err
+		}
+		r, live := txn.Resolve(s.tv, rid, r, ctx.Snap)
+		if !live {
+			continue
 		}
 		s.batch.AppendRow(r)
 		k++
@@ -607,6 +618,7 @@ func (b *Builder) tryColScan(n *plan.Node, corr map[plan.ColRef]int) (Stream, bo
 	}
 	return &colScanOp{
 		rel:   n.Table.Rel,
+		tv:    n.Table.MVCC,
 		types: append([]datum.TypeID(nil), n.Types...),
 		preds: kernels,
 	}, true, nil

@@ -18,6 +18,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/txn"
 )
 
 // Stream is the tuple-at-a-time iterator interface between operators.
@@ -45,8 +46,15 @@ type Ctx struct {
 	// SubqHits/SubqMisses count subquery-cache lookups statement-wide
 	// (evaluate-on-demand re-use, section 7).
 	SubqHits, SubqMisses int64
-	// Rollbacks counts undo-log rollbacks taken by failing DML.
+	// Rollbacks counts write-log rollbacks taken by failing DML.
 	Rollbacks int64
+	// Snap is the MVCC visibility snapshot every scan resolves row
+	// versions against. The zero snapshot sees only frozen rows; the
+	// engine always arms a real one.
+	Snap txn.Snapshot
+	// Txn is the transaction write state DML mutates through; nil for
+	// read-only execution.
+	Txn *catalog.TxnState
 
 	// goCtx carries cancellation; nil means uncancellable (see Arm).
 	goCtx context.Context

@@ -9,13 +9,42 @@ import (
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/txn"
 )
+
+// indexKeyOf projects a row onto an index's key columns.
+func indexKeyOf(row datum.Row, cols []int) datum.Row {
+	k := make(datum.Row, len(cols))
+	for i, c := range cols {
+		k[i] = row[c]
+	}
+	return k
+}
+
+// frozenFill runs one batch fill under the table's version read lock
+// when every physical row is frozen, so the arena fast paths stay
+// MVCC-sound: no writer can register an unfrozen version between the
+// count check and the rows leaving the iterator. It reports ok=false —
+// without filling — when the table has unfrozen versions; the caller
+// falls back to tuple-at-a-time resolution.
+func frozenFill(tv *txn.TableVersions, fill func() int) (int, bool) {
+	if tv == nil {
+		return fill(), true
+	}
+	tv.ReadLock()
+	defer tv.ReadUnlock()
+	if tv.Count() != 0 {
+		return 0, false
+	}
+	return fill(), true
+}
 
 // ---------------------------------------------------------------------
 // SCAN
 
 type scanOp struct {
 	rel   storage.Relation
+	tv    *txn.TableVersions
 	preds []expr.Expr
 	it    storage.RowIterator
 	// buf is the reused row-pointer container of the batched path.
@@ -28,7 +57,7 @@ func (b *Builder) buildScan(n *plan.Node, corr map[plan.ColRef]int) (Stream, err
 	if err != nil {
 		return nil, err
 	}
-	return &scanOp{rel: n.Table.Rel, preds: preds}, nil
+	return &scanOp{rel: n.Table.Rel, tv: n.Table.MVCC, preds: preds}, nil
 }
 
 func (s *scanOp) Open(ctx *Ctx) error {
@@ -38,7 +67,7 @@ func (s *scanOp) Open(ctx *Ctx) error {
 
 func (s *scanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	for {
-		row, _, ok := s.it.Next()
+		row, rid, ok := s.it.Next()
 		if !ok {
 			// Iterators cannot fail from Next; fallible stores report a
 			// deferred error at exhaustion instead.
@@ -46,6 +75,10 @@ func (s *scanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		}
 		if err := ctx.tick(); err != nil {
 			return nil, false, err
+		}
+		row, live := txn.Resolve(s.tv, rid, row, ctx.Snap)
+		if !live {
+			continue
 		}
 		match, err := evalPreds(ctx, s.preds, row)
 		if err != nil {
@@ -69,11 +102,13 @@ func (s *scanOp) Close(ctx *Ctx) error {
 // ISCAN: index range/window access with RID fetch
 
 type indexScanOp struct {
-	rel    storage.Relation
-	at     storage.Attachment
-	lo, hi []expr.Expr
-	preds  []expr.Expr
-	it     storage.EntryIterator
+	rel     storage.Relation
+	tv      *txn.TableVersions
+	at      storage.Attachment
+	keyCols []int
+	lo, hi  []expr.Expr
+	preds   []expr.Expr
+	it      storage.EntryIterator
 }
 
 func (b *Builder) buildIndexScan(n *plan.Node, corr map[plan.ColRef]int) (Stream, error) {
@@ -93,7 +128,11 @@ func (b *Builder) buildIndexScan(n *plan.Node, corr map[plan.ColRef]int) (Stream
 	if err != nil {
 		return nil, err
 	}
-	return &indexScanOp{rel: n.Table.Rel, at: n.Index.At, lo: lo, hi: hi, preds: preds}, nil
+	return &indexScanOp{
+		rel: n.Table.Rel, tv: n.Table.MVCC,
+		at: n.Index.At, keyCols: n.Index.KeyCols,
+		lo: lo, hi: hi, preds: preds,
+	}, nil
 }
 
 func (s *indexScanOp) Open(ctx *Ctx) error {
@@ -142,6 +181,22 @@ func (s *indexScanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		row, ok := s.rel.Fetch(e.RID)
 		if !ok {
 			continue // entry for a deleted record
+		}
+		if s.tv != nil {
+			if v := s.tv.Lookup(e.RID); v != nil {
+				vis, live := v.Visible(ctx.Snap, row)
+				if !live {
+					continue
+				}
+				// A row in flux may be linked under several keys (its
+				// current one plus stale old keys); only the entry
+				// matching the visible image's key yields the row, so
+				// each visible row surfaces exactly once.
+				if storage.CompareKeys(indexKeyOf(vis, s.keyCols), e.Key) != 0 {
+					continue
+				}
+				row = vis
+			}
 		}
 		match, err := evalPreds(ctx, s.preds, row)
 		if err != nil {

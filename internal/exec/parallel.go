@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/txn"
 )
 
 // This file implements intra-query parallelism: exchange operators
@@ -134,6 +135,7 @@ type morselBinding struct {
 // statement signals early termination.
 type morselScanOp struct {
 	src   *morselSource
+	tv    *txn.TableVersions
 	preds []expr.Expr
 	it    storage.RowIterator
 	buf   []datum.Row
@@ -145,7 +147,7 @@ func (b *Builder) buildMorselScan(n *plan.Node, corr map[plan.ColRef]int) (Strea
 	if err != nil {
 		return nil, err
 	}
-	return &morselScanOp{src: b.morsel.src, preds: preds}, nil
+	return &morselScanOp{src: b.morsel.src, tv: n.Table.MVCC, preds: preds}, nil
 }
 
 func (s *morselScanOp) Open(ctx *Ctx) error {
@@ -165,7 +167,7 @@ func (s *morselScanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 			}
 			s.it = s.src.prs.ScanPages(lo, hi)
 		}
-		row, _, ok := s.it.Next()
+		row, rid, ok := s.it.Next()
 		if !ok {
 			err := storage.IterErr(s.it)
 			s.it.Close()
@@ -177,6 +179,10 @@ func (s *morselScanOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		}
 		if err := ctx.tick(); err != nil {
 			return nil, false, err
+		}
+		row, live := txn.Resolve(s.tv, rid, row, ctx.Snap)
+		if !live {
+			continue
 		}
 		match, err := evalPreds(ctx, s.preds, row)
 		if err != nil {
@@ -226,7 +232,23 @@ func (s *morselScanOp) NextBatch(ctx *Ctx) ([]datum.Row, bool, error) {
 			}
 			return out, true, nil
 		}
-		k := bsc.NextRows(buf)
+		k, frozen := frozenFill(s.tv, func() int { return bsc.NextRows(buf) })
+		if !frozen {
+			// Unfrozen versions: resolve tuple-at-a-time (s.Next applies
+			// visibility per row).
+			out := buf[:0]
+			for len(out) < n {
+				row, ok, err := s.Next(ctx)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					return out, false, nil
+				}
+				out = append(out, row)
+			}
+			return out, true, nil
+		}
 		if k == 0 {
 			err := storage.IterErr(s.it)
 			s.it.Close()

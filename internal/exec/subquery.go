@@ -4,11 +4,11 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/catalog"
 	"repro/internal/datum"
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/txn"
 )
 
 // subqCache implements the "evaluate-on-demand" mechanism of section 7:
@@ -528,13 +528,15 @@ func (r *recRefOp) Close(ctx *Ctx) error { return nil }
 // apply) to avoid the Halloween problem of re-visiting freshly updated
 // records.
 
-// rollback compensates a failing DML statement and counts the rollback
-// (a no-op log is not counted: nothing was undone).
-func rollback(ctx *Ctx, undo *catalog.UndoLog) error {
-	if undo.Len() > 0 {
+// rollback compensates a failing DML statement back to its entry
+// savepoint and counts the rollback (an empty span is not counted:
+// nothing was undone). The rest of the transaction's write log is left
+// intact — only this statement's writes unwind.
+func rollback(ctx *Ctx, mark int) error {
+	if ctx.Txn.Writes() > mark {
 		ctx.Rollbacks++
 	}
-	return undo.Rollback()
+	return ctx.Txn.RollbackTo(ctx.Cat, mark)
 }
 
 type insertOp struct {
@@ -566,13 +568,17 @@ func (i *insertOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		return nil, false, err
 	}
 	t := i.node.Table
-	// The statement is atomic: every mutation is undo-logged, and any
-	// error rolls the whole statement back (heap and indexes).
-	var undo catalog.UndoLog
+	if ctx.Txn == nil {
+		return nil, false, fmt.Errorf("exec: INSERT outside a transaction")
+	}
+	// The statement is atomic: every mutation is write-logged, and any
+	// error rolls the statement back to its savepoint (heap, version
+	// map and indexes).
+	mark := ctx.Txn.Mark()
 	var affected int64
 	for _, src := range rows {
 		if err := ctx.tick(); err != nil {
-			return nil, false, errors.Join(err, rollback(ctx, &undo))
+			return nil, false, errors.Join(err, rollback(ctx, mark))
 		}
 		full := make(datum.Row, len(t.Cols))
 		for k := range full {
@@ -581,8 +587,8 @@ func (i *insertOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		for k, ord := range i.node.TargetCols {
 			full[ord] = src[k]
 		}
-		if _, err := ctx.Cat.InsertLogged(t, full, &undo); err != nil {
-			return nil, false, errors.Join(err, rollback(ctx, &undo))
+		if _, err := ctx.Cat.InsertTx(t, full, ctx.Txn); err != nil {
+			return nil, false, errors.Join(err, rollback(ctx, mark))
 		}
 		affected++
 	}
@@ -638,6 +644,9 @@ func (u *updateDeleteOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	}
 	u.done = true
 	t := u.node.Table
+	if ctx.Txn == nil {
+		return nil, false, fmt.Errorf("exec: %s outside a transaction", map[bool]string{true: "DELETE", false: "UPDATE"}[u.isDel])
+	}
 	type pending struct {
 		rid    storage.RID
 		newRow datum.Row
@@ -657,6 +666,10 @@ func (u *updateDeleteOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 		if err := ctx.tick(); err != nil {
 			it.Close()
 			return nil, false, err
+		}
+		row, live := txn.Resolve(t.MVCC, rid, row, ctx.Snap)
+		if !live {
+			continue
 		}
 		match, err := evalPreds(ctx, u.preds, row)
 		if err != nil {
@@ -688,20 +701,20 @@ func (u *updateDeleteOp) Next(ctx *Ctx) (datum.Row, bool, error) {
 	}
 	it.Close()
 	// Apply phase, statement-atomic: any error rolls back every mutation
-	// already applied, including index maintenance.
-	var undo catalog.UndoLog
+	// already applied, including version and index maintenance.
+	mark := ctx.Txn.Mark()
 	var affected int64
 	for _, w := range work {
 		var err error
 		if err = ctx.tick(); err == nil {
 			if u.isDel {
-				err = ctx.Cat.DeleteLogged(t, w.rid, &undo)
+				err = ctx.Cat.DeleteTx(t, w.rid, ctx.Txn)
 			} else {
-				err = ctx.Cat.UpdateLogged(t, w.rid, w.newRow, &undo)
+				err = ctx.Cat.UpdateTx(t, w.rid, w.newRow, ctx.Txn)
 			}
 		}
 		if err != nil {
-			return nil, false, errors.Join(err, rollback(ctx, &undo))
+			return nil, false, errors.Join(err, rollback(ctx, mark))
 		}
 		affected++
 	}

@@ -32,9 +32,11 @@ const (
 	WaitWALSync                      // group-commit fsync (incl. wait for a peer's sync)
 	WaitBufPoolLoad                  // buffer-pool miss: reading the page from disk
 	WaitBufPoolWait                  // buffer-pool load-coalesce: blocked on a peer's read
-	WaitStmtLock                     // DB statement lock (shared or exclusive) acquisition
+	WaitStmtLock                     // admin latch acquisition (name kept from the retired statement lock)
 	WaitExchange                     // exchange-operator channel backpressure
 	WaitCancelStall                  // draining/joining workers after cancellation
+	WaitTxnCommit                    // serialized commit protocol (commitMu + durable hook)
+	WaitTxnConflict                  // first-writer-wins conflict detected (count-only; no block)
 	NumWaitEvents
 )
 
@@ -46,6 +48,8 @@ var waitEventNames = [NumWaitEvents]string{
 	"STMT_LOCK",
 	"EXCHANGE",
 	"CANCEL_STALL",
+	"TXN_COMMIT",
+	"TXN_CONFLICT",
 }
 
 // String returns the stable upper-case event name used in SYS.WAITS,

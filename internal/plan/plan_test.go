@@ -21,6 +21,9 @@ func sampleTree(t *testing.T) *Node {
 	if _, err := cat.CreateIndex("T_K", "T", []string{"K"}, "", true); err != nil {
 		t.Fatal(err)
 	}
+	// DDL publishes a new copy-on-write generation; re-resolve the
+	// table so the index is visible.
+	tbl, _ = cat.Table("T")
 	scan := &Node{
 		Op: OpScan, Table: tbl, QID: 1,
 		Cols:  []ColRef{{QID: 1, Ord: 0}, {QID: 1, Ord: 1}},

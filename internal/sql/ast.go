@@ -446,6 +446,25 @@ type AnalyzeStmt struct{ Table string }
 
 func (*AnalyzeStmt) stmt() {}
 
+// ---------------------------------------------------------------------
+// Transaction control
+
+// BeginStmt is BEGIN [TRANSACTION|WORK]: it opens an explicit
+// multi-statement transaction on the issuing session.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// CommitStmt is COMMIT [TRANSACTION|WORK].
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// RollbackStmt is ROLLBACK [TRANSACTION|WORK].
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
 // ExplainStmt wraps a statement to show its compilation phases instead
 // of executing it (Figure 1). With Analyze set (EXPLAIN ANALYZE) the
 // statement IS executed, and the plan is rendered with actual

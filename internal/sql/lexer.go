@@ -63,6 +63,7 @@ func init() {
 		"DELETE", "CREATE", "DROP", "TABLE", "INDEX", "VIEW", "UNIQUE",
 		"ON", "USING", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CASE",
 		"WHEN", "THEN", "ELSE", "END", "ANALYZE", "LIMIT", "EXPLAIN",
+		"BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
 	} {
 		keywords[k] = true
 	}

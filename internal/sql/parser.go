@@ -203,8 +203,35 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &AnalyzeStmt{Table: name}, nil
+	case p.isKeyword("BEGIN"):
+		if err := p.txnTail(); err != nil {
+			return nil, err
+		}
+		return &BeginStmt{}, nil
+	case p.isKeyword("COMMIT"):
+		if err := p.txnTail(); err != nil {
+			return nil, err
+		}
+		return &CommitStmt{}, nil
+	case p.isKeyword("ROLLBACK"):
+		if err := p.txnTail(); err != nil {
+			return nil, err
+		}
+		return &RollbackStmt{}, nil
 	}
 	return nil, p.errorf("expected a statement, got %s", p.tok)
+}
+
+// txnTail consumes a transaction-control verb plus its optional
+// TRANSACTION / WORK noise word.
+func (p *Parser) txnTail() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.isKeyword("TRANSACTION") || p.isKeyword("WORK") {
+		return p.advance()
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------

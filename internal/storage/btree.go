@@ -242,7 +242,7 @@ func (t *btree) Search(lo, hi Bound) EntryIterator {
 	minRID := RID{Page: -1 << 30}
 	switch {
 	case t.root == nil:
-		return &btIterator{}
+		return &sliceEntryIterator{}
 	case lo.Unbounded:
 		leaf, i = t.first, 0
 		t.stats.ReadIndex()
@@ -262,7 +262,32 @@ func (t *btree) Search(lo, hi Bound) EntryIterator {
 			}
 		}
 	}
-	return &btIterator{t: t, leaf: leaf, i: i, hi: hi}
+	// Materialize the matching range while the tree lock is held: leaf
+	// pointers captured here would go stale under a concurrent insert's
+	// node split, and with MVCC there is no statement-level lock keeping
+	// index scans and DML apart. The slice is a consistent
+	// point-in-time image of the range; visibility filtering happens
+	// above this layer.
+	var out []Entry
+	for leaf != nil {
+		if i >= len(leaf.keys) {
+			leaf, i = leaf.next, 0
+			if leaf != nil {
+				t.stats.ReadIndex()
+			}
+			continue
+		}
+		key, rid := leaf.keys[i], leaf.rids[i]
+		i++
+		if !hi.Unbounded {
+			c := keyPrefixCompare(key, hi.Key)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				break
+			}
+		}
+		out = append(out, Entry{Key: key, RID: rid})
+	}
+	return &sliceEntryIterator{entries: out}
 }
 
 // keyPrefixCompare compares an entry key against a (possibly shorter)
@@ -286,42 +311,3 @@ func (t *btree) Len() int64 {
 	defer t.mu.RUnlock()
 	return t.size
 }
-
-type btIterator struct {
-	t    *btree
-	leaf *btnode
-	i    int
-	hi   Bound
-	done bool
-}
-
-func (it *btIterator) Next() (Entry, bool) {
-	if it.done || it.t == nil {
-		return Entry{}, false
-	}
-	it.t.mu.RLock()
-	defer it.t.mu.RUnlock()
-	for it.leaf != nil {
-		if it.i >= len(it.leaf.keys) {
-			it.leaf, it.i = it.leaf.next, 0
-			if it.leaf != nil {
-				it.t.stats.ReadIndex()
-			}
-			continue
-		}
-		key, rid := it.leaf.keys[it.i], it.leaf.rids[it.i]
-		it.i++
-		if !it.hi.Unbounded {
-			c := keyPrefixCompare(key, it.hi.Key)
-			if c > 0 || (c == 0 && !it.hi.Inclusive) {
-				it.done = true
-				return Entry{}, false
-			}
-		}
-		return Entry{Key: key, RID: rid}, true
-	}
-	it.done = true
-	return Entry{}, false
-}
-
-func (it *btIterator) Close() { it.done = true }

@@ -45,8 +45,8 @@ type Store struct {
 	// checkpoints. Readers never take it.
 	writeMu sync.Mutex
 
-	// mu guards the WAL writer, the table map, the open statement and
-	// the checkpoint counters.
+	// mu guards the WAL writer, the table map, the open statement, the
+	// open-transaction set and the checkpoint counters.
 	mu      sync.Mutex
 	wal     *walWriter
 	walFile File
@@ -54,6 +54,13 @@ type Store struct {
 	curStmt *stmt
 	nextID  uint64
 	fi      *storage.FaultInjector
+	// openTxns tracks explicit transactions with tagged statement groups
+	// in this WAL that have not yet committed or aborted. While any is
+	// open, checkpoints are deferred (ckptPending): the buffer pool holds
+	// their uncommitted page state, and a checkpoint would both persist
+	// it unfiltered and rotate their records away.
+	openTxns    map[uint64]bool
+	ckptPending bool
 
 	snapshotFn func() ([]byte, error)
 
@@ -118,9 +125,11 @@ func (o *Options) defaults() {
 // to recover.
 var ErrCrashed = errors.New("disk: store has crashed; reopen the data directory to recover")
 
-// stmt is one open statement group.
+// stmt is one open statement group. txnID tags the group with its
+// owning explicit transaction; 0 means standalone (auto-commit).
 type stmt struct {
 	id    uint64
+	txnID uint64
 	wrote bool
 }
 
@@ -447,10 +456,16 @@ func (s *Store) walSync(table string) error {
 // ---------------------------------------------------------------------
 // Statement bracket
 
-// BeginStmt opens a statement group; every mutation until CommitStmt or
-// AbortStmt joins it. Statements are serialized: a second BeginStmt
-// blocks until the first resolves.
-func (s *Store) BeginStmt() error {
+// BeginStmt opens a standalone (auto-commit) statement group; every
+// mutation until CommitStmt or AbortStmt joins it. Statements are
+// serialized: a second BeginStmt blocks until the first resolves.
+func (s *Store) BeginStmt() error { return s.BeginTxnStmt(0) }
+
+// BeginTxnStmt opens a statement group tagged with an explicit
+// transaction (txnID != 0): the group's records replay after a crash
+// only if CommitTxn's record also reached the disk. txnID 0 is the
+// standalone auto-commit case (BeginStmt).
+func (s *Store) BeginTxnStmt(txnID int64) error {
 	if s.crashed.Load() {
 		return ErrCrashed
 	}
@@ -461,14 +476,22 @@ func (s *Store) BeginStmt() error {
 	}
 	s.mu.Lock()
 	s.nextID++
-	s.curStmt = &stmt{id: s.nextID}
+	s.curStmt = &stmt{id: s.nextID, txnID: uint64(txnID)}
+	if txnID != 0 {
+		if s.openTxns == nil {
+			s.openTxns = map[uint64]bool{}
+		}
+		s.openTxns[uint64(txnID)] = true
+	}
 	s.mu.Unlock()
 	return nil
 }
 
-// CommitStmt logs the group's commit record and fsyncs the WAL; the
-// statement is durable exactly when CommitStmt returns nil. It may run
-// a checkpoint afterwards. Always releases the statement bracket.
+// CommitStmt logs the group's commit record; for a standalone group it
+// fsyncs the WAL (the statement is durable exactly when CommitStmt
+// returns nil) and may run a checkpoint afterwards. For a
+// transaction-tagged group both are deferred to CommitTxn — one fsync
+// covers the whole transaction. Always releases the statement bracket.
 func (s *Store) CommitStmt() error {
 	defer s.writeMu.Unlock()
 	defer s.stmtWaits.Store(nil) // before the bracket opens to the next statement
@@ -485,8 +508,11 @@ func (s *Store) CommitStmt() error {
 	if !st.wrote {
 		return nil
 	}
-	if _, err := s.walAppend("", &walRecord{kind: walCommit, stmtID: st.id}); err != nil {
+	if _, err := s.walAppend("", &walRecord{kind: walCommit, stmtID: st.id, txnID: st.txnID}); err != nil {
 		return err
+	}
+	if st.txnID != 0 {
+		return nil
 	}
 	if err := s.walSync(""); err != nil {
 		return err
@@ -503,6 +529,54 @@ func (s *Store) CommitStmt() error {
 		return s.checkpointLocked()
 	}
 	return nil
+}
+
+// CommitTxn makes an explicit transaction durable: it appends the
+// transaction-commit record and fsyncs the WAL, after which every
+// tagged statement group of the transaction replays on recovery. The
+// engine calls it from the commit hook, under the transaction
+// manager's commit mutex, before the commit timestamp publishes. Runs
+// any checkpoint that was deferred while the transaction was open.
+//
+// starburst:locks mgr.commitMu:write
+func (s *Store) CommitTxn(txnID int64) error {
+	if s.crashed.Load() {
+		return ErrCrashed
+	}
+	if _, err := s.walAppend("", &walRecord{kind: walTxnCommit, txnID: uint64(txnID)}); err != nil {
+		return err
+	}
+	if err := s.walSync(""); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.openTxns, uint64(txnID))
+	s.commitsSinceCkpt++
+	need := s.ckptPending ||
+		s.commitsSinceCkpt >= s.opts.CheckpointEvery ||
+		s.walBytesSinceCkpt >= s.opts.CheckpointWALBytes
+	s.mu.Unlock()
+	if !need && s.pool.dirtyCount() >= s.pool.capacity/2 {
+		need = true
+	}
+	if need {
+		return s.Checkpoint()
+	}
+	return nil
+}
+
+// AbortTxn releases an explicit transaction that ends without a commit
+// record: its tagged groups stay in the WAL but never replay. Runs any
+// checkpoint that was deferred while the transaction was open
+// (best-effort; a failure resurfaces at the next commit).
+func (s *Store) AbortTxn(txnID int64) {
+	s.mu.Lock()
+	delete(s.openTxns, uint64(txnID))
+	pending := s.ckptPending && len(s.openTxns) == 0
+	s.mu.Unlock()
+	if pending && !s.crashed.Load() {
+		_ = s.Checkpoint()
+	}
 }
 
 // AbortStmt abandons the open statement group: nothing is logged, so
@@ -936,7 +1010,23 @@ func (s *Store) Checkpoint() error {
 // A crash at any point is recoverable: before step 6 the old WAL still
 // replays everything; after it, the snapshot + empty WAL are the
 // complete state.
+//
+// While an explicit transaction is open the checkpoint is deferred
+// instead: dirty frames hold the transaction's uncommitted page state
+// (the FPIs and write-back would persist it without the replay-time
+// commit filter), and the rotation would discard its tagged records.
+// The deferral is noted and honored by the transaction's CommitTxn or
+// AbortTxn.
 func (s *Store) checkpointLocked() error {
+	s.mu.Lock()
+	if len(s.openTxns) > 0 {
+		s.ckptPending = true
+		s.mu.Unlock()
+		return nil
+	}
+	s.ckptPending = false
+	s.mu.Unlock()
+
 	frames := s.pool.dirtyFrames()
 	sort.Slice(frames, func(i, j int) bool {
 		if frames[i].key.table != frames[j].key.table {
@@ -1120,29 +1210,50 @@ func (s *Store) Recover(applyDDL func(sqlText string) error) error {
 	s.recovering = true
 	defer func() { s.recovering = false }()
 
+	// Two-level commit filter: a statement group replays only when its
+	// commit record was found AND, if the group is tagged with an
+	// explicit transaction, that transaction's commit record was found
+	// too — a crash mid-transaction drops every statement of it.
 	committed := map[uint64]bool{}
-	for _, r := range s.scanned {
-		if r.kind == walCommit {
-			committed[r.stmtID] = true
-		}
-	}
+	stmtTxn := map[uint64]uint64{}
+	txnCommitted := map[uint64]bool{}
 	for _, r := range s.scanned {
 		switch r.kind {
 		case walCommit:
-			// marker only
+			committed[r.stmtID] = true
+			if r.txnID != 0 {
+				stmtTxn[r.stmtID] = r.txnID
+			}
+		case walTxnCommit:
+			txnCommitted[r.txnID] = true
+		}
+	}
+	replayable := func(stmtID uint64) bool {
+		if !committed[stmtID] {
+			return false
+		}
+		if t := stmtTxn[stmtID]; t != 0 && !txnCommitted[t] {
+			return false
+		}
+		return true
+	}
+	for _, r := range s.scanned {
+		switch r.kind {
+		case walCommit, walTxnCommit:
+			// markers only
 		case walFPI:
 			if err := s.replayFPI(r); err != nil {
 				return err
 			}
 		case walDDL:
-			if !committed[r.stmtID] || r.lsn <= s.snapLSN {
+			if !replayable(r.stmtID) || r.lsn <= s.snapLSN {
 				continue
 			}
 			if err := applyDDL(string(r.data)); err != nil {
 				return fmt.Errorf("disk: replay DDL %q: %w", r.data, err)
 			}
 		case walInsert, walDelete, walUpdate, walTruncate:
-			if !committed[r.stmtID] {
+			if !replayable(r.stmtID) {
 				continue
 			}
 			if err := s.replayData(r); err != nil {

@@ -23,6 +23,14 @@ import (
 // everything else — aborted statements, the in-flight tail — is
 // naturally dropped.
 //
+// Multi-statement transactions add one level of framing on top: a
+// statement group may carry a transaction tag (txnID on its commit
+// record). Tagged groups replay only when the transaction's own commit
+// record (walTxnCommit) is also on disk, so a crash mid-transaction
+// drops every statement of the transaction even though their statement
+// commits were logged. Untagged groups (txnID 0) are the standalone
+// auto-commit case and replay exactly as before.
+//
 // A torn tail (short frame, bad length, or CRC mismatch) ends replay at
 // the last intact record, which is exactly the no-steal/fsync-on-commit
 // contract: anything after the torn point was never acknowledged.
@@ -30,13 +38,14 @@ import (
 var walMagic = []byte("SBWALv1\n")
 
 const (
-	walInsert   = 1 // stmtID, table, page, slot, record bytes
-	walDelete   = 2 // stmtID, table, page, slot
-	walUpdate   = 3 // stmtID, table, page, slot, record bytes
-	walTruncate = 4 // stmtID, table
-	walDDL      = 5 // stmtID, sql text
-	walCommit   = 6 // stmtID
-	walFPI      = 7 // table, page, full page image (checkpoint-only; no stmt)
+	walInsert    = 1 // stmtID, table, page, slot, record bytes
+	walDelete    = 2 // stmtID, table, page, slot
+	walUpdate    = 3 // stmtID, table, page, slot, record bytes
+	walTruncate  = 4 // stmtID, table
+	walDDL       = 5 // stmtID, sql text
+	walCommit    = 6 // stmtID, txnID (0 = standalone statement)
+	walFPI       = 7 // table, page, full page image (checkpoint-only; no stmt)
+	walTxnCommit = 8 // txnID
 )
 
 // walRecord is one decoded log record.
@@ -44,6 +53,7 @@ type walRecord struct {
 	lsn    uint64
 	kind   byte
 	stmtID uint64
+	txnID  uint64 // transaction tag on walCommit/walTxnCommit; 0 = none
 	table  string
 	pageNo uint32
 	slot   uint32
@@ -56,6 +66,9 @@ func (r *walRecord) encode(dst []byte) []byte {
 	switch r.kind {
 	case walCommit:
 		dst = binary.LittleEndian.AppendUint64(dst, r.stmtID)
+		dst = binary.LittleEndian.AppendUint64(dst, r.txnID)
+	case walTxnCommit:
+		dst = binary.LittleEndian.AppendUint64(dst, r.txnID)
 	case walTruncate:
 		dst = binary.LittleEndian.AppendUint64(dst, r.stmtID)
 		dst = appendWalString(dst, r.table)
@@ -169,7 +182,11 @@ func decodeWalRecord(payload []byte) (*walRecord, error) {
 	}
 	switch r.kind {
 	case walCommit:
-		r.stmtID, err = d.u64()
+		if r.stmtID, err = d.u64(); err == nil {
+			r.txnID, err = d.u64()
+		}
+	case walTxnCommit:
+		r.txnID, err = d.u64()
 	case walTruncate:
 		if r.stmtID, err = d.u64(); err == nil {
 			r.table, err = d.str()

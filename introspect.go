@@ -233,26 +233,31 @@ func (r *sessionReg) snapshot() []*Session {
 }
 
 // ---------------------------------------------------------------------
-// Statement-lock wait sites
+// Admin-lock wait sites
 
-// lockStmtShared acquires the DB statement lock shared, charging the
-// acquisition wait to the profile and to ws (nil-safe).
+// lockAdminShared acquires the administrative lock shared (the side
+// every statement holds for its duration), charging the acquisition
+// wait to the profile and to ws (nil-safe). Contention appears only
+// while Close or fault attach/detach holds the exclusive side — the
+// event keeps the STMT_LOCK name for continuity with the retired
+// DB-wide statement lock.
 //
 // starburst:waits STMT_LOCK
-func (db *DB) lockStmtShared(ws *obs.WaitSet) {
+func (db *DB) lockAdminShared(ws *obs.WaitSet) {
 	start := time.Now()
-	db.stmtMu.RLock()
+	db.adminMu.RLock()
 	d := time.Since(start).Nanoseconds()
 	db.waitProf.Record(obs.WaitStmtLock, d)
 	ws.Record(obs.WaitStmtLock, d)
 }
 
-// lockStmtExcl is lockStmtShared for the exclusive (DDL) side.
+// lockAdminExcl is lockAdminShared for the exclusive
+// (engine-restructuring) side.
 //
 // starburst:waits STMT_LOCK
-func (db *DB) lockStmtExcl(ws *obs.WaitSet) {
+func (db *DB) lockAdminExcl(ws *obs.WaitSet) {
 	start := time.Now()
-	db.stmtMu.Lock()
+	db.adminMu.Lock()
 	d := time.Since(start).Nanoseconds()
 	db.waitProf.Record(obs.WaitStmtLock, d)
 	ws.Record(obs.WaitStmtLock, d)
@@ -313,6 +318,11 @@ func (db *DB) registerIntrospection() {
 			{Name: "STMT", Type: datum.TString}, // NULL on DB-wide rows
 			str("EVENT"), num("COUNT"), num("TOTAL_NS"), num("MAX_NS"),
 		}, db.sysWaits},
+		{"SYS.TRANSACTIONS", []catalog.Column{
+			num("ID"), num("SNAPSHOT"), str("STATE"),
+			{Name: "IMPLICIT", Type: datum.TBool, NotNull: true},
+			num("AGE_NS"), num("STATEMENTS"),
+		}, db.sysTransactions},
 	} {
 		if _, err := db.cat.CreateSystemTable(t.name, t.cols, SysStorageManager); err != nil {
 			if db.openErr == nil {
@@ -326,8 +336,9 @@ func (db *DB) registerIntrospection() {
 
 // ---------------------------------------------------------------------
 // SYS table sources. Each snapshots live engine state under its own
-// short-lived locks; none touches db.stmtMu, so scanning a SYS table
-// from inside a statement (which holds it shared) cannot deadlock.
+// short-lived locks; none touches db.adminMu or the commit mutex, so
+// scanning a SYS table from inside a statement (which holds the admin
+// latch shared) cannot deadlock.
 
 func (db *DB) sysStatements() ([]datum.Row, error) {
 	entries := db.stmts.snapshot()
@@ -361,6 +372,23 @@ func (db *DB) sysSessions() ([]datum.Row, error) {
 			datum.NewInt(s.id), datum.NewString(state), sqlVal,
 			datum.NewInt(int64(set.dop)), datum.NewInt(int64(set.batchSize)),
 			datum.NewBool(set.tracing), datum.NewInt(s.stmts.Load()),
+		})
+	}
+	return rows, nil
+}
+
+// sysTransactions lists the active transactions: ID, the snapshot
+// watermark each reads through, lifecycle state, whether it is an
+// implicit auto-commit transaction, its age and statement count.
+func (db *DB) sysTransactions() ([]datum.Row, error) {
+	infos := db.mgr.Active()
+	rows := make([]datum.Row, 0, len(infos))
+	now := time.Now()
+	for _, in := range infos {
+		rows = append(rows, datum.Row{
+			datum.NewInt(in.ID), datum.NewInt(in.Snapshot),
+			datum.NewString(in.State.String()), datum.NewBool(in.Implicit),
+			datum.NewInt(now.Sub(in.Started).Nanoseconds()), datum.NewInt(in.Stmts),
 		})
 	}
 	return rows, nil

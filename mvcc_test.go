@@ -1,0 +1,337 @@
+package starburst
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// This file is the MVCC schedule gate (`make mvcc`, run under -race):
+// a randomized concurrent-schedule generator drives snapshot readers,
+// batch writers, conflicting writers and DDL against one shared
+// database, and a history checker validates snapshot isolation over
+// what actually happened:
+//
+//   - atomicity: a writer transaction's batch is all-or-nothing in
+//     every view that ever observes it;
+//   - stability: repeated reads inside one snapshot transaction are
+//     identical, no matter what commits (or which catalog generations
+//     publish) around it;
+//   - exactness: once every goroutine joins, the final state is
+//     precisely the set of committed batches — rolled-back and
+//     conflict-aborted work left no trace;
+//   - lost-update freedom: a contended counter ends exactly at the
+//     number of successful commits, every loser having seen a
+//     first-writer-wins conflict.
+
+// mvccBatchRows is the rows-per-transaction unit of atomicity the
+// checker asserts on.
+const mvccBatchRows = 4
+
+// mvccSchedule parameterizes one randomized run.
+type mvccSchedule struct {
+	seed        int64
+	writers     int  // batch writers on ledger
+	readers     int  // snapshot readers asserting stability
+	conflictors int  // contended-counter writers
+	ddl         bool // concurrent CREATE INDEX / ANALYZE / DROP INDEX
+	rollbackPct int  // % of writer transactions that roll back
+	rounds      int  // batches per writer / scans per reader
+}
+
+// mvccHistory records committed batches as their commits return, so
+// the checker can compare the final state against exactly what was
+// supposed to survive.
+type mvccHistory struct {
+	mu        sync.Mutex
+	committed map[[2]int]bool
+	commits   int // successful counter commits
+}
+
+func (h *mvccHistory) commit(writer, batch int) {
+	h.mu.Lock()
+	h.committed[[2]int{writer, batch}] = true
+	h.mu.Unlock()
+}
+
+// scanBatches materializes ledger as per-(writer,batch) row counts
+// through any query entry point (a Tx, a Session, or the DB itself).
+func scanBatches(t *testing.T, q func(string, map[string]Value) (*Result, error)) map[[2]int]int {
+	t.Helper()
+	res, err := q(`SELECT writer, batch FROM ledger`, nil)
+	if err != nil {
+		t.Fatalf("ledger scan: %v", err)
+	}
+	out := make(map[[2]int]int)
+	for _, row := range res.Rows {
+		out[[2]int{int(row[0].Int()), int(row[1].Int())}]++
+	}
+	return out
+}
+
+// checkAtomic asserts every observed batch is complete: a reader that
+// can see part of a transaction's batch has seen a torn commit.
+func checkAtomic(t *testing.T, view map[[2]int]int, where string) {
+	t.Helper()
+	for key, n := range view {
+		if n != mvccBatchRows {
+			t.Errorf("%s: batch writer=%d batch=%d visible with %d of %d rows (torn transaction)",
+				where, key[0], key[1], n, mvccBatchRows)
+		}
+	}
+}
+
+func runMVCCSchedule(t *testing.T, sc mvccSchedule) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE ledger (writer INT NOT NULL, batch INT NOT NULL, amt INT)`)
+	mustExec(t, db, `CREATE TABLE counter (id INT NOT NULL, v INT)`)
+	mustExec(t, db, `INSERT INTO counter VALUES (1, 0)`)
+
+	hist := &mvccHistory{committed: map[[2]int]bool{}}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+
+	// Batch writers: each transaction inserts one complete batch, then
+	// commits or rolls back at random. Distinct (writer,batch) keys mean
+	// writers never contend with each other.
+	for w := 0; w < sc.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(sc.seed + int64(w)))
+			for b := 0; b < sc.rounds; b++ {
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < mvccBatchRows; i++ {
+					stmt := fmt.Sprintf(`INSERT INTO ledger VALUES (%d, %d, %d)`, w, b, rng.Intn(100))
+					if _, err := tx.Exec(stmt, nil); err != nil {
+						t.Errorf("writer %d batch %d: %v", w, b, err)
+						_ = tx.Rollback()
+						return
+					}
+				}
+				// A failed statement must leave the transaction usable.
+				if rng.Intn(4) == 0 {
+					if _, err := tx.Exec(`SELECT nosuch FROM ledger`, nil); err == nil {
+						t.Error("statement against a missing column succeeded")
+					}
+				}
+				// Own-write visibility before the batch publishes.
+				own := scanBatches(t, tx.Exec)
+				if own[[2]int{w, b}] != mvccBatchRows {
+					t.Errorf("writer %d batch %d: sees %d of its own rows", w, b, own[[2]int{w, b}])
+				}
+				if rng.Intn(100) < sc.rollbackPct {
+					if err := tx.Rollback(); err != nil {
+						t.Errorf("writer %d rollback: %v", w, err)
+					}
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("writer %d commit: %v", w, err)
+					continue
+				}
+				hist.commit(w, b)
+			}
+		}(w)
+	}
+
+	// Snapshot readers: every pair of scans inside one transaction must
+	// be identical, and every visible batch complete.
+	for r := 0; r < sc.readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < sc.rounds; i++ {
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				first := scanBatches(t, tx.Exec)
+				checkAtomic(t, first, fmt.Sprintf("reader %d scan 1", r))
+				second := scanBatches(t, tx.Exec)
+				if len(first) != len(second) {
+					t.Errorf("reader %d: snapshot moved between reads: %d batches then %d", r, len(first), len(second))
+				} else {
+					for key, n := range first {
+						if second[key] != n {
+							t.Errorf("reader %d: batch %v changed between reads: %d then %d rows", r, key, n, second[key])
+						}
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("reader %d commit: %v", r, err)
+				}
+			}
+		}(r)
+	}
+
+	// Conflictors: hammer one row. Losers must fail with
+	// ErrWriteConflict and retry on a fresh snapshot; the final counter
+	// value must equal the number of successful commits exactly.
+	for c := 0; c < sc.conflictors; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for done := 0; done < sc.rounds; {
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, err = tx.Exec(`UPDATE counter SET v = v + 1 WHERE id = 1`, nil)
+				if err == nil {
+					err = tx.Commit()
+					if err == nil {
+						hist.mu.Lock()
+						hist.commits++
+						hist.mu.Unlock()
+						done++
+						continue
+					}
+				} else {
+					_ = tx.Rollback()
+				}
+				if !errors.Is(err, ErrWriteConflict) {
+					t.Errorf("conflictor %d: %v, want ErrWriteConflict", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// DDL: publish catalog generations under the readers' feet. Every
+	// statement auto-commits; open snapshots must neither block it nor
+	// observe it.
+	if sc.ddl {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sc.rounds; i++ {
+				ix := fmt.Sprintf(`mvcc_ix_%d`, i)
+				if _, err := db.Exec(`CREATE INDEX `+ix+` ON ledger (writer)`, nil); err != nil {
+					t.Errorf("create index: %v", err)
+					return
+				}
+				if i%2 == 0 {
+					if _, err := db.Exec(`ANALYZE ledger`, nil); err != nil {
+						t.Errorf("analyze: %v", err)
+						return
+					}
+				}
+				if _, err := db.Exec(`DROP INDEX `+ix+` ON ledger`, nil); err != nil {
+					t.Errorf("drop index: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	// Exactness: the final state is precisely the committed history.
+	final := scanBatches(t, db.Exec)
+	checkAtomic(t, final, "final state")
+	hist.mu.Lock()
+	defer hist.mu.Unlock()
+	for key := range hist.committed {
+		if final[key] != mvccBatchRows {
+			t.Errorf("committed batch writer=%d batch=%d missing from final state (%d rows)", key[0], key[1], final[key])
+		}
+	}
+	for key := range final {
+		if !hist.committed[key] {
+			t.Errorf("uncommitted batch writer=%d batch=%d leaked into final state", key[0], key[1])
+		}
+	}
+	if sc.conflictors > 0 {
+		res, err := db.Exec(`SELECT v FROM counter WHERE id = 1`, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int(res.Rows[0][0].Int()); got != hist.commits {
+			t.Errorf("lost update: counter = %d, %d commits succeeded", got, hist.commits)
+		}
+	}
+}
+
+func TestMVCCRandomSchedules(t *testing.T) {
+	base := int64(20260808)
+	t.Run("readers-during-ddl", func(t *testing.T) {
+		t.Parallel()
+		runMVCCSchedule(t, mvccSchedule{
+			seed: base, writers: 3, readers: 3, ddl: true, rollbackPct: 10, rounds: 8,
+		})
+	})
+	t.Run("write-write-conflict", func(t *testing.T) {
+		t.Parallel()
+		runMVCCSchedule(t, mvccSchedule{
+			seed: base + 100, writers: 1, readers: 1, conflictors: 4, rounds: 6,
+		})
+	})
+	t.Run("rollback-heavy", func(t *testing.T) {
+		t.Parallel()
+		runMVCCSchedule(t, mvccSchedule{
+			seed: base + 200, writers: 4, readers: 2, rollbackPct: 50, rounds: 10,
+		})
+	})
+}
+
+// TestMVCCRollbackMidStatement drives a storage fault into the middle
+// of a multi-row UPDATE inside an open transaction: the statement must
+// roll back atomically, the transaction must survive and stay usable,
+// and its eventual rollback must leave no trace of anything.
+func TestMVCCRollbackMidStatement(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE r (id INT NOT NULL, v INT)`)
+	for i := 0; i < 5; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO r VALUES (%d, 0)`, i))
+	}
+
+	tx, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO r VALUES (100, 1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the UPDATE after two of six rows.
+	db.InjectFaults(&Fault{Table: "r", Op: FaultUpdate, After: 2, Err: "boom"})
+	if _, err := tx.Exec(`UPDATE r SET v = v + 10`, nil); err == nil {
+		t.Fatal("faulted UPDATE succeeded")
+	}
+	db.DetachFaults()
+
+	// Statement atomicity: none of the partial updates survive inside
+	// the transaction's own view; the earlier insert does.
+	if got := txCount(t, tx.Exec, `SELECT COUNT(*) FROM r WHERE v >= 10`); got != 0 {
+		t.Fatalf("mid-statement fault left %d partially updated rows visible", got)
+	}
+	if got := txCount(t, tx.Exec, `SELECT COUNT(*) FROM r WHERE id = 100`); got != 1 {
+		t.Fatalf("statement rollback took the transaction's earlier write with it")
+	}
+
+	// The transaction survives its failed statement.
+	if _, err := tx.Exec(`UPDATE r SET v = 7 WHERE id = 0`, nil); err != nil {
+		t.Fatalf("transaction unusable after mid-statement fault: %v", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing leaked: 5 original rows, all untouched.
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM r`); got != 5 {
+		t.Fatalf("final row count %d, want 5", got)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM r WHERE v = 0`); got != 5 {
+		t.Fatalf("rollback left modified rows behind")
+	}
+}

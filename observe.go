@@ -145,6 +145,12 @@ func stmtKind(stmt sql.Statement) string {
 		return "DROP"
 	case *sql.AnalyzeStmt:
 		return "ANALYZE"
+	case *sql.BeginStmt:
+		return "BEGIN"
+	case *sql.CommitStmt:
+		return "COMMIT"
+	case *sql.RollbackStmt:
+		return "ROLLBACK"
 	case *sql.ExplainStmt:
 		if s.Analyze {
 			return "EXPLAIN ANALYZE"
@@ -263,9 +269,12 @@ func (db *DB) recordCtx(ctx *exec.Ctx, tr *obs.Trace) {
 // set (EXPLAIN ANALYZE, armed slow log), builds the plan through the
 // per-operator stats decorator. The settings snapshot supplies the
 // budgets and parallelism knobs, so concurrent sessions execute under
-// their own configuration.
+// their own configuration. The plan executes inside tx: scans resolve
+// row versions against its snapshot, DML writes through its write log,
+// and table lookups read its pinned catalog generation.
+// starburst:locks db.adminMu:read
 func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params map[string]Value,
-	tr *obs.Trace, instrument bool, set settings, waits *obs.WaitSet) (*Result, *exec.Instrumentation, error) {
+	tr *obs.Trace, instrument bool, set settings, waits *obs.WaitSet, tx *Tx) (*Result, *exec.Instrumentation, error) {
 	if goCtx == nil {
 		goCtx = context.Background()
 	}
@@ -300,7 +309,7 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 	// as committed.
 	stmtOpen := false
 	if db.store != nil && rootIsDML(compiled.Root) {
-		if err := db.store.BeginStmt(); err != nil {
+		if err := db.store.BeginTxnStmt(tx.walTxn()); err != nil {
 			return nil, instr, err
 		}
 		stmtOpen = true
@@ -313,14 +322,28 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 			}
 		}()
 	}
-	ctx := exec.NewCtx(db.cat, params)
+	ctx := exec.NewCtx(tx.cat, params)
+	ctx.Snap = tx.snapshot()
+	ctx.Txn = tx.ts
 	ctx.SetWaits(db.waitProf, waits)
 	ctx.Arm(goCtx, limits)
 	db.armParallel(ctx, set)
+	mark := tx.ts.Mark()
 	t0 = time.Now()
 	rows, err := exec.Run(ctx, stream)
 	tr.AddPhase(obs.PhaseExec, time.Since(t0))
 	db.recordCtx(ctx, tr)
+	if err != nil && tx.ts.Writes() > mark {
+		// Statement atomicity: a failing statement undoes its own writes,
+		// leaving earlier statements of the transaction intact. The
+		// compensations run while the WAL statement group is still open,
+		// so aborting the group below drops originals and compensations
+		// together.
+		if rberr := tx.ts.RollbackTo(db.cat, mark); rberr != nil {
+			err = errors.Join(err, rberr)
+		}
+		db.metrics.Counter(MetricRollbacks).Inc()
+	}
 	if stmtOpen {
 		stmtOpen = false
 		if err != nil {
@@ -343,16 +366,16 @@ func (db *DB) runObserved(goCtx context.Context, compiled *plan.Compiled, params
 // stats decorator, then renders the plan annotated with actual row
 // counts, timings, memory high-water marks and cache hit ratios, plus
 // the phase-timing summary. DML side effects are applied as usual.
-// starburst:locks db.stmtMu:read
+// starburst:locks db.adminMu:read
 func (db *DB) explainAnalyze(goCtx context.Context, inner sql.Statement, phase *string,
-	params map[string]Value, tr *obs.Trace, o *observation, set settings) (*Result, error) {
-	compiled, err := db.compile(inner, phase, tr, set)
+	params map[string]Value, tr *obs.Trace, o *observation, set settings, tx *Tx) (*Result, error) {
+	compiled, err := db.compile(tx.cat, inner, phase, tr, set)
 	if err != nil {
 		return nil, err
 	}
 	o.root = compiled.Root
 	*phase = "exec"
-	res, instr, err := db.runObserved(goCtx, compiled, params, tr, true, set, o.waits)
+	res, instr, err := db.runObserved(goCtx, compiled, params, tr, true, set, o.waits, tx)
 	o.instr = instr
 	if err != nil {
 		return nil, err

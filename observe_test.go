@@ -98,9 +98,13 @@ func runInstrumented(db *DB, instr *exec.Instrumentation, compiled *plan.Compile
 	if err != nil {
 		return nil, err
 	}
-	ctx := exec.NewCtx(db.cat, params)
+	tx := db.autoTx()
+	ctx := exec.NewCtx(tx.cat, params)
+	ctx.Snap = tx.snapshot()
+	ctx.Txn = tx.ts
 	ctx.Arm(goCtx, db.GetLimits())
-	return exec.Run(ctx, s)
+	rows, err := exec.Run(ctx, s)
+	return rows, db.finishAuto(tx, err, nil)
 }
 
 // TestAnalyzeInvariantsEveryOperator drives the full fault-matrix

@@ -56,7 +56,10 @@ func slowScanDB(b *testing.B, nRows int, perPage time.Duration) *DB {
 	}
 	mustExec(b, db, "ANALYZE big")
 	// Wrap after ANALYZE so setup scans stay fast; compiled plans see
-	// the wrapper (eligibility is checked against Table.Rel).
+	// the wrapper (eligibility is checked against Table.Rel). ANALYZE
+	// published a fresh catalog generation with a cloned Table struct,
+	// so re-resolve before wrapping — the pre-ANALYZE pointer is stale.
+	tbl, _ = db.cat.Table("big")
 	tbl.Rel = &slowRel{Relation: tbl.Rel, perPage: perPage}
 	return db
 }
@@ -139,6 +142,7 @@ func TestParallelBenchSanity(t *testing.T) {
 		}
 	}
 	mustExec(t, db, "ANALYZE big")
+	tbl, _ = db.cat.Table("big") // ANALYZE cloned the Table; re-resolve before wrapping
 	tbl.Rel = &slowRel{Relation: tbl.Rel, perPage: time.Microsecond}
 
 	want := canonical(runAtDOP(t, db, 1, parallelBenchQuery))

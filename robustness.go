@@ -180,10 +180,11 @@ func (db *DB) ExecContext(ctx context.Context, query string, params map[string]V
 // place. Deterministic: the (After+1)th matching operation fails.
 func (db *DB) InjectFaults(faults ...*Fault) {
 	// Attaching rewraps live storage objects in place — exclusive
-	// ownership, like DDL (the attach also bumps the catalog version,
+	// ownership of the engine, so no statement is in flight over an
+	// object being rewrapped (the attach also bumps the catalog version,
 	// invalidating cached plans compiled over unwrapped storage).
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
+	db.lockAdminExcl(nil)
+	defer db.adminMu.Unlock()
 	if db.faults == nil {
 		db.faults = storage.NewFaultInjector()
 		db.cat.AttachFaults(db.faults)
@@ -206,8 +207,8 @@ func (db *DB) ClearFaults() {
 
 // DetachFaults removes fault decoration entirely.
 func (db *DB) DetachFaults() {
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
+	db.lockAdminExcl(nil)
+	defer db.adminMu.Unlock()
 	if db.faults != nil {
 		db.cat.DetachFaults()
 		if db.store != nil {

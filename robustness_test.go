@@ -291,9 +291,12 @@ func faultMatrixCases() []mcase {
 		{name: "update", op: plan.OpUpdate,
 			sql:   `UPDATE items SET qty = qty + 1 WHERE qty > 0`,
 			fault: &Fault{Table: "items", Op: FaultUpdate, After: 2, Err: "boom"}},
+		// Under MVCC a DELETE tombstones version entries; the physical
+		// delete is deferred to GC, which bypasses fault decoration. The
+		// statement's faultable storage operation is its read phase.
 		{name: "delete", op: plan.OpDelete,
 			sql:   `DELETE FROM items WHERE qty > 0`,
-			fault: &Fault{Table: "items", Op: FaultDelete, After: 2, Err: "boom"}},
+			fault: &Fault{Table: "items", Op: FaultScan, After: 2, Err: "boom"}},
 		{name: "table-fn", op: plan.OpTableFn,
 			sql: `SELECT COUNT(*) FROM SAMPLE(items, 3) s`, fault: scanFault("items"),
 			setup: func(t *testing.T, db *DB) { registerSample(t, db) }},
@@ -431,12 +434,16 @@ func TestDMLAtomicityEveryMutationIndex(t *testing.T) {
 	}{
 		{"insert", `INSERT INTO items SELECT oid + 100, n, 'NEW' FROM orders`,
 			[]FaultOp{FaultInsert, FaultIxInsert}},
-		// id is the index key, so every updated row deletes and re-inserts
-		// its index entry.
+		// id is the index key: each updated row inserts its new-key entry
+		// eagerly. The old-key entry stays linked for older snapshots
+		// (unlinked later by GC), so no index delete happens in-statement.
 		{"update", `UPDATE items SET id = id + 100 WHERE qty > 0`,
-			[]FaultOp{FaultUpdate, FaultIxDelete, FaultIxInsert}},
+			[]FaultOp{FaultUpdate, FaultIxInsert}},
+		// MVCC deletes only tombstone version entries; the physical
+		// delete and index unlink are GC work, outside fault decoration.
+		// The statement's faultable operations are its scan phase.
 		{"delete", `DELETE FROM items WHERE qty > 0`,
-			[]FaultOp{FaultDelete, FaultIxDelete}},
+			[]FaultOp{FaultScan}},
 	}
 	for _, c := range cases {
 		for _, op := range c.ops {
@@ -624,12 +631,18 @@ func TestDMLStreamReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		ctx := exec.NewCtx(db.Catalog(), nil)
+		tx := db.autoTx()
+		ctx := exec.NewCtx(tx.cat, nil)
+		ctx.Snap = tx.snapshot()
+		ctx.Txn = tx.ts
 		if _, err := exec.Run(ctx, stream); err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
 		if ctx.Affected != 1 {
 			t.Fatalf("run %d: affected = %d", i, ctx.Affected)
+		}
+		if err := db.finishAuto(tx, nil, nil); err != nil {
+			t.Fatalf("run %d commit: %v", i, err)
 		}
 	}
 	res := mustExec(t, db, `SELECT COUNT(*) FROM orders WHERE oid = 50`)

@@ -80,6 +80,12 @@ func (db *DB) cacheKey(query string, set settings) string {
 // that session alone, while DDL, data, extensions and the plan cache
 // remain shared through the DB. Any number of sessions may execute
 // statements concurrently; see the concurrency contract on DB.Query.
+//
+// A session carries at most one open transaction. Session.Begin (or
+// the SQL BEGIN statement) opens it; until Commit or Rollback every
+// Session.Query/Exec runs inside it. With autocommit switched off (see
+// SetAutocommit) the first statement opens a transaction implicitly
+// and COMMIT / ROLLBACK ends it.
 type Session struct {
 	db *DB
 	// id identifies the session in SYS.SESSIONS.
@@ -87,6 +93,13 @@ type Session struct {
 
 	mu  sync.Mutex
 	set settings
+	// tx is the session's open transaction, nil between transactions.
+	tx *Tx
+	// autocommit, when false, makes the first statement after a commit
+	// or rollback begin a new transaction implicitly (the classic
+	// chained mode); true (the default) wraps each standalone statement
+	// in its own auto-commit transaction.
+	autocommit bool
 
 	// cur is the in-flight statement text, nil when idle; stmts counts
 	// statements executed. Both feed SYS.SESSIONS.
@@ -97,7 +110,7 @@ type Session struct {
 // NewSession opens a session initialized with the DB's current default
 // settings. Sessions appear in SYS.SESSIONS until Closed.
 func (db *DB) NewSession() *Session {
-	s := &Session{db: db, set: db.snapshot()}
+	s := &Session{db: db, set: db.snapshot(), autocommit: true}
 	s.id = db.sessions.add(s)
 	return s
 }
@@ -129,24 +142,107 @@ func (s *Session) snapshot() settings {
 }
 
 // Query parses, compiles and executes one statement under this
-// session's settings. It is the session-level twin of DB.Query.
+// session's settings. It is the session-level twin of DB.Query. While
+// the session has an open transaction the statement runs inside it;
+// otherwise it runs in its own auto-commit transaction (or, with
+// autocommit off, opens the session's next transaction implicitly).
 func (s *Session) Query(ctx context.Context, query string, params map[string]Value) (*Result, error) {
 	s.begin(query)
 	defer s.end()
-	return s.db.query(ctx, query, params, s.snapshot())
+	if tx := s.openTx(); tx != nil {
+		return tx.run(ctx, query, params, s.snapshot())
+	}
+	return s.db.query(ctx, query, params, s.snapshot(), s, nil)
 }
 
 // Exec is Query without a context, kept for symmetry with DB.Exec.
 func (s *Session) Exec(query string, params map[string]Value) (*Result, error) {
-	s.begin(query)
-	defer s.end()
-	return s.db.query(context.Background(), query, params, s.snapshot())
+	return s.Query(context.Background(), query, params)
+}
+
+// Begin opens an explicit transaction on this session. Until Commit or
+// Rollback, every statement the session executes runs inside it; a
+// second Begin before then is an error. The SQL BEGIN statement is
+// equivalent.
+func (s *Session) Begin(ctx context.Context, opts ...TxOption) (*Tx, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx != nil {
+		return nil, fmt.Errorf("starburst: transaction already in progress on this session")
+	}
+	tx, err := s.db.beginTx(ctx, s.snapshot, s, false, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.tx = tx
+	return tx, nil
+}
+
+// beginLazy opens the session's next transaction implicitly: the
+// statement core calls it for the first statement after a commit or
+// rollback when autocommit is off.
+func (s *Session) beginLazy(ctx context.Context) (*Tx, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx != nil {
+		return s.tx, nil
+	}
+	tx, err := s.db.beginTx(ctx, s.snapshot, s, false)
+	if err != nil {
+		return nil, err
+	}
+	s.tx = tx
+	return tx, nil
+}
+
+// openTx returns the session's open transaction, nil when idle.
+func (s *Session) openTx() *Tx {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tx
+}
+
+// Tx returns the session's open transaction, or nil when the session
+// is between transactions.
+func (s *Session) Tx() *Tx { return s.openTx() }
+
+// clearTx detaches a finished transaction from the session.
+func (s *Session) clearTx(tx *Tx) {
+	s.mu.Lock()
+	if s.tx == tx {
+		s.tx = nil
+	}
+	s.mu.Unlock()
+}
+
+// SetAutocommit switches the session between auto-commit mode (the
+// default: each standalone statement is its own transaction) and
+// chained mode (off: the first statement after a commit or rollback
+// implicitly begins the next transaction, which stays open until
+// COMMIT or ROLLBACK). An already-open transaction is unaffected.
+func (s *Session) SetAutocommit(on bool) {
+	s.mu.Lock()
+	s.autocommit = on
+	s.mu.Unlock()
+}
+
+// Autocommit reports whether the session is in auto-commit mode.
+func (s *Session) Autocommit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.autocommit
 }
 
 // Prepare compiles a DML statement for repeated execution; the
-// returned Stmt re-snapshots this session's settings on every run.
+// returned Stmt re-snapshots this session's settings on every run and
+// joins the session's open transaction, if any, when run.
 func (s *Session) Prepare(query string) (*Stmt, error) {
-	return s.db.prepare(query, s.snapshot)
+	st, err := s.db.prepare(query, s.snapshot)
+	if err != nil {
+		return nil, err
+	}
+	st.sess = s
+	return st, nil
 }
 
 // SetParallelism sets this session's degree of parallelism; n <= 1

@@ -27,6 +27,7 @@ package starburst
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/storage/disk"
+	"repro/internal/txn"
 )
 
 // Re-exported core types, so DBC extensions are written against the
@@ -141,23 +143,34 @@ type Result struct {
 // compilation/execution components of Figure 1, each independently
 // extensible.
 //
-// Concurrency contract: a DB is safe for concurrent use. Queries and
-// DML run concurrently with each other under a shared (read) lock on
-// the statement mutex; DDL and statistics updates take it exclusively,
-// so a data-definition statement observes no in-flight statements and
-// vice versa. Per-client tuning belongs on a Session (see NewSession);
-// the DB-level setters adjust the defaults new snapshots inherit.
+// Concurrency contract: a DB is safe for concurrent use, and
+// statements never serialize behind a DB-wide lock. Every statement
+// runs inside a transaction — an explicit one (DB.Begin,
+// Session.Begin, SQL BEGIN) or an implicit auto-commit transaction —
+// whose MVCC snapshot gives it a stable view of the data while
+// concurrent writers commit, and whose pinned copy-on-write catalog
+// generation gives it a stable view of the schema while concurrent DDL
+// publishes new generations. Writers conflict first-writer-wins;
+// commits serialize only against each other. Per-client tuning belongs
+// on a Session (see NewSession); the DB-level setters adjust the
+// defaults new snapshots inherit.
 type DB struct {
 	cat      *catalog.Catalog
 	rewriter *rewrite.Engine
 	opt      *optimizer.Optimizer
 	builder  *exec.Builder
 
-	// stmtMu is the DB-wide statement lock: queries/DML hold it shared,
-	// DDL (and fault attachment, which rewraps storage in place) holds
-	// it exclusively. The catalog version cannot move while a shared
-	// holder is between plan-cache lookup and execution.
-	stmtMu sync.RWMutex
+	// mgr allocates transactions, owns the commit-timestamp watermark,
+	// and serializes the commit protocol.
+	mgr *txn.Manager
+	// adminMu is the administrative lock that replaced the DB-wide
+	// statement RWMutex: statements (queries, DML and DDL alike) hold
+	// it shared for their duration, while operations that restructure
+	// live engine state in place — Close, fault attach/detach — hold it
+	// exclusively. Isolation between statements comes from MVCC
+	// snapshots and copy-on-write catalog generations, never from this
+	// lock.
+	adminMu sync.RWMutex
 	// cache is the shared plan cache, nil unless WithPlanCache.
 	cache *planCache
 
@@ -236,6 +249,7 @@ func Open(opts ...Option) *DB {
 		rewriter: rewrite.NewDefaultEngine(),
 		opt:      optimizer.New(cat),
 		builder:  exec.NewBuilder(cat),
+		mgr:      txn.NewManager(),
 	}
 	db.metrics = obs.NewRegistry()
 	db.waitProf = obs.NewWaitProfile()
@@ -321,34 +335,46 @@ func (db *DB) RegisterOperator(op string, f BuildFunc) { db.builder.RegisterOper
 // Statement execution (Figure 1)
 
 // Query parses, compiles and executes one statement under ctx; it is
-// the context-first core every other execution entry point wraps.
-// Params bind host language variables (":name" references). Cancelling
-// ctx aborts the statement at the next tuple boundary. Errors are
-// reported as *QueryError.
+// the context-first core every other execution entry point wraps. The
+// statement runs inside an implicit auto-commit transaction: committed
+// when it succeeds, rolled back when it fails. Params bind host
+// language variables (":name" references). Cancelling ctx aborts the
+// statement at the next tuple boundary. Errors are reported as
+// *QueryError.
 func (db *DB) Query(ctx context.Context, query string, params map[string]Value) (*Result, error) {
-	return db.query(ctx, query, params, db.snapshot())
+	return db.query(ctx, query, params, db.snapshot(), nil, nil)
 }
 
 // Exec is Query under context.Background(), kept as the short form for
 // examples, tests and non-cancellable callers.
 func (db *DB) Exec(query string, params map[string]Value) (*Result, error) {
-	return db.query(context.Background(), query, params, db.snapshot())
+	return db.query(context.Background(), query, params, db.snapshot(), nil, nil)
 }
 
 // query is the single statement core: every public execution entry
-// point (DB.Query/Exec/ExecContext, Session.Query/Exec) lands here with
-// a settings snapshot. It carries the panic barrier, the error-wrapping
-// barrier, the phase marker, the observation record, the plan-cache
-// fast path, and the statement-lock discipline. Defer order matters:
-// observe is registered first so it runs last, after the recover
-// barrier has converted any panic into err and the wrap barrier has
-// folded plain errors into *QueryError.
-func (db *DB) query(goCtx context.Context, query string, params map[string]Value, set settings) (res *Result, err error) {
+// point (DB.Query/Exec/ExecContext, Session.Query/Exec, Tx.Query/Exec,
+// the database/sql driver) lands here with a settings snapshot. It
+// carries the panic barrier, the error-wrapping barrier, the phase
+// marker, the observation record, the plan-cache fast path, and the
+// transaction funnel: tx is the explicit transaction to run inside
+// (nil for auto-commit, where the core begins and finishes an implicit
+// one), and sess — when the statement came through a session — handles
+// the SQL transaction-control statements. Defer order matters: observe
+// is registered first so it runs last; the recover barrier (registered
+// last) runs first and converts any panic into err, so the implicit
+// transaction's auto-finish defer sees panics as errors and rolls
+// back.
+func (db *DB) query(goCtx context.Context, query string, params map[string]Value, set settings, sess *Session, tx *Tx) (res *Result, err error) {
 	phase := "parse"
 	o := &observation{query: query, kind: "INVALID", start: time.Now(), waits: obs.NewWaitSet()}
 	defer func() { db.observe(o, phase, err) }()
-	defer func() { err = wrapQueryError(phase, err) }()
-	defer recoverQueryError(&phase, &err)
+	defer func() {
+		if err != nil && errors.Is(err, ErrWriteConflict) {
+			db.waitProf.Record(obs.WaitTxnConflict, 0)
+			o.waits.Record(obs.WaitTxnConflict, 0)
+		}
+		err = wrapQueryError(phase, err)
+	}()
 	if db.openErr != nil {
 		phase = "open"
 		return nil, db.openErr
@@ -359,24 +385,64 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 		tr = obs.NewTrace()
 	}
 
+	db.lockAdminShared(o.waits)
+	defer db.adminMu.RUnlock()
+
+	// auto marks an implicit transaction this statement owns: begun by
+	// ensureTx below, committed or rolled back by the finishAuto defer.
+	// An explicit transaction (tx != nil on entry, or lazily begun on
+	// an autocommit-off session) outlives the statement.
+	auto := false
+	ensureTx := func() error {
+		if tx == nil {
+			if sess != nil && !sess.Autocommit() {
+				var berr error
+				if tx, berr = sess.beginLazy(goCtx); berr != nil {
+					return berr
+				}
+			} else {
+				tx = db.autoTx()
+				auto = true
+			}
+		}
+		tx.stmtStart()
+		return nil
+	}
+	defer func() {
+		if auto {
+			err = db.finishAuto(tx, err, o.waits)
+		}
+	}()
+	defer recoverQueryError(&phase, &err)
+
 	// Plan-cache fast path: a hit skips parse, rewrite and optimize
-	// entirely. The lookup and the execution share one read-lock hold,
-	// so the catalog version the entry was validated against cannot
-	// move before the plan runs.
-	if db.cache != nil {
+	// entirely. The entry is validated against a pinned catalog
+	// generation — the open transaction's, or one pinned here and
+	// handed to the implicit transaction on a hit — which cannot move
+	// under the running plan. Only cacheable kinds (DML) live in the
+	// cache, so a hit never preempts transaction-control or DDL
+	// handling below; an autocommit-off session between transactions
+	// skips the fast path so its lazy BEGIN goes through the full path.
+	if db.cache != nil && (tx != nil || sess == nil || sess.Autocommit()) {
 		key := db.cacheKey(query, set)
-		db.lockStmtShared(o.waits)
-		if e, ok := db.cache.get(key, db.cat.Version()); ok {
-			defer db.stmtMu.RUnlock()
+		cat := db.cat.Pin()
+		if tx != nil {
+			cat = tx.cat
+		}
+		if e, ok := db.cache.get(key, cat.Version()); ok {
+			if tx == nil {
+				tx = db.autoTxOn(cat)
+				auto = true
+			}
+			tx.stmtStart()
 			o.kind, o.root, o.trace = e.kind, e.compiled.Root, tr
 			o.cacheHit = true
 			if tr != nil {
 				tr.PlanCacheHit = true
 			}
 			phase = "exec"
-			return db.finishRun(goCtx, e.compiled, params, tr, o, set)
+			return db.finishRun(goCtx, e.compiled, params, tr, o, set, tx)
 		}
-		db.stmtMu.RUnlock()
 	}
 
 	t0 := time.Now()
@@ -387,17 +453,41 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 	}
 	o.kind = stmtKind(stmt)
 	switch s := stmt.(type) {
+	case *sql.BeginStmt:
+		if tx != nil {
+			return nil, fmt.Errorf("starburst: transaction already in progress (nested transactions are not supported)")
+		}
+		if sess == nil {
+			return nil, fmt.Errorf("starburst: BEGIN requires a session or transaction handle (use DB.NewSession or DB.Begin)")
+		}
+		if _, err := sess.Begin(goCtx); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.CommitStmt:
+		if tx == nil {
+			return nil, fmt.Errorf("starburst: no transaction in progress")
+		}
+		phase = "commit"
+		return &Result{}, tx.finish(true, o.waits)
+	case *sql.RollbackStmt:
+		if tx == nil {
+			return nil, fmt.Errorf("starburst: no transaction in progress")
+		}
+		phase = "rollback"
+		return &Result{}, tx.finish(false, o.waits)
 	case *sql.ExplainStmt:
-		db.lockStmtShared(o.waits)
-		defer db.stmtMu.RUnlock()
+		if err := ensureTx(); err != nil {
+			return nil, err
+		}
 		if s.Analyze {
 			if tr == nil {
 				tr = obs.NewTrace() // ANALYZE always reports phase times
 			}
 			o.trace = tr
-			return db.explainAnalyze(goCtx, s.Stmt, &phase, params, tr, o, set)
+			return db.explainAnalyze(goCtx, s.Stmt, &phase, params, tr, o, set, tx)
 		}
-		text, err := db.explain(s.Stmt, &phase, set)
+		text, err := db.explain(tx.cat, s.Stmt, &phase, set)
 		if err != nil {
 			return nil, err
 		}
@@ -408,19 +498,22 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 		return res, nil
 	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.CreateViewStmt,
 		*sql.DropStmt, *sql.AnalyzeStmt:
-		// DDL owns the DB exclusively: no statement is in flight while
-		// the catalog changes, and the version bump inside the catalog
-		// invalidates affected plan-cache entries lazily.
+		// DDL auto-commits: it runs outside the MVCC transaction, as an
+		// atomic copy-on-write catalog-generation swap whose version
+		// bump invalidates affected plan-cache entries lazily. Readers
+		// holding older pinned generations are never blocked. Inside an
+		// explicit transaction DDL is rejected — its effects could not
+		// roll back with the transaction.
 		phase = "ddl"
-		db.lockStmtExcl(o.waits)
-		defer db.stmtMu.Unlock()
+		if tx != nil {
+			return nil, fmt.Errorf("starburst: %s cannot run inside a transaction (DDL auto-commits)", o.kind)
+		}
 		return db.execDDLDurable(stmt, query)
-	default:
-		_ = s
 	}
-	db.lockStmtShared(o.waits)
-	defer db.stmtMu.RUnlock()
-	compiled, err := db.compile(stmt, &phase, tr, set)
+	if err := ensureTx(); err != nil {
+		return nil, err
+	}
+	compiled, err := db.compile(tx.cat, stmt, &phase, tr, set)
 	if err != nil {
 		return nil, err
 	}
@@ -430,12 +523,12 @@ func (db *DB) query(goCtx context.Context, query string, params map[string]Value
 			key:      db.cacheKey(query, set),
 			compiled: compiled,
 			kind:     o.kind,
-			gen:      db.cat.Version(),
+			gen:      tx.cat.Version(),
 		})
 	}
 	o.trace, o.root = tr, compiled.Root
 	phase = "exec"
-	return db.finishRun(goCtx, compiled, params, tr, o, set)
+	return db.finishRun(goCtx, compiled, params, tr, o, set, tx)
 }
 
 // cacheableKind reports whether plans of this statement kind are worth
@@ -452,10 +545,10 @@ func cacheableKind(kind string) bool {
 // finishRun executes a compiled plan and finishes the statement: it
 // records instrumentation on the observation and attaches the trace to
 // the result when the session asked for one.
-// starburst:locks db.stmtMu:read
+// starburst:locks db.adminMu:read
 func (db *DB) finishRun(goCtx context.Context, compiled *plan.Compiled, params map[string]Value,
-	tr *obs.Trace, o *observation, set settings) (*Result, error) {
-	res, instr, err := db.runObserved(goCtx, compiled, params, tr, false, set, o.waits)
+	tr *obs.Trace, o *observation, set settings, tx *Tx) (*Result, error) {
+	res, instr, err := db.runObserved(goCtx, compiled, params, tr, false, set, o.waits, tx)
 	o.instr = instr
 	if err != nil {
 		return nil, err
@@ -482,6 +575,10 @@ type Stmt struct {
 	// prepared statement follows later setting changes like an ad-hoc
 	// statement would.
 	snap func() settings
+	// sess is the owning session for Session.Prepare statements, nil
+	// for DB-level ones. A session-prepared statement runs inside the
+	// session's open transaction, exactly like an ad-hoc statement.
+	sess *Session
 }
 
 // Prepare compiles a DML statement for repeated execution under the
@@ -508,22 +605,23 @@ func (db *DB) prepare(query string, snap func() settings) (st *Stmt, err error) 
 		return nil, err
 	}
 	kind := stmtKind(stmt)
-	db.lockStmtShared(nil) // no statement in flight; profile-only
-	defer db.stmtMu.RUnlock()
+	// Compile against a pinned catalog generation: concurrent DDL
+	// publishes new generations without disturbing this compilation.
+	cat := db.cat.Pin()
 	var key string
 	if db.cache != nil && cacheableKind(kind) {
 		key = db.cacheKey(query, set)
-		if e, ok := db.cache.get(key, db.cat.Version()); ok {
+		if e, ok := db.cache.get(key, cat.Version()); ok {
 			return &Stmt{db: db, compiled: e.compiled, query: query, kind: kind, snap: snap}, nil
 		}
 	}
-	compiled, err := db.compile(stmt, &phase, nil, set)
+	compiled, err := db.compile(cat, stmt, &phase, nil, set)
 	if err != nil {
 		return nil, err
 	}
 	if key != "" {
 		db.cache.miss()
-		db.cache.put(&cacheEntry{key: key, compiled: compiled, kind: kind, gen: db.cat.Version()})
+		db.cache.put(&cacheEntry{key: key, compiled: compiled, kind: kind, gen: cat.Version()})
 	}
 	return &Stmt{db: db, compiled: compiled, query: query, kind: kind, snap: snap}, nil
 }
@@ -533,20 +631,63 @@ func (db *DB) prepare(query string, snap func() settings) (st *Stmt, err error) 
 // wrap. Settings are re-snapshotted from the preparing DB or Session on
 // every call.
 func (s *Stmt) Query(goCtx context.Context, params map[string]Value) (res *Result, err error) {
+	db := s.db
 	set := s.snap()
 	phase := "exec"
 	o := &observation{query: s.query, kind: s.kind, start: time.Now(), root: s.compiled.Root, waits: obs.NewWaitSet()}
-	defer func() { s.db.observe(o, phase, err) }()
-	defer func() { err = wrapQueryError(phase, err) }()
-	defer recoverQueryError(&phase, &err)
+	defer func() { db.observe(o, phase, err) }()
+	defer func() {
+		if err != nil && errors.Is(err, ErrWriteConflict) {
+			db.waitProf.Record(obs.WaitTxnConflict, 0)
+			o.waits.Record(obs.WaitTxnConflict, 0)
+		}
+		err = wrapQueryError(phase, err)
+	}()
+	if db.openErr != nil {
+		phase = "open"
+		return nil, db.openErr
+	}
 	var tr *obs.Trace
-	if set.tracing || s.db.slowNanos.Load() > 0 || s.db.spanExp.Load() != nil {
+	if set.tracing || db.slowNanos.Load() > 0 || db.spanExp.Load() != nil {
 		tr = obs.NewTrace()
 		o.trace = tr
 	}
-	s.db.lockStmtShared(o.waits)
-	defer s.db.stmtMu.RUnlock()
-	return s.db.finishRun(goCtx, s.compiled, params, tr, o, set)
+	// Resolve the transaction before the admin latch: transaction entry
+	// points acquire tx.mu before the latch, and this path must match
+	// that order.
+	var tx *Tx
+	if s.sess != nil {
+		tx = s.sess.openTx()
+		if tx == nil && !s.sess.Autocommit() {
+			var berr error
+			if tx, berr = s.sess.beginLazy(goCtx); berr != nil {
+				return nil, berr
+			}
+		}
+	}
+	if tx != nil {
+		// Inside the session's open transaction: the statement joins
+		// it; a failure rolls back the statement, not the transaction.
+		tx.mu.Lock()
+		defer tx.mu.Unlock()
+		if tx.done {
+			return nil, ErrTxDone
+		}
+		db.lockAdminShared(o.waits)
+		defer db.adminMu.RUnlock()
+		tx.stmtStart()
+		defer recoverQueryError(&phase, &err)
+		return db.finishRun(goCtx, s.compiled, params, tr, o, set, tx)
+	}
+	db.lockAdminShared(o.waits)
+	defer db.adminMu.RUnlock()
+	// A prepared statement runs inside an implicit auto-commit
+	// transaction, exactly like an ad-hoc one.
+	tx = db.autoTx()
+	tx.stmtStart()
+	defer func() { err = db.finishAuto(tx, err, o.waits) }()
+	defer recoverQueryError(&phase, &err)
+	return db.finishRun(goCtx, s.compiled, params, tr, o, set, tx)
 }
 
 // Run executes a prepared statement with the given parameter bindings.
@@ -566,10 +707,12 @@ func (s *Stmt) Plan() string { return s.compiled.Root.String() }
 // rewrite, plan optimization (and, inside the executor, plan
 // refinement). phase marks progress for the panic barrier; tr (nil-safe)
 // collects per-phase wall time and rule/STAR firing counts.
-// starburst:locks db.stmtMu:read
-func (db *DB) compile(stmt sql.Statement, phase *string, tr *obs.Trace, set settings) (*plan.Compiled, error) {
+// It compiles against cat, the calling transaction's pinned catalog
+// generation.
+// starburst:locks db.adminMu:read
+func (db *DB) compile(cat *catalog.Catalog, stmt sql.Statement, phase *string, tr *obs.Trace, set settings) (*plan.Compiled, error) {
 	t0 := time.Now()
-	g, err := qgm.TranslateStatement(db.cat, stmt)
+	g, err := qgm.TranslateStatement(cat, stmt)
 	tr.AddPhase(obs.PhaseParse, time.Since(t0)) // semantic analysis counts as parsing
 	if err != nil {
 		return nil, err
@@ -597,19 +740,26 @@ func (db *DB) compile(stmt sql.Statement, phase *string, tr *obs.Trace, set sett
 
 // run refines and interprets a compiled plan under the DB's default
 // settings and the caller's cancellation context (see runObserved in
-// observe.go for the full path; run is the untraced shorthand).
-func (db *DB) run(goCtx context.Context, compiled *plan.Compiled, params map[string]Value) (*Result, error) {
-	res, _, err := db.runObserved(goCtx, compiled, params, nil, false, db.snapshot(), nil)
+// observe.go for the full path; run is the untraced shorthand, wrapping
+// the plan in an implicit auto-commit transaction).
+func (db *DB) run(goCtx context.Context, compiled *plan.Compiled, params map[string]Value) (res *Result, err error) {
+	db.adminMu.RLock()
+	defer db.adminMu.RUnlock()
+	tx := db.autoTx()
+	tx.stmtStart()
+	defer func() { err = db.finishAuto(tx, err, nil) }()
+	res, _, err = db.runObserved(goCtx, compiled, params, nil, false, db.snapshot(), nil, tx)
 	return res, err
 }
 
 // explain renders the compilation phases for EXPLAIN <stmt>: the QGM
 // after translation, the rewrite trace, the rewritten QGM, and the
-// chosen plan.
-// starburst:locks db.stmtMu:read
-func (db *DB) explain(stmt sql.Statement, phase *string, set settings) (string, error) {
+// chosen plan. cat is the calling transaction's pinned catalog
+// generation.
+// starburst:locks db.adminMu:read
+func (db *DB) explain(cat *catalog.Catalog, stmt sql.Statement, phase *string, set settings) (string, error) {
 	var b strings.Builder
-	g, err := qgm.TranslateStatement(db.cat, stmt)
+	g, err := qgm.TranslateStatement(cat, stmt)
 	if err != nil {
 		return "", err
 	}
@@ -641,8 +791,9 @@ func (db *DB) explain(stmt sql.Statement, phase *string, set settings) (string, 
 	return b.String(), nil
 }
 
-// execDDL performs data definition directly against the catalog.
-// starburst:locks db.stmtMu:write
+// execDDL performs data definition against the live catalog. Each
+// mutation publishes a fresh copy-on-write generation atomically, so
+// in-flight statements keep reading their pinned generations.
 func (db *DB) execDDL(stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTableStmt:

@@ -1,0 +1,396 @@
+package starburst
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// Engine-level transaction API tests: DB.Begin / Tx.Query / Tx.Exec /
+// Tx.Commit / Tx.Rollback, the SQL BEGIN / COMMIT / ROLLBACK
+// statements on a Session, isolation levels, first-writer-wins
+// conflicts, and the autocommit switch. The randomized concurrent
+// schedules live in mvcc_test.go.
+
+func txCount(t *testing.T, q func(string, map[string]Value) (*Result, error), query string) int64 {
+	t.Helper()
+	res, err := q(query, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		t.Fatalf("%s: want a single scalar, got %v", query, res.Rows)
+	}
+	return res.Rows[0][0].Int()
+}
+
+func TestTxCommitAndRollback(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE acct (id INT NOT NULL, bal INT)`)
+	mustExec(t, db, `INSERT INTO acct VALUES (1, 100)`)
+
+	// Commit publishes atomically; the transaction sees its own writes
+	// before anyone else does.
+	tx, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO acct VALUES (2, 50)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, tx.Exec, `SELECT COUNT(*) FROM acct`); got != 2 {
+		t.Fatalf("tx does not see its own write: %d rows, want 2", got)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM acct`); got != 1 {
+		t.Fatalf("uncommitted write leaked: %d rows, want 1", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM acct`); got != 2 {
+		t.Fatalf("after commit: %d rows, want 2", got)
+	}
+
+	// Rollback restores heap rows and discards inserts.
+	tx, err = db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE acct SET bal = 0 WHERE id = 1`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM acct WHERE id = 2`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO acct VALUES (3, 1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT bal FROM acct WHERE id = 1`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 100 {
+		t.Fatalf("rollback lost the prior image: %v", res.Rows)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM acct`); got != 2 {
+		t.Fatalf("rollback left %d rows, want 2", got)
+	}
+
+	// An ended transaction rejects everything with ErrTxDone.
+	if _, err := tx.Exec(`SELECT 1 FROM acct`, nil); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("statement on ended tx: %v, want ErrTxDone", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Commit on ended tx: %v, want ErrTxDone", err)
+	}
+	if err := tx.Rollback(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Rollback on ended tx: %v, want ErrTxDone", err)
+	}
+}
+
+func TestTxSnapshotStableAcrossCommitsAndDDL(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE items (id INT NOT NULL, tag STRING)`)
+	for i := 0; i < 4; i++ {
+		mustExec(t, db, fmtInsertItem(i))
+	}
+
+	reader, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, reader.Exec, `SELECT COUNT(*) FROM items`); got != 4 {
+		t.Fatalf("reader snapshot: %d rows, want 4", got)
+	}
+
+	// A concurrent writer commits and concurrent DDL publishes new
+	// catalog generations; neither blocks, and neither disturbs the
+	// reader's view.
+	writer, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Exec(fmtInsertItem(4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE INDEX items_id ON items (id)`)
+	mustExec(t, db, `ANALYZE items`)
+	mustExec(t, db, `CREATE TABLE other (a INT)`)
+
+	if got := txCount(t, reader.Exec, `SELECT COUNT(*) FROM items`); got != 4 {
+		t.Fatalf("reader view moved under snapshot isolation: %d rows, want 4", got)
+	}
+	// The reader's pinned catalog generation predates `other`.
+	if _, err := reader.Exec(`SELECT a FROM other`, nil); err == nil {
+		t.Fatal("reader resolved a table created after its snapshot")
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM items`); got != 5 {
+		t.Fatalf("after reader ends: %d rows, want 5", got)
+	}
+}
+
+func fmtInsertItem(i int) string {
+	tags := []string{"CPU", "GPU", "RAM", "SSD", "NIC", "PSU"}
+	return `INSERT INTO items VALUES (` + itoa(i) + `, '` + tags[i%len(tags)] + `')`
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [20]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		n--
+		b[n] = '-'
+	}
+	return string(b[n:])
+}
+
+func TestTxFirstWriterWins(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE counter (id INT NOT NULL, v INT)`)
+	mustExec(t, db, `INSERT INTO counter VALUES (1, 0)`)
+
+	first, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Exec(`UPDATE counter SET v = 10 WHERE id = 1`, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The second writer loses to the in-flight first writer.
+	_, err = second.Exec(`UPDATE counter SET v = 20 WHERE id = 1`, nil)
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("competing write: %v, want ErrWriteConflict", err)
+	}
+	var ce *ConflictError
+	if !errors.As(err, &ce) || ce.Table != "COUNTER" {
+		t.Fatalf("conflict detail: %+v (err %v)", ce, err)
+	}
+	// A failed statement leaves the losing transaction open; it rolls
+	// back cleanly.
+	if err := second.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot that predates a commit also loses: first-writer-wins
+	// covers committed-after-snapshot versions too.
+	stale, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `UPDATE counter SET v = 30 WHERE id = 1`)
+	if _, err := stale.Exec(`UPDATE counter SET v = 40 WHERE id = 1`, nil); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("stale-snapshot write: %v, want ErrWriteConflict", err)
+	}
+	if err := stale.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT v FROM counter WHERE id = 1`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 30 {
+		t.Fatalf("final counter = %v, want 30", res.Rows[0][0])
+	}
+}
+
+func TestTxReadCommittedRefreshesPerStatement(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE rc (a INT)`)
+
+	tx, err := db.Begin(context.Background(), WithIsolation(LevelReadCommitted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Isolation(); got != LevelReadCommitted {
+		t.Fatalf("isolation = %v", got)
+	}
+	if got := txCount(t, tx.Exec, `SELECT COUNT(*) FROM rc`); got != 0 {
+		t.Fatalf("initial read: %d, want 0", got)
+	}
+	mustExec(t, db, `INSERT INTO rc VALUES (1)`)
+	if got := txCount(t, tx.Exec, `SELECT COUNT(*) FROM rc`); got != 1 {
+		t.Fatalf("read-committed statement did not refresh: %d, want 1", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := db.Begin(context.Background(), WithIsolation(LevelSnapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, snap.Exec, `SELECT COUNT(*) FROM rc`); got != 1 {
+		t.Fatalf("snapshot read: %d, want 1", got)
+	}
+	mustExec(t, db, `INSERT INTO rc VALUES (2)`)
+	if got := txCount(t, snap.Exec, `SELECT COUNT(*) FROM rc`); got != 1 {
+		t.Fatalf("snapshot moved: %d, want 1", got)
+	}
+	if err := snap.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxRejectsDDLAndNestedBegin(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE d (a INT)`)
+	tx, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	if _, err := tx.Exec(`CREATE TABLE d2 (a INT)`, nil); err == nil {
+		t.Fatal("DDL inside a transaction must be rejected (DDL auto-commits)")
+	}
+	if _, err := tx.Exec(`BEGIN`, nil); err == nil {
+		t.Fatal("nested BEGIN must be rejected")
+	}
+}
+
+func TestSessionSQLTransactionStatements(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE t (a INT)`)
+	sess := db.NewSession()
+	defer sess.Close()
+
+	// BEGIN ... COMMIT through plain SQL.
+	if _, err := sess.Exec(`BEGIN`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tx() == nil {
+		t.Fatal("BEGIN left no open transaction on the session")
+	}
+	if _, err := sess.Exec(`INSERT INTO t VALUES (1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM t`); got != 0 {
+		t.Fatalf("write visible before COMMIT: %d", got)
+	}
+	if _, err := sess.Exec(`COMMIT`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tx() != nil {
+		t.Fatal("COMMIT left the transaction attached")
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM t`); got != 1 {
+		t.Fatalf("after COMMIT: %d rows, want 1", got)
+	}
+
+	// BEGIN ... ROLLBACK discards.
+	if _, err := sess.Exec(`BEGIN`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`INSERT INTO t VALUES (2)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`ROLLBACK`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM t`); got != 1 {
+		t.Fatalf("after ROLLBACK: %d rows, want 1", got)
+	}
+
+	// COMMIT / ROLLBACK with no transaction in progress are errors, and
+	// BEGIN twice is too.
+	if _, err := sess.Exec(`COMMIT`, nil); err == nil {
+		t.Fatal("COMMIT outside a transaction must fail")
+	}
+	if _, err := sess.Exec(`ROLLBACK`, nil); err == nil {
+		t.Fatal("ROLLBACK outside a transaction must fail")
+	}
+	if _, err := sess.Exec(`BEGIN`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`BEGIN`, nil); err == nil {
+		t.Fatal("nested BEGIN must fail")
+	}
+	if _, err := sess.Exec(`ROLLBACK`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// BEGIN needs a session (or explicit handle) to own the transaction.
+	if _, err := db.Exec(`BEGIN`, nil); err == nil {
+		t.Fatal("DB.Exec(BEGIN) must fail: no session to own the transaction")
+	}
+}
+
+func TestSessionAutocommitOff(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE t (a INT)`)
+	sess := db.NewSession()
+	defer sess.Close()
+	sess.SetAutocommit(false)
+	if sess.Autocommit() {
+		t.Fatal("SetAutocommit(false) did not stick")
+	}
+
+	// The first statement opens a transaction implicitly (chained
+	// mode); nothing publishes until COMMIT.
+	if _, err := sess.Exec(`INSERT INTO t VALUES (1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tx() == nil {
+		t.Fatal("chained mode did not open a transaction")
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM t`); got != 0 {
+		t.Fatalf("chained-mode write visible before COMMIT: %d", got)
+	}
+	if _, err := sess.Exec(`COMMIT`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM t`); got != 1 {
+		t.Fatalf("after COMMIT: %d rows, want 1", got)
+	}
+
+	// The next statement begins the next transaction; ROLLBACK discards
+	// it.
+	if _, err := sess.Exec(`INSERT INTO t VALUES (2)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`ROLLBACK`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM t`); got != 1 {
+		t.Fatalf("after ROLLBACK: %d rows, want 1", got)
+	}
+
+	// Switching autocommit back on restores per-statement transactions.
+	sess.SetAutocommit(true)
+	if _, err := sess.Exec(`INSERT INTO t VALUES (3)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tx() != nil {
+		t.Fatal("autocommit statement left a transaction open")
+	}
+	if got := txCount(t, db.Exec, `SELECT COUNT(*) FROM t`); got != 2 {
+		t.Fatalf("autocommit write not published: %d rows, want 2", got)
+	}
+}
